@@ -1,0 +1,599 @@
+// Benchmark harness: one bench per paper table/figure (E01..E16, see
+// DESIGN.md), four ablation benches for the design choices the detection
+// thresholds encode (A01..A04), and micro-benchmarks for the hot paths.
+//
+// Experiment benches measure the analysis step over a cached campaign
+// (world generation and the measurement campaign run once); E02
+// additionally measures a full crawl campaign per iteration since the
+// crawl *is* that experiment. Ablation benches attach their findings as
+// custom bench metrics (positives, false positives, ...), so `go test
+// -bench` output doubles as the ablation table.
+package cgn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cgn/internal/bencode"
+	"cgn/internal/crawler"
+	"cgn/internal/detect"
+	"cgn/internal/dht"
+	"cgn/internal/graph"
+	"cgn/internal/internet"
+	"cgn/internal/krpc"
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/props"
+	"cgn/internal/report"
+	"cgn/internal/routing"
+	"cgn/internal/simnet"
+	"cgn/internal/stun"
+	"cgn/internal/survey"
+)
+
+var (
+	fixOnce sync.Once
+	fix     *report.Bundle
+)
+
+// fixture runs one full campaign over the Small scenario, shared by all
+// experiment benches.
+func fixture(b *testing.B) *report.Bundle {
+	b.Helper()
+	fixOnce.Do(func() {
+		fix = report.Collect(internet.Build(internet.Small()))
+	})
+	return fix
+}
+
+func cgnTruthView(bu *report.Bundle) map[uint32]bool {
+	u := detect.Union("all", bu.BTV, bu.CellV, bu.NonCellV)
+	return u.Positive
+}
+
+// ---- Experiment benches: one per table/figure ----
+
+func BenchmarkE01SurveyFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := survey.AggregateCorpus(survey.Corpus(int64(i)))
+		if a.N != 75 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+func BenchmarkE02CrawlTable2(b *testing.B) {
+	// The crawl is the experiment: world build + swarm + crawl per
+	// iteration.
+	for i := 0; i < b.N; i++ {
+		sc := internet.Small()
+		sc.Seed = int64(i + 1)
+		w := internet.Build(sc)
+		ds := w.RunCrawl(internet.DefaultCrawlOptions())
+		if len(ds.Queried) == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
+
+func BenchmarkE03LeakTable3(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := bu.E03(); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkE04LeakGraphs(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := detect.AnalyzeBitTorrent(bu.Crawl, bu.World.BTDetectConfig())
+		if len(res.PerAS) == 0 {
+			b.Fatal("no ASes")
+		}
+	}
+}
+
+func BenchmarkE05ClusterScatter(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	var positives int
+	for i := 0; i < b.N; i++ {
+		res := detect.AnalyzeBitTorrent(bu.Crawl, bu.World.BTDetectConfig())
+		positives = len(res.PositiveASes())
+	}
+	b.ReportMetric(float64(positives), "positives")
+}
+
+func BenchmarkE06AddrTable4(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.AnalyzeCellular(bu.Sessions, bu.World.Net.Global(), detect.NLConfig{})
+	}
+}
+
+func BenchmarkE07NetalyzrScatter(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	var positives int
+	for i := 0; i < b.N; i++ {
+		res := detect.AnalyzeNonCellular(bu.Sessions, bu.World.Net.Global(), detect.NLConfig{})
+		positives = len(res.PositiveASes())
+	}
+	b.ReportMetric(float64(positives), "positives")
+}
+
+func BenchmarkE08CoverageTable5(b *testing.B) {
+	bu := fixture(b)
+	pops := bu.World.DB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		union := detect.Union("u", bu.BTV, bu.NonCellV)
+		_ = union.Against(pops.RoutedPopulation())
+		_ = union.Against(pops.PBLPopulation())
+		_ = union.Against(pops.APNICPopulation())
+	}
+}
+
+func BenchmarkE09RegionFigure6(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.ByRegion(bu.World.DB, bu.UnionV, bu.CellV)
+	}
+}
+
+func BenchmarkE10InternalSpace(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props.AnalyzeInternalSpace(bu.Sessions, bu.BT, cgnV, bu.World.Net.Global(), bu.NonCell.TopCPEBlocks)
+	}
+}
+
+func BenchmarkE11PortFigure8(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props.AnalyzePorts(bu.Sessions, cgnV, props.PortConfig{})
+	}
+}
+
+func BenchmarkE12PortStrategies(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	b.ResetTimer()
+	var chunked int
+	for i := 0; i < b.N; i++ {
+		res := props.AnalyzePorts(bu.Sessions, cgnV, props.PortConfig{})
+		chunked = len(res.ChunkASes())
+	}
+	b.ReportMetric(float64(chunked), "chunk_ases")
+}
+
+func BenchmarkE13TTLTable7(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := props.AnalyzeTTLDetection(bu.Sessions)
+		if q.Total() == 0 {
+			b.Fatal("no TTL sessions")
+		}
+	}
+}
+
+func BenchmarkE14NATDistance(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props.AnalyzeDistance(bu.Sessions, cgnV)
+	}
+}
+
+func BenchmarkE15Timeouts(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props.AnalyzeTimeouts(bu.Sessions, cgnV)
+	}
+}
+
+func BenchmarkE16STUNTypes(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		props.AnalyzeSTUN(bu.Sessions, cgnV)
+	}
+}
+
+// ---- Ablation benches ----
+
+// BenchmarkA01ClusterThreshold sweeps the 5x5 detection boundary and
+// reports the false positives that lower thresholds admit.
+func BenchmarkA01ClusterThreshold(b *testing.B) {
+	bu := fixture(b)
+	truth := bu.World.CGNTruth()
+	for _, th := range []int{2, 3, 5, 8} {
+		b.Run(benchName("threshold", th), func(b *testing.B) {
+			var score detect.Score
+			for i := 0; i < b.N; i++ {
+				cfg := detect.BTConfig{MinLeakerIPs: th, MinInternalIPs: th, MinPeersQueried: 8}
+				res := detect.AnalyzeBitTorrent(bu.Crawl, cfg)
+				score = detect.BTView(res).ScoreAgainstTruth(truth)
+			}
+			b.ReportMetric(float64(score.TruePositive), "tp")
+			b.ReportMetric(float64(score.FalsePositive), "fp")
+		})
+	}
+}
+
+// BenchmarkA02ValidationRate rebuilds the world with increasing shares of
+// non-validating peers. Non-validating peers insert and re-propagate
+// contacts they never verified, so tunnel-style noise spreads across
+// ASes; the paper's §4.1 calibration argues the validation discipline
+// plus the exclusive-leak filter keep this from polluting detection. The
+// metrics report false positives with the filter on and off.
+func BenchmarkA02ValidationRate(b *testing.B) {
+	for _, frac := range []float64{0.0, 0.5, 1.0} {
+		b.Run(benchName("nonvalidating_pct", int(frac*100)), func(b *testing.B) {
+			var filtered, unfiltered detect.Score
+			var leaks, excluded int
+			for i := 0; i < b.N; i++ {
+				sc := internet.Small()
+				sc.NonValidatingFrac = frac
+				sc.VPNPairs = 10                             // ample cross-AS noise to spread
+				sc.BTPeers = internet.Span{Min: 28, Max: 40} // stable clusters
+				// Guarantee eyeball CGN signal regardless of draw luck at
+				// this world size.
+				for r := range sc.EyeballCGNProb {
+					sc.EyeballCGNProb[r] = 0.5
+				}
+				w := internet.Build(sc)
+				ds := w.RunCrawl(internet.DefaultCrawlOptions())
+				truth := w.CGNTruth()
+
+				cfg := w.BTDetectConfig()
+				res := detect.AnalyzeBitTorrent(ds, cfg)
+				filtered = detect.BTView(res).ScoreAgainstTruth(truth)
+				leaks = len(ds.Leaks)
+				excluded = res.ExcludedVPN
+
+				cfg.DisableVPNFilter = true
+				raw := detect.AnalyzeBitTorrent(ds, cfg)
+				unfiltered = detect.BTView(raw).ScoreAgainstTruth(truth)
+			}
+			b.ReportMetric(float64(filtered.TruePositive), "tp")
+			b.ReportMetric(float64(filtered.FalsePositive), "fp_filtered")
+			b.ReportMetric(float64(unfiltered.FalsePositive), "fp_unfiltered")
+			b.ReportMetric(float64(leaks), "leak_records")
+			b.ReportMetric(float64(excluded), "cross_as_leaked")
+		})
+	}
+}
+
+// BenchmarkA03DiversityCutoff sweeps the non-cellular /24-diversity
+// factor.
+func BenchmarkA03DiversityCutoff(b *testing.B) {
+	bu := fixture(b)
+	truth := bu.World.CGNTruth()
+	for _, cutoff := range []float64{0.1, 0.25, 0.4, 0.6} {
+		b.Run(benchName("cutoff_pct", int(cutoff*100)), func(b *testing.B) {
+			var score detect.Score
+			for i := 0; i < b.N; i++ {
+				cfg := detect.NLConfig{DiversityFactor: cutoff}
+				res := detect.AnalyzeNonCellular(bu.Sessions, bu.World.Net.Global(), cfg)
+				score = detect.NonCellularView(res).ScoreAgainstTruth(truth)
+			}
+			b.ReportMetric(float64(score.TruePositive), "tp")
+			b.ReportMetric(float64(score.FalsePositive), "fp")
+		})
+	}
+}
+
+// BenchmarkA04PortLeeway sweeps the port classifier leeway and reports
+// how the session strategy mix shifts.
+func BenchmarkA04PortLeeway(b *testing.B) {
+	bu := fixture(b)
+	cgnV := cgnTruthView(bu)
+	for _, seqDiff := range []int{2, 50, 500} {
+		b.Run(benchName("seqdiff", seqDiff), func(b *testing.B) {
+			var sequential int
+			for i := 0; i < b.N; i++ {
+				cfg := props.PortConfig{SequentialMaxDiff: seqDiff}
+				res := props.AnalyzePorts(bu.Sessions, cgnV, cfg)
+				sequential = 0
+				for _, as := range res.PerAS {
+					sequential += as.Strategies[props.StrategySequential]
+				}
+			}
+			b.ReportMetric(float64(sequential), "sequential_sessions")
+		})
+	}
+}
+
+// BenchmarkA05ChunkCapacity measures §7's implication directly: the
+// concurrent flows one subscriber can hold through a chunk-allocating CGN,
+// per chunk size (see examples/implications for the narrative version).
+func BenchmarkA05ChunkCapacity(b *testing.B) {
+	for _, chunk := range []int{512, 2048, 8192} {
+		b.Run(benchName("chunk", chunk), func(b *testing.B) {
+			var capacity int
+			for i := 0; i < b.N; i++ {
+				n := nat.New(nat.Config{
+					Type:        nat.PortRestricted,
+					PortAlloc:   nat.RandomChunk,
+					ChunkSize:   chunk,
+					Pooling:     nat.Paired,
+					ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+					Seed:        int64(i),
+				})
+				now := time.Unix(0, 0)
+				src := netaddr.MustParseEndpoint("100.64.0.5:0")
+				capacity = 0
+				for port := 1; port <= 20000; port++ {
+					src.Port = uint16(port)
+					dst := netaddr.MustParseEndpoint("203.0.113.10:443")
+					if _, v := n.TranslateOut(netaddr.FlowOf(netaddr.TCP, src, dst), now); v != nat.Ok {
+						break
+					}
+					capacity++
+				}
+			}
+			b.ReportMetric(float64(capacity), "concurrent_flows")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// ---- Micro benches: hot paths ----
+
+func BenchmarkNATTranslateOut(b *testing.B) {
+	n := nat.New(nat.Config{
+		Type:        nat.PortRestricted,
+		PortAlloc:   nat.Random,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
+	dst := netaddr.MustParseEndpoint("8.8.8.8:53")
+	f := netaddr.FlowOf(netaddr.UDP, src, dst)
+	n.TranslateOut(f, now) // create once; the loop measures the hot path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, v := n.TranslateOut(f, now); v != nat.Ok {
+			b.Fatal(v)
+		}
+	}
+}
+
+func BenchmarkNATTranslateIn(b *testing.B) {
+	n := nat.New(nat.Config{
+		Type:        nat.FullCone,
+		PortAlloc:   nat.Random,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
+	dst := netaddr.MustParseEndpoint("8.8.8.8:53")
+	out, _ := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, src, dst), now)
+	in := netaddr.FlowOf(netaddr.UDP, dst, out.Src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, v := n.TranslateIn(in, now); v != nat.Ok {
+			b.Fatal(v)
+		}
+	}
+}
+
+func BenchmarkBencodeDecode(b *testing.B) {
+	var id krpc.NodeID
+	nodes := make([]krpc.NodeInfo, 8)
+	wire := krpc.EncodeFindNodeResponse([]byte("aa"), id, nodes)
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bencode.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKRPCParseFindNodeResponse(b *testing.B) {
+	var id krpc.NodeID
+	rng := rand.New(rand.NewSource(1))
+	nodes := make([]krpc.NodeInfo, 8)
+	for i := range nodes {
+		rng.Read(nodes[i].ID[:])
+		nodes[i].EP = netaddr.EndpointOf(netaddr.Addr(rng.Uint32()), 6881)
+	}
+	wire := krpc.EncodeFindNodeResponse([]byte("aa"), id, nodes)
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := krpc.Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTUNParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := &stun.Message{
+		Type:    stun.TypeBindingResponse,
+		TID:     stun.NewTID(rng),
+		Mapped:  netaddr.MustParseEndpoint("203.0.113.9:54321"),
+		Changed: netaddr.MustParseEndpoint("203.0.113.2:3479"),
+	}
+	wire := stun.Encode(m)
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stun.Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPMLookup(b *testing.B) {
+	t := routing.NewTable[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		t.Insert(netaddr.PrefixFrom(netaddr.Addr(rng.Uint32()), 8+rng.Intn(17)), i)
+	}
+	addrs := make([]netaddr.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netaddr.Addr(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(addrs[i&1023])
+	}
+}
+
+func BenchmarkGraphComponents(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	type edge struct{ l, r int }
+	edges := make([]edge, 2000)
+	for i := range edges {
+		edges[i] = edge{rng.Intn(300), rng.Intn(500)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.NewBipartite[int, int]()
+		for _, e := range edges {
+			g.AddEdge(e.l, e.r)
+		}
+		if len(g.Components()) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkSimnetNAT444Walk(b *testing.B) {
+	net := simnet.New()
+	rng := rand.New(rand.NewSource(1))
+	server := net.NewHost("server", net.Public(), netaddr.MustParseAddr("203.0.113.10"), 2, rng)
+	server.Bind(netaddr.UDP, 7, func(_, _ netaddr.Endpoint, _ netaddr.Proto, _ []byte) {})
+	isp := net.NewRealm("isp", 1)
+	net.AttachNAT("cgn", isp, net.Public(), nat.Config{
+		Type: nat.PortRestricted, PortAlloc: nat.Random, Pooling: nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	}, 2, 1)
+	lan := net.NewRealm("lan", 0)
+	net.AttachNAT("cpe", lan, isp, nat.Config{
+		Type: nat.PortRestricted, PortAlloc: nat.Preservation, Pooling: nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("10.0.0.2")},
+		Seed:        2,
+	}, 0, 0)
+	dev := net.NewHost("dev", lan, netaddr.MustParseAddr("192.168.1.2"), 0, rng)
+	dst := netaddr.EndpointOf(server.Addr(), 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := dev.Send(netaddr.UDP, 4000, dst, nil); !res.Delivered() {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkDHTFindNodeHandling(b *testing.B) {
+	node := dht.NewNode(dht.Config{ID: krpc.NodeID{1}, Seed: 1},
+		dht.SenderFunc(func(netaddr.Endpoint, []byte) {}))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		var c krpc.NodeInfo
+		rng.Read(c.ID[:])
+		c.EP = netaddr.EndpointOf(netaddr.Addr(rng.Uint32()|1), 6881)
+		node.InsertContact(c)
+	}
+	var target krpc.NodeID
+	rng.Read(target[:])
+	query := krpc.EncodeFindNode([]byte("aa"), krpc.NodeID{2}, target)
+	from := netaddr.MustParseEndpoint("198.51.100.9:6881")
+	b.SetBytes(int64(len(query)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node.HandlePacket(from, query)
+	}
+}
+
+func BenchmarkWorldBuildSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := internet.Small()
+		sc.Seed = int64(i + 1)
+		if w := internet.Build(sc); w.DB.Len() == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+func BenchmarkCrawlerLeakHarvest(b *testing.B) {
+	// Standalone crawler against a single heavily-leaking node.
+	net := simnet.New()
+	rng := rand.New(rand.NewSource(3))
+	global := net.Global()
+	global.Announce(netaddr.MustParsePrefix("198.51.0.0/16"), 65001)
+	host := net.NewHost("peer", net.Public(), netaddr.MustParseAddr("198.51.0.10"), 0, rng)
+	sock := host.Open(netaddr.UDP, 6881)
+	node := dht.NewNode(dht.Config{ID: krpc.NodeID{9}, Validate: true, Seed: 1},
+		dht.SenderFunc(func(dst netaddr.Endpoint, p []byte) { sock.Send(dst, p) }))
+	sock.OnRecv(node.HandlePacket)
+	for i := 0; i < 32; i++ {
+		var c krpc.NodeInfo
+		rng.Read(c.ID[:])
+		c.EP = netaddr.EndpointOf(netaddr.MustParseAddr("10.0.0.1")+netaddr.Addr(i), 6881)
+		node.InsertContact(c)
+	}
+	crawlHost := net.NewHost("crawler", net.Public(), netaddr.MustParseAddr("203.0.113.9"), 0, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		crawlHost.Unbind(netaddr.UDP, 6881)
+		cr := crawler.New(crawlHost, global, crawler.DefaultConfig())
+		b.StartTimer()
+		cr.Seed(netaddr.MustParseEndpoint("198.51.0.10:6881"))
+		if ds := cr.Run(); len(ds.Leaks) == 0 {
+			b.Fatal("no leaks")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command analyze runs the detection pipelines offline, over datasets
+// captured earlier with `dhtcrawl -o` and `netalyzr -o -routes`:
+//
+//	go run ./cmd/dhtcrawl  -scenario small -o crawl.json
+//	go run ./cmd/netalyzr  -scenario small -o sessions.json -routes routes.json
+//	go run ./cmd/analyze   -crawl crawl.json -sessions sessions.json -routes routes.json
+//
+// Collection and analysis stay decoupled, as in the paper's own workflow:
+// the crawl ran for a week, the heuristics evolved afterwards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cgn/internal/dataset"
+	"cgn/internal/detect"
+	"cgn/internal/props"
+	"cgn/internal/routing"
+	"cgn/internal/stats"
+)
+
+func main() {
+	crawlPath := flag.String("crawl", "", "crawl dataset JSON (from dhtcrawl -o)")
+	sessPath := flag.String("sessions", "", "session records JSON (from netalyzr -o)")
+	routesPath := flag.String("routes", "", "routing snapshot JSON (from netalyzr -routes)")
+	minPeers := flag.Int("min-peers", 8, "per-AS crawl depth for BitTorrent coverage")
+	flag.Parse()
+
+	if *crawlPath == "" && *sessPath == "" {
+		fmt.Fprintln(os.Stderr, "analyze: need -crawl and/or -sessions")
+		os.Exit(2)
+	}
+
+	global := routing.NewGlobal()
+	if *routesPath != "" {
+		g, err := dataset.LoadRoutes(*routesPath)
+		fatalIf(err)
+		global = g
+		fmt.Printf("routes: %d prefixes\n", global.NumPrefixes())
+	}
+
+	var views []detect.MethodView
+
+	if *crawlPath != "" {
+		ds, err := dataset.LoadCrawl(*crawlPath)
+		fatalIf(err)
+		fmt.Printf("crawl: %d queried, %d learned, %d leaks\n",
+			len(ds.Queried), len(ds.Learned), len(ds.Leaks))
+		bt := detect.AnalyzeBitTorrent(ds, detect.BTConfig{MinPeersQueried: *minPeers})
+		fmt.Printf("BitTorrent: %d covered, %d CGN-positive, %d VPN-excluded\n",
+			len(bt.CoveredASes()), len(bt.PositiveASes()), bt.ExcludedVPN)
+		for _, asn := range bt.PositiveASes() {
+			as := bt.PerAS[asn]
+			fmt.Printf("  AS%d ranges=%v\n", asn, as.CGNRanges)
+		}
+		views = append(views, detect.BTView(bt))
+	}
+
+	if *sessPath != "" {
+		sessions, err := dataset.LoadSessions(*sessPath)
+		fatalIf(err)
+		fmt.Printf("sessions: %d\n", len(sessions))
+		if *routesPath == "" {
+			fmt.Fprintln(os.Stderr, "analyze: warning: no -routes snapshot; all public space counts as unrouted")
+		}
+		cell := detect.AnalyzeCellular(sessions, global, detect.NLConfig{})
+		noncell := detect.AnalyzeNonCellular(sessions, global, detect.NLConfig{})
+		fmt.Printf("Netalyzr cellular: %d covered, %d positive\n",
+			len(cell.CoveredASes()), len(cell.PositiveASes()))
+		fmt.Printf("Netalyzr non-cellular: %d covered, %d positive\n",
+			len(noncell.CoveredASes()), len(noncell.PositiveASes()))
+		views = append(views, detect.CellularView(cell), detect.NonCellularView(noncell))
+
+		// Property highlights over the combined verdict.
+		union := detect.Union("all", views...)
+		ports := props.AnalyzePorts(sessions, union.Positive, props.PortConfig{})
+		shares := stats.Freq[props.PortStrategy]{}
+		for _, as := range ports.PerAS {
+			shares.Add(as.Dominant())
+		}
+		fmt.Printf("port strategies (dominant per CGN AS): %v\n", shares)
+		if chunked := ports.ChunkASes(); len(chunked) > 0 {
+			for _, as := range chunked {
+				fmt.Printf("  chunk-based: AS%d, ~%d ports/subscriber\n", as.ASN, as.ChunkSize)
+			}
+		}
+		quad := props.AnalyzeTTLDetection(sessions)
+		if quad.Total() > 0 {
+			fmt.Printf("TTL outcomes: %d detected+mismatch, %d mismatch-only, %d stateful-only, %d clean\n",
+				quad.DetectedMismatch, quad.UndetectedMismatch, quad.DetectedMatch, quad.UndetectedMatch)
+		}
+	}
+
+	if len(views) > 1 {
+		union := detect.Union("union", views...)
+		positive := make([]uint32, 0, len(union.Positive))
+		for asn := range union.Positive {
+			positive = append(positive, asn)
+		}
+		fmt.Printf("union: %d covered ASes, %d CGN-positive\n", len(union.Covered), len(positive))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+}

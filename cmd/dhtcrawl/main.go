@@ -1,0 +1,86 @@
+// Command dhtcrawl runs only the BitTorrent side of the methodology: it
+// generates a world, drives the swarm, crawls the DHT exactly as §4.1
+// describes (5 random-target find_node queries per peer, batches of 10 on
+// internal-peer leakage) and prints the crawl dataset (Tables 2 and 3)
+// plus the per-AS clustering verdicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cgn/internal/dataset"
+	"cgn/internal/detect"
+	"cgn/internal/internet"
+	"cgn/internal/netaddr"
+)
+
+func main() {
+	scenario := flag.String("scenario", "paper", "world size: paper, small or large")
+	seed := flag.Int64("seed", 1, "world generation seed")
+	verbose := flag.Bool("v", false, "print per-AS cluster details")
+	out := flag.String("o", "", "write the crawl dataset to this JSON file")
+	live := flag.String("live", "", "crawl the REAL mainline DHT, seeded from this ip:port (requires network access and authorization to probe)")
+	routesPath := flag.String("routes", "", "routing snapshot for AS resolution in live mode")
+	maxPeers := flag.Int("max-peers", 1000, "live-mode crawl budget")
+	flag.Parse()
+
+	if *live != "" {
+		runLive([]string{*live}, *routesPath, *out, *maxPeers)
+		return
+	}
+
+	sc := internet.Paper()
+	switch *scenario {
+	case "small":
+		sc = internet.Small()
+	case "large":
+		sc = internet.Large()
+	}
+	sc.Seed = *seed
+
+	w := internet.Build(sc)
+	ds := w.RunCrawl(internet.DefaultCrawlOptions())
+
+	fmt.Printf("crawl: %d peers queried, %d learned, %d ping-responded, %d leak records\n",
+		len(ds.Queried), len(ds.Learned), len(ds.PingResponded), len(ds.Leaks))
+	if *out != "" {
+		if err := dataset.SaveCrawl(*out, ds); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtcrawl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dataset written to %s\n", *out)
+	}
+
+	res := detect.AnalyzeBitTorrent(ds, w.BTDetectConfig())
+	covered, positive := res.CoveredASes(), res.PositiveASes()
+	fmt.Printf("detection: %d ASes covered, %d CGN-positive, %d VPN-excluded internal peers\n",
+		len(covered), len(positive), res.ExcludedVPN)
+
+	truth := w.CGNTruth()
+	score := detect.BTView(res).ScoreAgainstTruth(truth)
+	fmt.Printf("vs ground truth: tp=%d fp=%d fn=%d precision=%.2f recall=%.2f\n",
+		score.TruePositive, score.FalsePositive, score.FalseNegative, score.Precision(), score.Recall())
+
+	if *verbose {
+		asns := make([]uint32, 0, len(res.PerAS))
+		for asn := range res.PerAS {
+			asns = append(asns, asn)
+		}
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, asn := range asns {
+			as := res.PerAS[asn]
+			if len(as.Clusters) == 0 {
+				continue
+			}
+			fmt.Printf("AS%d queried=%d cgn=%v truth=%v\n", asn, as.QueriedPeers, as.CGN, truth[asn])
+			for _, r := range netaddr.ReservedRanges {
+				if cs, ok := as.Clusters[r]; ok {
+					fmt.Printf("  %-5s largest cluster %d x %d\n", r, cs.LeakerIPs, cs.InternalIPs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command stunprobe classifies the NAT in front of this machine (or of a
+// simulated client) using the RFC 3489 test battery implemented in
+// internal/stun.
+//
+// Two modes:
+//
+//	stunprobe -server host:port     classify against a real STUN server
+//	                                over UDP (requires network access)
+//	stunprobe -demo                 run the classifier through simulated
+//	                                NATs of every type (offline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/simnet"
+	"cgn/internal/stun"
+)
+
+func main() {
+	server := flag.String("server", "", "STUN server endpoint (ip:port) for live mode")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-exchange timeout in live mode")
+	demo := flag.Bool("demo", false, "classify simulated NATs of every type")
+	flag.Parse()
+
+	switch {
+	case *demo:
+		runDemo()
+	case *server != "":
+		runLive(*server, *timeout)
+	default:
+		fmt.Fprintln(os.Stderr, "stunprobe: need -server host:port or -demo")
+		os.Exit(2)
+	}
+}
+
+// udpRoundTripper adapts a real UDP socket to stun.RoundTripper.
+type udpRoundTripper struct {
+	conn    *net.UDPConn
+	timeout time.Duration
+}
+
+func (u *udpRoundTripper) RoundTrip(dst netaddr.Endpoint, payload []byte) (netaddr.Endpoint, []byte, bool) {
+	raddr := &net.UDPAddr{IP: net.IP(dst.Addr.Bytes()), Port: int(dst.Port)}
+	if _, err := u.conn.WriteToUDP(payload, raddr); err != nil {
+		return netaddr.Endpoint{}, nil, false
+	}
+	u.conn.SetReadDeadline(time.Now().Add(u.timeout))
+	buf := make([]byte, 1500)
+	n, from, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return netaddr.Endpoint{}, nil, false
+	}
+	fromAddr, ok := netaddr.AddrFromBytes(from.IP.To4())
+	if !ok {
+		return netaddr.Endpoint{}, nil, false
+	}
+	return netaddr.EndpointOf(fromAddr, uint16(from.Port)), buf[:n], true
+}
+
+func (u *udpRoundTripper) LocalEndpoint() netaddr.Endpoint {
+	la := u.conn.LocalAddr().(*net.UDPAddr)
+	addr, _ := netaddr.AddrFromBytes(la.IP.To4())
+	return netaddr.EndpointOf(addr, uint16(la.Port))
+}
+
+func runLive(server string, timeout time.Duration) {
+	dst, err := netaddr.ParseEndpoint(server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stunprobe: %v\n", err)
+		os.Exit(2)
+	}
+	conn, err := net.ListenUDP("udp4", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stunprobe: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	rt := &udpRoundTripper{conn: conn, timeout: timeout}
+	res, err := stun.Classify(rt, dst, rand.New(rand.NewSource(time.Now().UnixNano())))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stunprobe: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func runDemo() {
+	types := []nat.MappingType{nat.Symmetric, nat.PortRestricted, nat.AddressRestricted, nat.FullCone}
+	for _, typ := range types {
+		n := simnet.New()
+		rng := rand.New(rand.NewSource(7))
+		servers := netalyzr.DeployServers(n, netalyzr.DefaultServersConfig(), rng)
+		isp := n.NewRealm("isp", 1)
+		n.AttachNAT("cgn", isp, n.Public(), nat.Config{
+			Type:        typ,
+			PortAlloc:   nat.Random,
+			Pooling:     nat.Paired,
+			ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.40")},
+			Seed:        11,
+		}, 2, 1)
+		client := n.NewHost("client", isp, netaddr.MustParseAddr("100.64.0.9"), 0, rng)
+
+		sess := netalyzr.RunSession(client, servers, netalyzr.ClientConfig{ASN: 65001, Cellular: true, RunSTUN: true})
+		fmt.Printf("configured NAT: %-24s ", typ)
+		if sess.STUNRan {
+			printResult(sess.STUNResult)
+		} else {
+			fmt.Println("STUN failed")
+		}
+	}
+}
+
+func printResult(res stun.Result) {
+	fmt.Printf("class=%s local=%v mapped=%v", res.Class, res.Local, res.MappedPrimary)
+	if !res.MappedAlternate.IsZero() {
+		fmt.Printf(" mappedAlt=%v", res.MappedAlternate)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,12 @@
+// Package cgn reproduces "A Multi-perspective Analysis of Carrier-Grade
+// NAT Deployment" (Richter et al., ACM IMC 2016) as a Go library: a
+// behavioral NAT engine, a deterministic packet-level network simulator,
+// wire-level BitTorrent DHT / STUN / UPnP implementations, the paper's two
+// CGN detection pipelines, and a benchmark harness that regenerates every
+// table and figure of the evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// This root package holds only documentation and the benchmark harness
+// (bench_test.go); the implementation lives under internal/.
+package cgn

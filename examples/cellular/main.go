@@ -1,0 +1,84 @@
+// cellular walks through the paper's cellular findings on one hand-built
+// carrier: direct CGN detection from the device address (§4.2), NAT
+// distance and mapping timeout via TTL enumeration (§6.3–6.4), STUN
+// mapping type (§6.5), and the port allocation of ten TCP flows (§6.2).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/props"
+	"cgn/internal/simnet"
+)
+
+func addr(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+func main() {
+	net := simnet.New()
+	rng := rand.New(rand.NewSource(9))
+	servers := netalyzr.DeployServers(net, netalyzr.DefaultServersConfig(), rng)
+
+	// A cellular carrier: CGN five router-hops into the network,
+	// chunk-based random port allocation (2K chunks), symmetric
+	// mappings, 40-second UDP timeout — a restrictive deployment of the
+	// kind §7 warns about.
+	net.Global().Announce(netaddr.MustParsePrefix("198.51.100.0/24"), 64800)
+	carrier := net.NewRealm("carrier", 1)
+	pool := make([]netaddr.Addr, 4)
+	for i := range pool {
+		pool[i] = addr("198.51.100.20") + netaddr.Addr(i)
+	}
+	net.AttachNAT("cgn", carrier, net.Public(), nat.Config{
+		Type:             nat.Symmetric,
+		PortAlloc:        nat.RandomChunk,
+		ChunkSize:        2048,
+		Pooling:          nat.Paired,
+		ExternalIPs:      pool,
+		UDPTimeout:       40 * time.Second,
+		RefreshOnInbound: true,
+		Seed:             5,
+	}, 4, 1)
+
+	// Run full sessions from a handful of handsets.
+	var sessions []netalyzr.Session
+	for i := 0; i < 25; i++ {
+		dev := net.NewHost(fmt.Sprintf("phone%d", i), carrier,
+			addr("100.64.0.0")+netaddr.Addr(100+i*307), 0, rng)
+		sessions = append(sessions, netalyzr.RunSession(dev, servers, netalyzr.ClientConfig{
+			ASN: 64800, Cellular: true, RunSTUN: true, RunTTL: i < 5,
+		}))
+	}
+
+	first := sessions[0]
+	fmt.Printf("device address: %v (%v)\n", first.IPdev, netaddr.ClassifyRange(first.IPdev))
+	fmt.Printf("public address: %v -> carrier NAT confirmed: %v\n",
+		first.IPpub, first.IPdev != first.IPpub)
+	fmt.Printf("STUN mapping type: %v\n", first.STUNResult.Class)
+
+	for _, s := range sessions[:5] {
+		if !s.TTLRan {
+			continue
+		}
+		for _, ob := range s.TTLResult.NATs {
+			fmt.Printf("TTL enumeration: NAT at hop %d, timeout in [%v, %v)\n",
+				ob.Hop, ob.TimeoutLow, ob.TimeoutHigh)
+		}
+		break
+	}
+
+	// Port allocation across the whole AS.
+	cgnASes := map[uint32]bool{64800: true}
+	ports := props.AnalyzePorts(sessions, cgnASes, props.PortConfig{})
+	as := ports.PerAS[64800]
+	fmt.Printf("port strategy sessions: %v\n", as.Strategies)
+	if as.ChunkDetected {
+		fmt.Printf("chunk-based allocation detected, estimated chunk size %d ports\n", as.ChunkSize)
+		fmt.Printf("=> at 2K ports per subscriber, one public IP serves at most %d subscribers\n",
+			64512/as.ChunkSize)
+	}
+}

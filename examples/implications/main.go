@@ -1,0 +1,95 @@
+// implications quantifies §7's warning: chunk-based port allocation and
+// per-subscriber session caps directly bound "how much Internet" a
+// subscriber gets. A modern web page opens dozens of concurrent TCP
+// connections; at 512 ports per subscriber a handful of busy tabs — or
+// one BitTorrent client — exhausts the budget and connections silently
+// die at the CGN.
+//
+// The experiment drives real flows through the NAT engine: subscribers
+// behind CGNs with decreasing chunk sizes (and one session-capped CGN)
+// open parallel connections until the translator refuses.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/simnet"
+)
+
+func addr(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// capacity measures how many concurrent flows one subscriber can hold
+// open through the given CGN before translations start failing.
+func capacity(cfg nat.Config, maxFlows int) int {
+	net := simnet.New()
+	rng := rand.New(rand.NewSource(1))
+	server := net.NewHost("server", net.Public(), addr("203.0.113.10"), 1, rng)
+	served := 0
+	server.Bind(netaddr.TCP, 443, func(_, _ netaddr.Endpoint, _ netaddr.Proto, _ []byte) {
+		served++
+	})
+	isp := net.NewRealm("isp", 1)
+	net.AttachNAT("cgn", isp, net.Public(), cfg, 2, 1)
+	sub := net.NewHost("sub", isp, addr("100.64.0.9"), 0, rng)
+
+	dst := netaddr.EndpointOf(server.Addr(), 443)
+	opened := 0
+	for i := 0; i < maxFlows; i++ {
+		res := sub.Send(netaddr.TCP, sub.EphemeralPort(), dst, []byte("GET"))
+		if !res.Delivered() {
+			break
+		}
+		opened++
+	}
+	return opened
+}
+
+func main() {
+	pool := []netaddr.Addr{addr("198.51.100.40")}
+	base := nat.Config{
+		Type:        nat.PortRestricted,
+		PortAlloc:   nat.RandomChunk,
+		Pooling:     nat.Paired,
+		ExternalIPs: pool,
+		TCPTimeout:  2 * time.Hour, // flows stay alive for the whole test
+		Seed:        7,
+	}
+
+	fmt.Println("concurrent TCP flows one subscriber can hold through the CGN")
+	fmt.Println("(a busy browser session uses 50-100; the paper saw chunks as small as 512)")
+	fmt.Println()
+	for _, chunk := range []int{16384, 4096, 1024, 512} {
+		cfg := base
+		cfg.ChunkSize = chunk
+		got := capacity(cfg, 20000)
+		verdict := "comfortable"
+		switch {
+		case got < 100:
+			verdict = "breaks under a single heavy page"
+		case got < 1024:
+			verdict = "fails under P2P or many tabs"
+		}
+		fmt.Printf("  chunk %5d ports -> %5d concurrent flows   [%s]\n", chunk, got, verdict)
+		subsPerIP := 64512 / chunk
+		fmt.Printf("               (ISP view: %3d subscribers share each public IP)\n", subsPerIP)
+	}
+
+	// The survey's other dimensioning lever: hard session caps.
+	fmt.Println()
+	for _, cap := range []int{0, 4096, 512} {
+		cfg := base
+		cfg.PortAlloc = nat.Random
+		cfg.ChunkSize = 0
+		cfg.MaxSessionsPerSubscriber = cap
+		got := capacity(cfg, 20000)
+		label := "uncapped"
+		if cap > 0 {
+			label = fmt.Sprintf("cap %d", cap)
+		}
+		fmt.Printf("  sessions %-9s -> %5d concurrent flows\n", label, got)
+	}
+}

@@ -1,0 +1,138 @@
+// natlab is a NAT behavior laboratory: it builds NAT444 cascades from
+// every combination of CPE and CGN mapping types and verifies two of the
+// paper's analytical assumptions (§6.5):
+//
+//  1. STUN through cascaded NATs reports the most RESTRICTIVE composite
+//     behavior, and
+//  2. therefore the most permissive session observed in an AS
+//     lower-bounds the CGN's own mapping type.
+//
+// It also runs the TTL enumeration on each cascade to show both NATs are
+// individually locatable regardless of type.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/simnet"
+	"cgn/internal/stun"
+)
+
+func addr(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// restrictiveness orders mapping types for the composite rule.
+func restrictiveness(c stun.NATClass) int {
+	switch c {
+	case stun.ClassSymmetric:
+		return 4
+	case stun.ClassPortRestricted:
+		return 3
+	case stun.ClassAddressRestricted:
+		return 2
+	case stun.ClassFullCone:
+		return 1
+	}
+	return 0
+}
+
+func natClassOf(t nat.MappingType) stun.NATClass {
+	switch t {
+	case nat.Symmetric:
+		return stun.ClassSymmetric
+	case nat.PortRestricted:
+		return stun.ClassPortRestricted
+	case nat.AddressRestricted:
+		return stun.ClassAddressRestricted
+	default:
+		return stun.ClassFullCone
+	}
+}
+
+func main() {
+	types := []nat.MappingType{nat.FullCone, nat.AddressRestricted, nat.PortRestricted, nat.Symmetric}
+	fmt.Println("CPE type \\ CGN type -> STUN composite (expected = more restrictive of the two)")
+	mismatches := 0
+	for _, cpeType := range types {
+		for _, cgnType := range types {
+			got := classify(cpeType, cgnType)
+			want := natClassOf(cpeType)
+			if restrictiveness(natClassOf(cgnType)) > restrictiveness(want) {
+				want = natClassOf(cgnType)
+			}
+			marker := ""
+			if got != want {
+				marker = "  <-- UNEXPECTED"
+				mismatches++
+			}
+			fmt.Printf("  %-24s + %-24s => %-24s%s\n", cpeType, cgnType, got, marker)
+		}
+	}
+	if mismatches == 0 {
+		fmt.Println("all 16 cascades match the most-restrictive composite rule")
+	}
+
+	// TTL enumeration locates both boxes in a NAT444 cascade.
+	sess := enumerate(nat.PortRestricted, nat.Symmetric)
+	fmt.Printf("\nTTL enumeration through CPE(65s)+CGN(35s): path %d hops\n", sess.TTLResult.PathLen)
+	for _, ob := range sess.TTLResult.NATs {
+		fmt.Printf("  stateful hop %d, mapping timeout in [%v, %v)\n", ob.Hop, ob.TimeoutLow, ob.TimeoutHigh)
+	}
+
+	// The simulator-side ground truth, for comparison: a diagnostic trace
+	// with perfect visibility of every on-path device.
+	dev, servers := build(nat.PortRestricted, nat.Symmetric)
+	steps, _ := dev.Network().TracePath(dev, netaddr.UDP, 6000,
+		netaddr.EndpointOf(servers.EchoHost.Addr(), netalyzr.EchoUDPPort))
+	fmt.Println("\nground-truth path (simulator introspection):")
+	for i, s := range steps {
+		fmt.Printf("  %2d  %s\n", i+1, s)
+	}
+}
+
+// build wires one NAT444 subscriber and returns the device plus servers.
+func build(cpeType, cgnType nat.MappingType) (*simnet.Host, *netalyzr.Servers) {
+	net := simnet.New()
+	rng := rand.New(rand.NewSource(17))
+	servers := netalyzr.DeployServers(net, netalyzr.DefaultServersConfig(), rng)
+	net.Global().Announce(netaddr.MustParsePrefix("198.51.100.0/24"), 64900)
+
+	isp := net.NewRealm("isp", 1)
+	net.AttachNAT("cgn", isp, net.Public(), nat.Config{
+		Type:             cgnType,
+		PortAlloc:        nat.Random,
+		Pooling:          nat.Paired,
+		ExternalIPs:      []netaddr.Addr{addr("198.51.100.30")},
+		UDPTimeout:       35 * time.Second,
+		RefreshOnInbound: true,
+		Seed:             2,
+	}, 2, 1)
+
+	lan := net.NewRealm("lan", 0)
+	net.AttachNAT("cpe", lan, isp, nat.Config{
+		Type:             cpeType,
+		PortAlloc:        nat.Preservation,
+		Pooling:          nat.Paired,
+		ExternalIPs:      []netaddr.Addr{addr("10.55.0.2")},
+		UDPTimeout:       65 * time.Second,
+		RefreshOnInbound: true,
+		Seed:             3,
+	}, 0, 0)
+	dev := net.NewHost("dev", lan, addr("192.168.1.2"), 0, rng)
+	return dev, servers
+}
+
+func classify(cpeType, cgnType nat.MappingType) stun.NATClass {
+	dev, servers := build(cpeType, cgnType)
+	sess := netalyzr.RunSession(dev, servers, netalyzr.ClientConfig{ASN: 64900, RunSTUN: true})
+	return sess.STUNResult.Class
+}
+
+func enumerate(cpeType, cgnType nat.MappingType) netalyzr.Session {
+	dev, servers := build(cpeType, cgnType)
+	return netalyzr.RunSession(dev, servers, netalyzr.ClientConfig{ASN: 64900, RunTTL: true})
+}

@@ -1,0 +1,280 @@
+// Package bencode implements the BitTorrent bencoding wire format
+// (BEP-3): integers, byte strings, lists and dictionaries. The KRPC
+// messages of the DHT protocol (BEP-5) are bencoded dictionaries; package
+// krpc builds on this codec.
+//
+// The decoder maps bencoded values onto Go types:
+//
+//	integer    -> int64
+//	string     -> []byte
+//	list       -> []any
+//	dictionary -> map[string]any
+//
+// Dictionaries keys are encoded in sorted order as the format requires, so
+// Encode(Decode(x)) == x for every valid input.
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated = errors.New("bencode: truncated input")
+	ErrSyntax    = errors.New("bencode: syntax error")
+	ErrTrailing  = errors.New("bencode: trailing data after value")
+)
+
+// maxDepth bounds nesting to keep hostile inputs from exhausting the
+// stack; DHT messages are at most a few levels deep.
+const maxDepth = 32
+
+// Encode renders v into bencoded form. Supported types: int, int64,
+// string, []byte, []any, map[string]any. It returns an error for anything
+// else — the caller constructs messages, so unsupported types are bugs,
+// but the error form composes better with fuzzing round-trips.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeTo(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeTo(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case int:
+		return encodeInt(buf, int64(x))
+	case int64:
+		return encodeInt(buf, x)
+	case string:
+		return encodeBytes(buf, []byte(x))
+	case []byte:
+		return encodeBytes(buf, x)
+	case []any:
+		buf.WriteByte('l')
+		for _, e := range x {
+			if err := encodeTo(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+		return nil
+	case map[string]any:
+		buf.WriteByte('d')
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := encodeBytes(buf, []byte(k)); err != nil {
+				return err
+			}
+			if err := encodeTo(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+		return nil
+	default:
+		return fmt.Errorf("bencode: cannot encode %T", v)
+	}
+}
+
+func encodeInt(buf *bytes.Buffer, n int64) error {
+	buf.WriteByte('i')
+	buf.WriteString(strconv.FormatInt(n, 10))
+	buf.WriteByte('e')
+	return nil
+}
+
+func encodeBytes(buf *bytes.Buffer, b []byte) error {
+	buf.WriteString(strconv.Itoa(len(b)))
+	buf.WriteByte(':')
+	buf.Write(b)
+	return nil
+}
+
+// Decode parses exactly one bencoded value occupying all of data.
+func Decode(data []byte) (any, error) {
+	v, rest, err := decode(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailing
+	}
+	return v, nil
+}
+
+// DecodePrefix parses one bencoded value from the front of data and also
+// returns the unconsumed remainder.
+func DecodePrefix(data []byte) (any, []byte, error) {
+	return decode(data, 0)
+}
+
+func decode(data []byte, depth int) (any, []byte, error) {
+	if depth > maxDepth {
+		return nil, nil, fmt.Errorf("%w: nesting deeper than %d", ErrSyntax, maxDepth)
+	}
+	if len(data) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	switch c := data[0]; {
+	case c == 'i':
+		return decodeInt(data)
+	case c >= '0' && c <= '9':
+		return decodeString(data)
+	case c == 'l':
+		rest := data[1:]
+		list := []any{}
+		for {
+			if len(rest) == 0 {
+				return nil, nil, ErrTruncated
+			}
+			if rest[0] == 'e' {
+				return list, rest[1:], nil
+			}
+			var (
+				v   any
+				err error
+			)
+			v, rest, err = decode(rest, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			list = append(list, v)
+		}
+	case c == 'd':
+		rest := data[1:]
+		dict := map[string]any{}
+		lastKey := ""
+		first := true
+		for {
+			if len(rest) == 0 {
+				return nil, nil, ErrTruncated
+			}
+			if rest[0] == 'e' {
+				return dict, rest[1:], nil
+			}
+			var (
+				kv  any
+				err error
+			)
+			kv, rest, err = decodeString(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			key := string(kv.([]byte))
+			if !first && key <= lastKey {
+				return nil, nil, fmt.Errorf("%w: dictionary keys not strictly sorted", ErrSyntax)
+			}
+			first, lastKey = false, key
+			var v any
+			v, rest, err = decode(rest, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			dict[key] = v
+		}
+	default:
+		return nil, nil, fmt.Errorf("%w: unexpected byte %q", ErrSyntax, c)
+	}
+}
+
+func decodeInt(data []byte) (any, []byte, error) {
+	end := bytes.IndexByte(data, 'e')
+	if end < 0 {
+		return nil, nil, ErrTruncated
+	}
+	body := string(data[1:end])
+	if body == "" {
+		return nil, nil, fmt.Errorf("%w: empty integer", ErrSyntax)
+	}
+	// Only digits with an optional leading '-' are legal; ParseInt alone
+	// would also admit a leading '+', which the format forbids.
+	for i := 0; i < len(body); i++ {
+		if body[i] >= '0' && body[i] <= '9' {
+			continue
+		}
+		if i == 0 && body[i] == '-' && len(body) > 1 {
+			continue
+		}
+		return nil, nil, fmt.Errorf("%w: bad integer %q", ErrSyntax, body)
+	}
+	// Reject non-canonical forms the spec forbids: leading zeros and "-0".
+	if body != "0" && (body[0] == '0' || (len(body) > 1 && body[0] == '-' && body[1] == '0')) {
+		return nil, nil, fmt.Errorf("%w: non-canonical integer %q", ErrSyntax, body)
+	}
+	n, err := strconv.ParseInt(body, 10, 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: bad integer %q", ErrSyntax, body)
+	}
+	return n, data[end+1:], nil
+}
+
+func decodeString(data []byte) (any, []byte, error) {
+	colon := bytes.IndexByte(data, ':')
+	if colon < 0 {
+		return nil, nil, ErrTruncated
+	}
+	lenStr := string(data[:colon])
+	if lenStr == "" || (lenStr[0] == '0' && lenStr != "0") {
+		return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenStr)
+	}
+	n, err := strconv.ParseInt(lenStr, 10, 32)
+	if err != nil || n < 0 {
+		return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenStr)
+	}
+	body := data[colon+1:]
+	if int64(len(body)) < n {
+		return nil, nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, body[:n])
+	return out, body[n:], nil
+}
+
+// Dict is a convenience accessor around a decoded dictionary.
+type Dict map[string]any
+
+// AsDict converts a decoded value to a Dict.
+func AsDict(v any) (Dict, bool) {
+	m, ok := v.(map[string]any)
+	return Dict(m), ok
+}
+
+// Bytes fetches a byte-string entry.
+func (d Dict) Bytes(key string) ([]byte, bool) {
+	b, ok := d[key].([]byte)
+	return b, ok
+}
+
+// Str fetches a byte-string entry as a string.
+func (d Dict) Str(key string) (string, bool) {
+	b, ok := d[key].([]byte)
+	return string(b), ok
+}
+
+// Int fetches an integer entry.
+func (d Dict) Int(key string) (int64, bool) {
+	n, ok := d[key].(int64)
+	return n, ok
+}
+
+// Dict fetches a nested dictionary entry.
+func (d Dict) Dict(key string) (Dict, bool) {
+	m, ok := d[key].(map[string]any)
+	return Dict(m), ok
+}
+
+// List fetches a list entry.
+func (d Dict) List(key string) ([]any, bool) {
+	l, ok := d[key].([]any)
+	return l, ok
+}

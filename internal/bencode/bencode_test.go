@@ -1,0 +1,284 @@
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustEncode(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := Encode(v)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", v, err)
+	}
+	return b
+}
+
+func TestEncodeBasics(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "i42e"},
+		{int64(-7), "i-7e"},
+		{0, "i0e"},
+		{"spam", "4:spam"},
+		{[]byte{}, "0:"},
+		{[]any{int64(1), "a"}, "li1e1:ae"},
+		{map[string]any{"b": int64(2), "a": int64(1)}, "d1:ai1e1:bi2ee"},
+		{map[string]any{}, "de"},
+		{[]any{}, "le"},
+	}
+	for _, c := range cases {
+		if got := string(mustEncode(t, c.in)); got != c.want {
+			t.Errorf("Encode(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeUnsupportedType(t *testing.T) {
+	if _, err := Encode(3.14); err == nil {
+		t.Error("Encode(float) should fail")
+	}
+	if _, err := Encode([]any{3.14}); err == nil {
+		t.Error("nested unsupported type should fail")
+	}
+}
+
+func TestDecodeBasics(t *testing.T) {
+	v, err := Decode([]byte("d1:ad2:id20:aaaaaaaaaaaaaaaaaaaae1:q9:find_node1:t2:xy1:y1:qe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := AsDict(v)
+	if !ok {
+		t.Fatal("not a dict")
+	}
+	if q, _ := d.Str("q"); q != "find_node" {
+		t.Errorf("q = %q", q)
+	}
+	a, ok := d.Dict("a")
+	if !ok {
+		t.Fatal("no args dict")
+	}
+	if id, _ := a.Bytes("id"); len(id) != 20 {
+		t.Errorf("id len = %d", len(id))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr error
+	}{
+		{"", ErrTruncated},
+		{"i42", ErrTruncated},
+		{"4:spa", ErrTruncated},
+		{"l", ErrTruncated},
+		{"d", ErrTruncated},
+		{"d1:a", ErrTruncated},
+		{"x", ErrSyntax},
+		{"i42ei1e", ErrTrailing},
+		{"ie", ErrSyntax},
+		{"i042e", ErrSyntax},
+		{"i-0e", ErrSyntax},
+		{"i--1e", ErrSyntax},
+		{"i+0e", ErrSyntax}, // found by FuzzDecode: ParseInt tolerates '+'
+		{"i+1e", ErrSyntax},
+		{"i-e", ErrSyntax},
+		{"i1-e", ErrSyntax},
+		{"01:a", ErrSyntax},
+		{"d1:bi1e1:ai2ee", ErrSyntax}, // unsorted keys
+		{"d1:ai1e1:ai2ee", ErrSyntax}, // duplicate keys
+	}
+	for _, c := range cases {
+		_, err := Decode([]byte(c.in))
+		if err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", c.in)
+			continue
+		}
+		if !errors.Is(err, c.wantErr) {
+			t.Errorf("Decode(%q) error = %v, want %v", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestDecodeDepthLimit(t *testing.T) {
+	deep := bytes.Repeat([]byte("l"), 100)
+	deep = append(deep, bytes.Repeat([]byte("e"), 100)...)
+	if _, err := Decode(deep); !errors.Is(err, ErrSyntax) {
+		t.Errorf("deep nesting error = %v, want syntax error", err)
+	}
+}
+
+func TestDecodePrefix(t *testing.T) {
+	v, rest, err := DecodePrefix([]byte("i42eXYZ"))
+	if err != nil || v.(int64) != 42 || string(rest) != "XYZ" {
+		t.Errorf("DecodePrefix = %v, %q, %v", v, rest, err)
+	}
+}
+
+func TestDecodeDoesNotAliasInput(t *testing.T) {
+	data := []byte("4:spam")
+	v, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] = 'X'
+	if string(v.([]byte)) != "spam" {
+		t.Error("decoded string aliases input buffer")
+	}
+}
+
+// randomValue builds a random value from the encodable subset.
+func randomValue(rng *rand.Rand, depth int) any {
+	if depth <= 0 {
+		if rng.Intn(2) == 0 {
+			return rng.Int63n(1000) - 500
+		}
+		b := make([]byte, rng.Intn(12))
+		rng.Read(b)
+		return b
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return rng.Int63n(100000) - 50000
+	case 1:
+		b := make([]byte, rng.Intn(20))
+		rng.Read(b)
+		return b
+	case 2:
+		n := rng.Intn(4)
+		l := make([]any, n)
+		for i := range l {
+			l[i] = randomValue(rng, depth-1)
+		}
+		return l
+	default:
+		n := rng.Intn(4)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			key := make([]byte, 1+rng.Intn(6))
+			rng.Read(key)
+			m[string(key)] = randomValue(rng, depth-1)
+		}
+		return m
+	}
+}
+
+// normalize converts int to int64 and strings to []byte so decoded values
+// compare equal to their sources.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case string:
+		return []byte(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalize(e)
+		}
+		return out
+	case map[string]any:
+		out := map[string]any{}
+		for k, e := range x {
+			out[k] = normalize(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		v := randomValue(rng, 3)
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if !reflect.DeepEqual(normalize(v), dec) {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", v, dec)
+		}
+		// Re-encoding the decoded value must be byte-identical (canonical
+		// encoding).
+		enc2, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-Encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding violated: %q vs %q", enc, enc2)
+		}
+	}
+}
+
+// Decoding random garbage must never panic and must reject or round-trip.
+func TestDecodeRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	alphabet := []byte("ilde0123456789:-abc")
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(30))
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		v, err := Decode(b)
+		if err != nil {
+			continue
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("decoded garbage %q but cannot re-encode: %v", b, err)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("accepted non-canonical input %q -> %q", b, enc)
+		}
+	}
+}
+
+func TestDictAccessors(t *testing.T) {
+	// Build via encode to avoid hand-writing offsets.
+	enc := mustEncode(t, map[string]any{
+		"i": int64(7),
+		"l": []any{int64(1)},
+		"s": "abc",
+		"d": map[string]any{"x": int64(1)},
+	})
+	vv, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := AsDict(vv)
+	if n, ok := d.Int("i"); !ok || n != 7 {
+		t.Error("Int accessor")
+	}
+	if s, ok := d.Str("s"); !ok || s != "abc" {
+		t.Error("Str accessor")
+	}
+	if b, ok := d.Bytes("s"); !ok || string(b) != "abc" {
+		t.Error("Bytes accessor")
+	}
+	if l, ok := d.List("l"); !ok || len(l) != 1 {
+		t.Error("List accessor")
+	}
+	if sub, ok := d.Dict("d"); !ok {
+		t.Error("Dict accessor")
+	} else if n, ok := sub.Int("x"); !ok || n != 1 {
+		t.Error("nested Int accessor")
+	}
+	// Misses and type mismatches.
+	if _, ok := d.Int("s"); ok {
+		t.Error("Int on string should miss")
+	}
+	if _, ok := d.Str("missing"); ok {
+		t.Error("missing key should miss")
+	}
+}

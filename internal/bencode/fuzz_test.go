@@ -1,0 +1,49 @@
+package bencode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode byte-identically (the
+// canonical-form invariant the DHT relies on).
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("i42e"),
+		[]byte("4:spam"),
+		[]byte("li1e4:spame"),
+		[]byte("d1:ad2:id20:aaaaaaaaaaaaaaaaaaaae1:q9:find_node1:t2:xy1:y1:qe"),
+		[]byte("de"),
+		[]byte("le"),
+		[]byte("i-1e"),
+		[]byte("0:"),
+		[]byte("d1:a"),
+		[]byte("i042e"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("decoded %q but cannot re-encode: %v", data, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("non-canonical accept: %q -> %q", data, enc)
+		}
+		// Round trip again for idempotence.
+		v2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		enc2, _ := Encode(v2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encode not idempotent")
+		}
+	})
+}

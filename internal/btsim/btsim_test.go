@@ -1,0 +1,300 @@
+package btsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/crawler"
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/routing"
+	"cgn/internal/simnet"
+)
+
+func addr(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// world wires a miniature Internet with ground truth:
+//
+//	AS 65001: CGN ISP (full cone, hairpin preserve-source), bare peers
+//	AS 65002: CGN ISP (port restricted, hairpin preserve-source)
+//	AS 65003: non-CGN ISP, homes with two peers per LAN behind CPEs
+type world struct {
+	net    *simnet.Network
+	swarm  *Swarm
+	global *routing.Global
+	crawlH *simnet.Host
+	cr     *crawler.Crawler
+}
+
+func pool(prefix string, n int) []netaddr.Addr {
+	base := netaddr.MustParseAddr(prefix)
+	out := make([]netaddr.Addr, n)
+	for i := range out {
+		out[i] = base + netaddr.Addr(i)
+	}
+	return out
+}
+
+func cgnConfig(typ nat.MappingType, ips []netaddr.Addr, seed int64) nat.Config {
+	return nat.Config{
+		Type:             typ,
+		PortAlloc:        nat.Random,
+		Pooling:          nat.Paired,
+		ExternalIPs:      ips,
+		UDPTimeout:       2 * time.Minute,
+		RefreshOnInbound: true,
+		Hairpin:          nat.HairpinPreserveSource,
+		Seed:             seed,
+	}
+}
+
+func buildWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{net: simnet.New()}
+	rng := rand.New(rand.NewSource(21))
+	pub := w.net.Public()
+	w.global = w.net.Global()
+
+	w.swarm = NewSwarm(w.net, addr("203.0.113.1"), addr("203.0.113.2"), 42)
+	w.crawlH = w.net.NewHost("crawler", pub, addr("203.0.113.3"), 1, rng)
+
+	// AS 65001: full-cone CGN, 14 bare subscribers on 100.64/10.
+	w.global.Announce(netaddr.MustParsePrefix("198.51.100.0/28"), 65001)
+	isp1 := w.net.NewRealm("as65001", 1)
+	w.net.AttachNAT("cgn1", isp1, pub, cgnConfig(nat.FullCone, pool("198.51.100.1", 6), 1), 2, 1)
+	for i := 0; i < 14; i++ {
+		h := w.net.NewHost("p1", isp1, addr("100.64.0.0")+netaddr.Addr(i+10), 0, rng)
+		w.swarm.AddPeer(h, 65001, "", true)
+	}
+
+	// AS 65002: port-restricted CGN, 14 bare subscribers on 10/8.
+	w.global.Announce(netaddr.MustParsePrefix("198.51.101.0/28"), 65002)
+	isp2 := w.net.NewRealm("as65002", 1)
+	w.net.AttachNAT("cgn2", isp2, pub, cgnConfig(nat.PortRestricted, pool("198.51.101.1", 6), 2), 2, 1)
+	for i := 0; i < 14; i++ {
+		h := w.net.NewHost("p2", isp2, addr("10.0.0.0")+netaddr.Addr(i+10), 0, rng)
+		w.swarm.AddPeer(h, 65002, "", true)
+	}
+
+	// AS 65003: no CGN; 5 homes, each with a CPE holding a public IP and
+	// two peers on the LAN.
+	w.global.Announce(netaddr.MustParsePrefix("198.51.102.0/24"), 65003)
+	for home := 0; home < 5; home++ {
+		lan := w.net.NewRealm("lan65003", 0)
+		wan := addr("198.51.102.10") + netaddr.Addr(home)
+		w.net.AttachNAT("cpe", lan, pub, nat.Config{
+			Type:             nat.PortRestricted,
+			PortAlloc:        nat.Preservation,
+			Pooling:          nat.Paired,
+			ExternalIPs:      []netaddr.Addr{wan},
+			UDPTimeout:       2 * time.Minute,
+			RefreshOnInbound: true,
+			Hairpin:          nat.HairpinTranslate,
+			Seed:             int64(100 + home),
+		}, 0, 2)
+		lanID := "home-" + wan.String()
+		for d := 0; d < 2; d++ {
+			h := w.net.NewHost("p3", lan, addr("192.168.1.2")+netaddr.Addr(d), 0, rng)
+			w.swarm.AddPeer(h, 65003, lanID, true)
+		}
+	}
+	return w
+}
+
+func (w *world) prepare() {
+	w.swarm.Bootstrap()
+	w.swarm.SeedLANs()
+	cr := crawler.New(w.crawlH, w.global, crawler.DefaultConfig())
+	w.swarm.Mingle(4, 3, ChatterConfig{
+		LookupProb:      0.8,
+		CrawlerEP:       cr.Endpoint(),
+		CrawlerPingProb: 0.9,
+	})
+	w.cr = cr
+}
+
+func TestSwarmProducesInternalContacts(t *testing.T) {
+	w := buildWorld(t)
+	w.prepare()
+	if got := w.swarm.InternalContacts(); got < 10 {
+		t.Errorf("internal contacts = %d, want a healthy population", got)
+	}
+}
+
+func TestCrawlHarvestsLeaks(t *testing.T) {
+	w := buildWorld(t)
+	w.prepare()
+	cr := w.cr
+	cr.Seed(w.swarm.BootstrapEP)
+	ds := cr.Run()
+
+	if len(ds.Queried) < 10 {
+		t.Fatalf("queried %d peers, want most of the population", len(ds.Queried))
+	}
+	if len(ds.Learned) <= len(ds.Queried) {
+		t.Errorf("learned %d <= queried %d", len(ds.Learned), len(ds.Queried))
+	}
+	if len(ds.Leaks) == 0 {
+		t.Fatal("no internal peers leaked")
+	}
+
+	// Group leaks per AS: both CGN ASes must show clustered leakage
+	// (multiple leaker IPs sharing internal peers), the home-NAT AS only
+	// isolated per-household leakage.
+	type asStat struct {
+		leakerIPs    map[netaddr.Addr]bool
+		internals    map[crawler.PeerKey]map[netaddr.Addr]bool
+		internalAddr map[netaddr.Addr]bool
+	}
+	stats := map[uint32]*asStat{}
+	for _, l := range ds.Leaks {
+		st := stats[l.LeakerASN]
+		if st == nil {
+			st = &asStat{
+				leakerIPs:    map[netaddr.Addr]bool{},
+				internals:    map[crawler.PeerKey]map[netaddr.Addr]bool{},
+				internalAddr: map[netaddr.Addr]bool{},
+			}
+			stats[l.LeakerASN] = st
+		}
+		st.leakerIPs[l.Leaker.EP.Addr] = true
+		if st.internals[l.Internal] == nil {
+			st.internals[l.Internal] = map[netaddr.Addr]bool{}
+		}
+		st.internals[l.Internal][l.Leaker.EP.Addr] = true
+		st.internalAddr[l.Internal.EP.Addr] = true
+	}
+
+	for _, asn := range []uint32{65001, 65002} {
+		st := stats[asn]
+		if st == nil {
+			t.Fatalf("AS%d: no leaks harvested", asn)
+		}
+		if len(st.leakerIPs) < 2 {
+			t.Errorf("AS%d: leaks from %d external IPs, want pooling evidence", asn, len(st.leakerIPs))
+		}
+		shared := 0
+		for _, leakers := range st.internals {
+			if len(leakers) >= 2 {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Errorf("AS%d: no internal peer leaked by multiple external IPs", asn)
+		}
+	}
+	// Range sanity: AS 65001 leaks 100X space, AS 65002 leaks 10X space.
+	for a := range stats[65001].internalAddr {
+		if netaddr.ClassifyRange(a) != netaddr.Range100 {
+			t.Errorf("AS65001 leaked %v outside 100X", a)
+		}
+	}
+	for a := range stats[65002].internalAddr {
+		if netaddr.ClassifyRange(a) != netaddr.Range10 {
+			t.Errorf("AS65002 leaked %v outside 10X", a)
+		}
+	}
+
+	// Home-NAT AS: every internal peer is leaked by exactly one external
+	// IP (its own household), and the addresses are 192X.
+	if st := stats[65003]; st != nil {
+		for key, leakers := range st.internals {
+			if len(leakers) != 1 {
+				t.Errorf("AS65003: internal peer %v leaked by %d IPs, want 1", key.EP, len(leakers))
+			}
+			if netaddr.ClassifyRange(key.EP.Addr) != netaddr.Range192 {
+				t.Errorf("AS65003 leaked %v outside 192X", key.EP)
+			}
+		}
+	}
+}
+
+func TestPingValidationCounts(t *testing.T) {
+	w := buildWorld(t)
+	w.prepare()
+	cr := w.cr
+	cr.Seed(w.swarm.BootstrapEP)
+	ds := cr.Run()
+	if len(ds.PingResponded) == 0 {
+		t.Fatal("no peers responded to bt_ping")
+	}
+	if len(ds.PingResponded) > len(ds.Learned) {
+		t.Error("responded set cannot exceed learned set")
+	}
+}
+
+func TestTrackerRecordsExternalEndpoints(t *testing.T) {
+	w := buildWorld(t)
+	w.swarm.Bootstrap()
+	// Every peer should have announced; CGN subscribers announce their
+	// pool addresses.
+	for _, p := range w.swarm.Peers {
+		ep, ok := w.swarm.ExternalEndpoint(p)
+		if !ok {
+			t.Fatalf("peer %v did not announce", p.LocalEndpoint())
+		}
+		if netaddr.IsReserved(ep.Addr) {
+			t.Errorf("tracker saw reserved address %v", ep)
+		}
+	}
+}
+
+func TestTorrentSwarmDiscovery(t *testing.T) {
+	w := buildWorld(t)
+	w.swarm.Bootstrap()
+	w.swarm.AssignTorrents(1, 0, 0)
+	for _, p := range w.swarm.Peers {
+		if len(p.Torrents) != 1 {
+			t.Fatalf("peer has %d torrents, want 1", len(p.Torrents))
+		}
+	}
+	before := 0
+	for _, p := range w.swarm.Peers {
+		before += p.Node.NumContacts()
+	}
+	// Two announce rounds: the first registers members, the second
+	// discovers them.
+	w.swarm.AnnounceRound()
+	w.swarm.AnnounceRound()
+	after := 0
+	for _, p := range w.swarm.Peers {
+		after += p.Node.NumContacts()
+	}
+	if after <= before {
+		t.Errorf("announce rounds grew no contacts: %d -> %d", before, after)
+	}
+	// Same-AS peers share local torrents, so some bootstrap-stored swarm
+	// membership must exist somewhere in the population.
+	members := 0
+	for _, p := range w.swarm.Peers {
+		for _, ih := range p.Torrents {
+			members += len(p.Node.SwarmPeers(ih))
+		}
+	}
+	if members == 0 {
+		t.Error("no swarm membership stored anywhere")
+	}
+}
+
+func TestTorrentIDDeterministic(t *testing.T) {
+	if torrentID(65001, 1) != torrentID(65001, 1) {
+		t.Error("torrent IDs must be deterministic")
+	}
+	if torrentID(65001, 1) == torrentID(65001, 2) || torrentID(65001, 1) == torrentID(65002, 1) {
+		t.Error("distinct (asn, idx) must give distinct IDs")
+	}
+}
+
+func TestNonValidatingPeer(t *testing.T) {
+	// A non-validating peer inserts unvalidated contacts; used by the A02
+	// ablation. Here just ensure the knob plumbs through.
+	w := buildWorld(t)
+	rng := rand.New(rand.NewSource(77))
+	h := w.net.NewHost("sloppy", w.net.Public(), addr("203.0.113.77"), 0, rng)
+	p := w.swarm.AddPeer(h, 65099, "", false)
+	w.swarm.Bootstrap()
+	if p.Node.NumContacts() == 0 {
+		t.Error("sloppy peer should at least know the bootstrap node")
+	}
+}

@@ -1,0 +1,237 @@
+// Package dataset persists measurement campaigns as JSON, so crawls and
+// session batteries can be captured once (cmd/dhtcrawl -o, cmd/netalyzr
+// -o) and re-analyzed offline — the separation between collection and
+// analysis the paper's own workflow had.
+package dataset
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"cgn/internal/crawler"
+	"cgn/internal/krpc"
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/routing"
+)
+
+// peerJSON serializes a crawler.PeerKey.
+type peerJSON struct {
+	EP netaddr.Endpoint `json:"ep"`
+	ID string           `json:"id"`
+	// ASN annotates queried peers; zero elsewhere.
+	ASN uint32 `json:"asn,omitempty"`
+}
+
+func toPeerJSON(k crawler.PeerKey, asn uint32) peerJSON {
+	return peerJSON{EP: k.EP, ID: hex.EncodeToString(k.ID[:]), ASN: asn}
+}
+
+func (p peerJSON) key() (crawler.PeerKey, error) {
+	raw, err := hex.DecodeString(p.ID)
+	if err != nil {
+		return crawler.PeerKey{}, fmt.Errorf("dataset: bad node id %q: %v", p.ID, err)
+	}
+	id, ok := krpc.NodeIDFromBytes(raw)
+	if !ok {
+		return crawler.PeerKey{}, fmt.Errorf("dataset: bad node id length in %q", p.ID)
+	}
+	return crawler.PeerKey{EP: p.EP, ID: id}, nil
+}
+
+// leakJSON serializes one crawler.LeakRecord.
+type leakJSON struct {
+	Leaker   peerJSON `json:"leaker"`
+	ASN      uint32   `json:"asn"`
+	Internal peerJSON `json:"internal"`
+}
+
+// crawlJSON is the on-disk form of a crawl dataset.
+type crawlJSON struct {
+	Queried       []peerJSON `json:"queried"`
+	Learned       []peerJSON `json:"learned"`
+	PingResponded []peerJSON `json:"ping_responded"`
+	Leaks         []leakJSON `json:"leaks"`
+}
+
+func sortedPeers(set map[crawler.PeerKey]bool, asn map[crawler.PeerKey]uint32) []peerJSON {
+	out := make([]peerJSON, 0, len(set))
+	for k := range set {
+		var a uint32
+		if asn != nil {
+			a = asn[k]
+		}
+		out = append(out, toPeerJSON(k, a))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EP != out[j].EP {
+			return out[i].EP.String() < out[j].EP.String()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// MarshalCrawl renders a crawl dataset as deterministic JSON.
+func MarshalCrawl(ds *crawler.Dataset) ([]byte, error) {
+	cj := crawlJSON{
+		Queried:       sortedPeers(ds.Queried, ds.QueriedASN),
+		Learned:       sortedPeers(ds.Learned, nil),
+		PingResponded: sortedPeers(ds.PingResponded, nil),
+	}
+	for _, l := range ds.Leaks {
+		cj.Leaks = append(cj.Leaks, leakJSON{
+			Leaker:   toPeerJSON(l.Leaker, 0),
+			ASN:      l.LeakerASN,
+			Internal: toPeerJSON(l.Internal, 0),
+		})
+	}
+	return json.MarshalIndent(cj, "", " ")
+}
+
+// UnmarshalCrawl parses a crawl dataset from JSON.
+func UnmarshalCrawl(data []byte) (*crawler.Dataset, error) {
+	var cj crawlJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return nil, fmt.Errorf("dataset: %v", err)
+	}
+	ds := crawler.NewDataset()
+	for _, p := range cj.Queried {
+		k, err := p.key()
+		if err != nil {
+			return nil, err
+		}
+		ds.Queried[k] = true
+		ds.QueriedASN[k] = p.ASN
+	}
+	for _, p := range cj.Learned {
+		k, err := p.key()
+		if err != nil {
+			return nil, err
+		}
+		ds.Learned[k] = true
+	}
+	for _, p := range cj.PingResponded {
+		k, err := p.key()
+		if err != nil {
+			return nil, err
+		}
+		ds.PingResponded[k] = true
+	}
+	for _, l := range cj.Leaks {
+		leaker, err := l.Leaker.key()
+		if err != nil {
+			return nil, err
+		}
+		internal, err := l.Internal.key()
+		if err != nil {
+			return nil, err
+		}
+		ds.Leaks = append(ds.Leaks, crawler.LeakRecord{
+			Leaker: leaker, LeakerASN: l.ASN, Internal: internal,
+		})
+	}
+	return ds, nil
+}
+
+// SaveCrawl writes a crawl dataset to path.
+func SaveCrawl(path string, ds *crawler.Dataset) error {
+	b, err := MarshalCrawl(ds)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadCrawl reads a crawl dataset from path.
+func LoadCrawl(path string) (*crawler.Dataset, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalCrawl(b)
+}
+
+// MarshalSessions renders Netalyzr sessions as JSON. Session and its
+// nested types are fully exported, so plain encoding applies; the netaddr
+// text marshalers keep addresses human-readable.
+func MarshalSessions(sessions []netalyzr.Session) ([]byte, error) {
+	return json.MarshalIndent(sessions, "", " ")
+}
+
+// UnmarshalSessions parses a session batch from JSON.
+func UnmarshalSessions(data []byte) ([]netalyzr.Session, error) {
+	var out []netalyzr.Session
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("dataset: %v", err)
+	}
+	return out, nil
+}
+
+// SaveSessions writes a session batch to path.
+func SaveSessions(path string, sessions []netalyzr.Session) error {
+	b, err := MarshalSessions(sessions)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadSessions reads a session batch from path.
+func LoadSessions(path string) ([]netalyzr.Session, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalSessions(b)
+}
+
+// routeJSON is one announced prefix.
+type routeJSON struct {
+	Prefix netaddr.Prefix `json:"prefix"`
+	ASN    uint32         `json:"asn"`
+}
+
+// MarshalRoutes snapshots a global routing table (deterministic order).
+func MarshalRoutes(g *routing.Global) ([]byte, error) {
+	var routes []routeJSON
+	g.Walk(func(p netaddr.Prefix, asn uint32) bool {
+		routes = append(routes, routeJSON{Prefix: p, ASN: asn})
+		return true
+	})
+	return json.MarshalIndent(routes, "", " ")
+}
+
+// UnmarshalRoutes rebuilds a global routing table from a snapshot.
+func UnmarshalRoutes(data []byte) (*routing.Global, error) {
+	var routes []routeJSON
+	if err := json.Unmarshal(data, &routes); err != nil {
+		return nil, fmt.Errorf("dataset: %v", err)
+	}
+	g := routing.NewGlobal()
+	for _, r := range routes {
+		g.Announce(r.Prefix, r.ASN)
+	}
+	return g, nil
+}
+
+// SaveRoutes writes a routing snapshot to path.
+func SaveRoutes(path string, g *routing.Global) error {
+	b, err := MarshalRoutes(g)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadRoutes reads a routing snapshot from path.
+func LoadRoutes(path string) (*routing.Global, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalRoutes(b)
+}

@@ -1,0 +1,197 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cgn/internal/crawler"
+	"cgn/internal/detect"
+	"cgn/internal/internet"
+	"cgn/internal/krpc"
+	"cgn/internal/netaddr"
+	"cgn/internal/routing"
+)
+
+func sampleCrawl() *crawler.Dataset {
+	ds := crawler.NewDataset()
+	mk := func(ep string, b byte) crawler.PeerKey {
+		var id krpc.NodeID
+		for i := range id {
+			id[i] = b
+		}
+		return crawler.PeerKey{EP: netaddr.MustParseEndpoint(ep), ID: id}
+	}
+	q1 := mk("198.51.100.1:6881", 1)
+	q2 := mk("198.51.100.2:51413", 2)
+	internal := mk("10.0.0.9:6881", 3)
+	ds.Queried[q1] = true
+	ds.QueriedASN[q1] = 65001
+	ds.Queried[q2] = true
+	ds.QueriedASN[q2] = 65002
+	ds.Learned[q1] = true
+	ds.Learned[q2] = true
+	ds.Learned[internal] = true
+	ds.PingResponded[q1] = true
+	ds.Leaks = append(ds.Leaks, crawler.LeakRecord{Leaker: q1, LeakerASN: 65001, Internal: internal})
+	return ds
+}
+
+func TestCrawlRoundTrip(t *testing.T) {
+	in := sampleCrawl()
+	b, err := MarshalCrawl(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalCrawl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Queried, out.Queried) ||
+		!reflect.DeepEqual(in.QueriedASN, out.QueriedASN) ||
+		!reflect.DeepEqual(in.Learned, out.Learned) ||
+		!reflect.DeepEqual(in.PingResponded, out.PingResponded) ||
+		!reflect.DeepEqual(in.Leaks, out.Leaks) {
+		t.Error("crawl dataset round trip mismatch")
+	}
+}
+
+func TestCrawlMarshalDeterministic(t *testing.T) {
+	b1, _ := MarshalCrawl(sampleCrawl())
+	b2, _ := MarshalCrawl(sampleCrawl())
+	if !bytes.Equal(b1, b2) {
+		t.Error("marshaling must be deterministic")
+	}
+}
+
+func TestCrawlSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.json")
+	in := sampleCrawl()
+	if err := SaveCrawl(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadCrawl(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queried) != len(in.Queried) || len(out.Leaks) != len(in.Leaks) {
+		t.Error("save/load lost records")
+	}
+}
+
+func TestCrawlRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalCrawl([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalCrawl([]byte(`{"queried":[{"ep":"1.2.3.4:5","id":"zz"}]}`)); err == nil {
+		t.Error("bad hex id accepted")
+	}
+	if _, err := UnmarshalCrawl([]byte(`{"queried":[{"ep":"1.2.3.4:5","id":"aabb"}]}`)); err == nil {
+		t.Error("short id accepted")
+	}
+}
+
+// The real proof: a crawl survives the disk and the detection pipeline
+// produces identical verdicts on the reloaded copy.
+func TestAnalysisIdenticalAfterRoundTrip(t *testing.T) {
+	w := internet.Build(internet.Small())
+	ds := w.RunCrawl(internet.DefaultCrawlOptions())
+
+	b, err := MarshalCrawl(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := UnmarshalCrawl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := detect.AnalyzeBitTorrent(ds, w.BTDetectConfig())
+	r2 := detect.AnalyzeBitTorrent(ds2, w.BTDetectConfig())
+	if !reflect.DeepEqual(r1.PositiveASes(), r2.PositiveASes()) {
+		t.Error("verdicts differ after persistence round trip")
+	}
+	if !reflect.DeepEqual(r1.CoveredASes(), r2.CoveredASes()) {
+		t.Error("coverage differs after persistence round trip")
+	}
+}
+
+func TestSessionsRoundTrip(t *testing.T) {
+	w := internet.Build(internet.Small())
+	sessions := w.RunNetalyzr()
+	if len(sessions) == 0 {
+		t.Fatal("no sessions")
+	}
+	b, err := MarshalSessions(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalSessions(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sessions, out) {
+		t.Error("sessions round trip mismatch")
+	}
+	// Reloaded sessions must drive the detection identically.
+	r1 := detect.AnalyzeCellular(sessions, w.Net.Global(), detect.NLConfig{})
+	r2 := detect.AnalyzeCellular(out, w.Net.Global(), detect.NLConfig{})
+	if !reflect.DeepEqual(r1.PositiveASes(), r2.PositiveASes()) {
+		t.Error("cellular verdicts differ after persistence")
+	}
+}
+
+func TestRoutesRoundTrip(t *testing.T) {
+	g := routing.NewGlobal()
+	g.Announce(netaddr.MustParsePrefix("198.51.100.0/24"), 65001)
+	g.Announce(netaddr.MustParsePrefix("20.0.0.0/16"), 65002)
+	b, err := MarshalRoutes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalRoutes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumPrefixes() != 2 {
+		t.Errorf("prefixes = %d", out.NumPrefixes())
+	}
+	if asn, ok := out.OriginAS(netaddr.MustParseAddr("198.51.100.7")); !ok || asn != 65001 {
+		t.Errorf("OriginAS after round trip = %d, %v", asn, ok)
+	}
+	if !out.Routed(netaddr.MustParseAddr("20.0.5.5")) {
+		t.Error("routed flag lost")
+	}
+	if out.Routed(netaddr.MustParseAddr("25.0.0.1")) {
+		t.Error("unannounced space became routed")
+	}
+}
+
+func TestRoutesSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routes.json")
+	g := routing.NewGlobal()
+	g.Announce(netaddr.MustParsePrefix("1.0.0.0/8"), 900)
+	if err := SaveRoutes(path, g); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadRoutes(path)
+	if err != nil || out.NumPrefixes() != 1 {
+		t.Fatalf("load = %v, %v", out, err)
+	}
+}
+
+func TestSessionsSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.json")
+	w := internet.Build(internet.Small())
+	sessions := w.RunNetalyzr()[:3]
+	if err := SaveSessions(path, sessions); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadSessions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("loaded %d sessions", len(out))
+	}
+}

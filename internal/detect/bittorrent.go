@@ -1,0 +1,253 @@
+// Package detect implements the paper's CGN detection pipelines — the
+// primary contribution of the work:
+//
+//   - §4.1: per-AS clustering of BitTorrent DHT leak data, separating
+//     carrier-grade NAT pooling from isolated home-NAT leakage;
+//   - §4.2: Netalyzr-based detection, with the direct cellular
+//     classification and the filtered /24-diversity heuristic for
+//     non-cellular NAT444;
+//   - §5: method union, population coverage (Table 5) and per-region
+//     rollups (Figure 6).
+//
+// All thresholds are exported constants carrying the paper section that
+// motivates them; the ablation benches sweep them.
+package detect
+
+import (
+	"sort"
+
+	"cgn/internal/crawler"
+	"cgn/internal/graph"
+	"cgn/internal/netaddr"
+)
+
+// Detection thresholds from §4.1.
+const (
+	// MinClusterLeakerIPs and MinClusterInternalIPs define the detection
+	// boundary of Figure 4: the largest connected cluster must span at
+	// least five public and five internal addresses, which rules out
+	// home NATs re-addressed by dynamic IP churn.
+	MinClusterLeakerIPs   = 5
+	MinClusterInternalIPs = 5
+	// DefaultMinPeersQueried is the per-AS crawl depth required before an
+	// AS counts as covered by the BitTorrent method (the paper reports
+	// detection among ASes with >= 200 queried peers).
+	DefaultMinPeersQueried = 200
+)
+
+// BTConfig parameterizes the BitTorrent pipeline; zero values take the
+// paper's defaults.
+type BTConfig struct {
+	MinLeakerIPs    int
+	MinInternalIPs  int
+	MinPeersQueried int
+	// DisableVPNFilter turns off the exclusive-leak filter, for the A02
+	// ablation: without it, internal contacts spread across ASes by
+	// tunnels or non-validating peers masquerade as CGN evidence.
+	DisableVPNFilter bool
+}
+
+func (c BTConfig) withDefaults() BTConfig {
+	if c.MinLeakerIPs == 0 {
+		c.MinLeakerIPs = MinClusterLeakerIPs
+	}
+	if c.MinInternalIPs == 0 {
+		c.MinInternalIPs = MinClusterInternalIPs
+	}
+	if c.MinPeersQueried == 0 {
+		c.MinPeersQueried = DefaultMinPeersQueried
+	}
+	return c
+}
+
+// ClusterStat describes the largest leak cluster of one (AS, range) pair
+// in unique-IP terms — one point of Figure 4.
+type ClusterStat struct {
+	Range       netaddr.Range
+	LeakerIPs   int
+	InternalIPs int
+}
+
+// Positive reports whether the cluster crosses the detection boundary.
+func (s ClusterStat) Positive(cfg BTConfig) bool {
+	cfg = cfg.withDefaults()
+	return s.LeakerIPs >= cfg.MinLeakerIPs && s.InternalIPs >= cfg.MinInternalIPs
+}
+
+// BTAS is the per-AS outcome of the BitTorrent pipeline.
+type BTAS struct {
+	ASN uint32
+	// QueriedPeers counts responding peers crawled in this AS.
+	QueriedPeers int
+	// QueriedIPs counts their unique addresses.
+	QueriedIPs int
+	// Clusters holds the largest-cluster statistics per reserved range.
+	Clusters map[netaddr.Range]ClusterStat
+	// CGN is the detection verdict; CGNRanges lists the ranges whose
+	// clusters crossed the boundary.
+	CGN       bool
+	CGNRanges []netaddr.Range
+}
+
+// Covered reports whether the AS was crawled deeply enough to count in
+// coverage statistics.
+func (a *BTAS) Covered(cfg BTConfig) bool {
+	return a.QueriedPeers >= cfg.withDefaults().MinPeersQueried
+}
+
+// BTResult is the full BitTorrent analysis.
+type BTResult struct {
+	Cfg   BTConfig
+	PerAS map[uint32]*BTAS
+	// ExcludedVPN counts internal peers dropped by the exclusive-leak
+	// filter (contacts leaked from more than one AS, i.e. VPN tunnels).
+	ExcludedVPN int
+}
+
+// CoveredASes returns ASes meeting the crawl-depth bar, sorted.
+func (r *BTResult) CoveredASes() []uint32 {
+	var out []uint32
+	for asn, as := range r.PerAS {
+		if as.Covered(r.Cfg) {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PositiveASes returns covered CGN-positive ASes, sorted.
+func (r *BTResult) PositiveASes() []uint32 {
+	var out []uint32
+	for asn, as := range r.PerAS {
+		if as.Covered(r.Cfg) && as.CGN {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AnalyzeBitTorrent runs the §4.1 pipeline over a crawl dataset.
+func AnalyzeBitTorrent(ds *crawler.Dataset, cfg BTConfig) *BTResult {
+	cfg = cfg.withDefaults()
+	res := &BTResult{Cfg: cfg, PerAS: make(map[uint32]*BTAS)}
+
+	// Exclusive-leak filter: an internal peer leaked by peers in more
+	// than one AS is VPN noise, not CGN evidence.
+	leakASes := make(map[crawler.PeerKey]map[uint32]bool)
+	for _, l := range ds.Leaks {
+		if leakASes[l.Internal] == nil {
+			leakASes[l.Internal] = make(map[uint32]bool)
+		}
+		leakASes[l.Internal][l.LeakerASN] = true
+	}
+	excluded := make(map[crawler.PeerKey]bool)
+	for key, ases := range leakASes {
+		if len(ases) > 1 {
+			res.ExcludedVPN++
+			if !cfg.DisableVPNFilter {
+				excluded[key] = true
+			}
+		}
+	}
+
+	// Per (AS, range) bipartite graphs. Vertices are full peer
+	// identities — (IP:port, nodeid), §4.1 — NOT bare addresses: distinct
+	// households reuse the same RFC 1918 device addresses, and keying on
+	// addresses would merge their components into spurious clusters.
+	// Cluster sizes are then measured in unique IPs within a component,
+	// exactly as Figure 4's axes are labeled.
+	type asRange struct {
+		asn uint32
+		rng netaddr.Range
+	}
+	graphs := make(map[asRange]*graph.Bipartite[crawler.PeerKey, crawler.PeerKey])
+	for _, l := range ds.Leaks {
+		if excluded[l.Internal] || l.LeakerASN == 0 {
+			continue
+		}
+		rng := netaddr.ClassifyRange(l.Internal.EP.Addr)
+		key := asRange{l.LeakerASN, rng}
+		g := graphs[key]
+		if g == nil {
+			g = graph.NewBipartite[crawler.PeerKey, crawler.PeerKey]()
+			graphs[key] = g
+		}
+		g.AddEdge(l.Leaker, l.Internal)
+	}
+
+	for key, g := range graphs {
+		as := res.perAS(key.asn)
+		best := ClusterStat{Range: key.rng}
+		for _, comp := range g.Components() {
+			cs := ClusterStat{
+				Range:       key.rng,
+				LeakerIPs:   uniqueIPs(comp.Left),
+				InternalIPs: uniqueIPs(comp.Right),
+			}
+			if cs.LeakerIPs > best.LeakerIPs ||
+				(cs.LeakerIPs == best.LeakerIPs && cs.InternalIPs > best.InternalIPs) {
+				best = cs
+			}
+		}
+		as.Clusters[key.rng] = best
+	}
+
+	// Crawl-depth accounting from the queried peer set.
+	queriedIPs := make(map[uint32]map[netaddr.Addr]bool)
+	for key := range ds.Queried {
+		asn := asnOfQueried(ds, key)
+		if asn == 0 {
+			continue
+		}
+		as := res.perAS(asn)
+		as.QueriedPeers++
+		if queriedIPs[asn] == nil {
+			queriedIPs[asn] = make(map[netaddr.Addr]bool)
+		}
+		queriedIPs[asn][key.EP.Addr] = true
+	}
+	for asn, ips := range queriedIPs {
+		res.perAS(asn).QueriedIPs = len(ips)
+	}
+
+	// Verdicts.
+	for _, as := range res.PerAS {
+		for rng, cs := range as.Clusters {
+			if cs.Positive(cfg) {
+				as.CGN = true
+				as.CGNRanges = append(as.CGNRanges, rng)
+			}
+		}
+		sort.Slice(as.CGNRanges, func(i, j int) bool { return as.CGNRanges[i] < as.CGNRanges[j] })
+	}
+	return res
+}
+
+func (r *BTResult) perAS(asn uint32) *BTAS {
+	as := r.PerAS[asn]
+	if as == nil {
+		as = &BTAS{ASN: asn, Clusters: make(map[netaddr.Range]ClusterStat)}
+		r.PerAS[asn] = as
+	}
+	return as
+}
+
+// asnOfQueried resolves a queried peer's AS through the dataset's index,
+// stamped by the crawler at query time from the routing table.
+func asnOfQueried(ds *crawler.Dataset, key crawler.PeerKey) uint32 {
+	if asn, ok := ds.QueriedASN[key]; ok {
+		return asn
+	}
+	return 0
+}
+
+// uniqueIPs counts distinct addresses among peer identities.
+func uniqueIPs(peers []crawler.PeerKey) int {
+	ips := make(map[netaddr.Addr]bool, len(peers))
+	for _, p := range peers {
+		ips[p.EP.Addr] = true
+	}
+	return len(ips)
+}

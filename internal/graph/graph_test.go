@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	b := NewBipartite[string, int]()
+	if len(b.Components()) != 0 {
+		t.Error("empty graph should have no components")
+	}
+	lg := b.Largest()
+	if lg.Size() != 0 {
+		t.Error("largest of empty graph should be empty")
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	b := NewBipartite[string, int]()
+	b.AddEdge("a", 1)
+	comps := b.Components()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	if len(comps[0].Left) != 1 || len(comps[0].Right) != 1 {
+		t.Errorf("component = %+v", comps[0])
+	}
+}
+
+func TestIsolatedVsClustered(t *testing.T) {
+	// The Figure 3 contrast: isolated home leaks (each leaker leaks its
+	// own internal peer) vs a CGN cluster (leakers share internal peers).
+	iso := NewBipartite[string, string]()
+	iso.AddEdge("pub1", "int1")
+	iso.AddEdge("pub2", "int2")
+	iso.AddEdge("pub3", "int3")
+	if got := len(iso.Components()); got != 3 {
+		t.Errorf("isolated graph components = %d, want 3", got)
+	}
+	if lg := iso.Largest(); len(lg.Left) != 1 || len(lg.Right) != 1 {
+		t.Errorf("isolated largest = %d x %d, want 1 x 1", len(lg.Left), len(lg.Right))
+	}
+
+	cgn := NewBipartite[string, string]()
+	for _, pub := range []string{"pub1", "pub2", "pub3"} {
+		for _, internal := range []string{"int1", "int2", "int3", "int4"} {
+			cgn.AddEdge(pub, internal)
+		}
+	}
+	if got := len(cgn.Components()); got != 1 {
+		t.Errorf("clustered graph components = %d, want 1", got)
+	}
+	if lg := cgn.Largest(); len(lg.Left) != 3 || len(lg.Right) != 4 {
+		t.Errorf("clustered largest = %d x %d, want 3 x 4", len(lg.Left), len(lg.Right))
+	}
+}
+
+func TestChainMerging(t *testing.T) {
+	// pub1-int1, pub2-int1: shared internal peer joins the components.
+	b := NewBipartite[string, string]()
+	b.AddEdge("pub1", "int1")
+	b.AddEdge("pub2", "int1")
+	b.AddEdge("pub2", "int2")
+	b.AddEdge("pub3", "int3") // separate
+	comps := b.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0].Left) != 2 || len(comps[0].Right) != 2 {
+		t.Errorf("largest = %+v", comps[0])
+	}
+}
+
+func TestDuplicateEdges(t *testing.T) {
+	b := NewBipartite[string, string]()
+	b.AddEdge("pub1", "int1")
+	b.AddEdge("pub1", "int1")
+	if b.NumLeft() != 1 || b.NumRight() != 1 {
+		t.Errorf("vertices = %d x %d", b.NumLeft(), b.NumRight())
+	}
+	if b.NumEdges() != 2 {
+		t.Errorf("edges = %d", b.NumEdges())
+	}
+	if lg := b.Largest(); len(lg.Left) != 1 || len(lg.Right) != 1 {
+		t.Errorf("largest = %+v", lg)
+	}
+}
+
+func TestComponentsSorted(t *testing.T) {
+	b := NewBipartite[int, int]()
+	// Component A: 1 left, 1 right. Component B: 3 lefts, 2 rights.
+	b.AddEdge(1, 100)
+	for l := 10; l < 13; l++ {
+		b.AddEdge(l, 200)
+	}
+	b.AddEdge(12, 201)
+	comps := b.Components()
+	if len(comps[0].Left) != 3 {
+		t.Errorf("components not sorted by size: %+v", comps)
+	}
+}
+
+// Property test: components partition the vertex set, and every edge's
+// endpoints share a component.
+func TestComponentsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		b := NewBipartite[int, int]()
+		type edge struct{ l, r int }
+		var edges []edge
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			e := edge{rng.Intn(12), rng.Intn(12)}
+			edges = append(edges, e)
+			b.AddEdge(e.l, e.r)
+		}
+		comps := b.Components()
+		leftSeen, rightSeen := map[int]int{}, map[int]int{}
+		for ci, c := range comps {
+			for _, l := range c.Left {
+				if _, dup := leftSeen[l]; dup {
+					t.Fatal("left vertex in two components")
+				}
+				leftSeen[l] = ci
+			}
+			for _, r := range c.Right {
+				if _, dup := rightSeen[r]; dup {
+					t.Fatal("right vertex in two components")
+				}
+				rightSeen[r] = ci
+			}
+		}
+		if len(leftSeen) != b.NumLeft() || len(rightSeen) != b.NumRight() {
+			t.Fatal("components lose vertices")
+		}
+		for _, e := range edges {
+			if leftSeen[e.l] != rightSeen[e.r] {
+				t.Fatalf("edge (%d,%d) spans components", e.l, e.r)
+			}
+		}
+	}
+}

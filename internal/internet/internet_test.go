@@ -1,0 +1,222 @@
+package internet
+
+import (
+	"testing"
+
+	"cgn/internal/detect"
+	"cgn/internal/netaddr"
+	"cgn/internal/props"
+)
+
+func TestBuildSmallWorld(t *testing.T) {
+	w := Build(Small())
+	if w.DB.Len() == 0 {
+		t.Fatal("no ASes generated")
+	}
+	// Every eyeball/cellular AS has a truth record.
+	eyeballs := 0
+	for _, as := range w.DB.All() {
+		if t, ok := w.Truth[as.ASN]; ok {
+			if t.CGN && len(t.MappingTypes) == 0 {
+				panic("CGN truth without configs")
+			}
+			eyeballs++
+		}
+	}
+	if eyeballs == 0 {
+		t.Fatal("no truth records")
+	}
+	if len(w.Swarm.Peers) == 0 {
+		t.Fatal("no BitTorrent peers")
+	}
+	if w.NumClients() == 0 {
+		t.Fatal("no Netalyzr vantage points")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w1 := Build(Small())
+	w2 := Build(Small())
+	if len(w1.Swarm.Peers) != len(w2.Swarm.Peers) || w1.NumClients() != w2.NumClients() {
+		t.Error("same seed must build the same world")
+	}
+	t1, t2 := w1.CGNTruth(), w2.CGNTruth()
+	if len(t1) != len(t2) {
+		t.Error("truth differs across identical builds")
+	}
+	for asn := range t1 {
+		if !t2[asn] {
+			t.Errorf("AS%d CGN truth differs", asn)
+		}
+	}
+}
+
+func TestWorldPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	w := Build(Small())
+	truth := w.CGNTruth()
+	if len(truth) == 0 {
+		t.Fatal("world has no CGN deployments; scenario too small")
+	}
+
+	// BitTorrent campaign.
+	ds := w.RunCrawl(DefaultCrawlOptions())
+	if len(ds.Queried) == 0 || len(ds.Learned) == 0 {
+		t.Fatalf("crawl empty: %d queried, %d learned", len(ds.Queried), len(ds.Learned))
+	}
+	bt := detect.AnalyzeBitTorrent(ds, w.BTDetectConfig())
+
+	// Netalyzr campaign.
+	sessions := w.RunNetalyzr()
+	if len(sessions) == 0 {
+		t.Fatal("no sessions")
+	}
+	cell := detect.AnalyzeCellular(sessions, w.Net.Global(), detect.NLConfig{})
+	noncell := detect.AnalyzeNonCellular(sessions, w.Net.Global(), detect.NLConfig{})
+
+	// Sanity: the union should find CGNs with decent precision against
+	// ground truth.
+	union := detect.Union("union", detect.BTView(bt), detect.CellularView(cell), detect.NonCellularView(noncell))
+	score := union.ScoreAgainstTruth(truth)
+	if score.TruePositive == 0 {
+		t.Error("no true positives: detection pipeline found nothing")
+	}
+	if p := score.Precision(); p < 0.8 {
+		t.Errorf("precision = %.2f, want >= 0.8 (fp=%d)", p, score.FalsePositive)
+	}
+
+	// Cellular detection should be strong: most cellular CGN ASes show
+	// translated devices directly.
+	cellScore := detect.CellularView(cell).ScoreAgainstTruth(truth)
+	if cellScore.TruePositive == 0 {
+		t.Error("cellular pipeline found nothing")
+	}
+
+	// Property analyses run without panicking and produce plausible
+	// populations.
+	cgnView := union.Positive
+	ports := props.AnalyzePorts(sessions, cgnView, props.PortConfig{})
+	if len(ports.PerAS) == 0 {
+		t.Error("no port aggregates for CGN ASes")
+	}
+	timeouts := props.AnalyzeTimeouts(sessions, cgnView)
+	if len(timeouts.CPEPerSession) == 0 {
+		t.Error("no CPE timeout samples")
+	}
+	dist := props.AnalyzeDistance(sessions, cgnView)
+	if len(dist.PerClass) == 0 {
+		t.Error("no distance distributions")
+	}
+	quad := props.AnalyzeTTLDetection(sessions)
+	if quad.Total() == 0 {
+		t.Error("no TTL quadrant samples")
+	}
+	space := props.AnalyzeInternalSpace(sessions, bt, cgnView, w.Net.Global(), noncell.TopCPEBlocks)
+	if space.CellularUse.Total() == 0 {
+		t.Error("no cellular internal-space classifications")
+	}
+}
+
+// The generator's intended CGN distances must match what the simulator
+// actually builds: trace a bare subscriber's path and find the CGN at
+// exactly one of the truth-recorded hop positions.
+func TestTruthDistancesMatchTopology(t *testing.T) {
+	w := Build(Small())
+	echo := w.Servers.EchoHost
+	checked := 0
+	for _, p := range w.Swarm.Peers {
+		if p.LanID != "" {
+			continue
+		}
+		truth := w.Truth[p.ASN]
+		if truth == nil || !truth.CGN {
+			continue
+		}
+		steps, res := w.Net.TracePath(p.Host, netaddr.UDP, 6999,
+			netaddr.EndpointOf(echo.Addr(), 7077))
+		if !res.Delivered() {
+			t.Fatalf("trace from AS%d failed: %+v", p.ASN, res)
+		}
+		natHop := 0
+		for i, s := range steps {
+			if len(s) > 4 && s[:4] == "nat:" {
+				natHop = i + 1
+				break
+			}
+		}
+		if natHop == 0 {
+			t.Fatalf("AS%d bare subscriber path has no NAT: %v", p.ASN, steps)
+		}
+		ok := false
+		for _, d := range truth.CGNDistance {
+			if d == natHop {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("AS%d: CGN at hop %d, truth says %v (path %v)",
+				p.ASN, natHop, truth.CGNDistance, steps)
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no bare CGN subscribers in this draw")
+	}
+}
+
+func TestVPNNoiseInjected(t *testing.T) {
+	sc := Small()
+	sc.VPNPairs = 2
+	w := Build(sc)
+	// The injected contacts live in peers' tables as reserved-range
+	// endpoints in 10.88.0.0/16.
+	found := 0
+	for _, p := range w.Swarm.Peers {
+		for _, c := range p.Node.Contacts() {
+			if netaddr.PrefixFrom(netaddr.MustParseAddr("10.88.0.0"), 16).Contains(c.EP.Addr) {
+				found++
+			}
+		}
+	}
+	if found < 2 {
+		t.Errorf("VPN contacts found = %d, want >= 2", found)
+	}
+}
+
+func TestAllocatorDistinct(t *testing.T) {
+	a := newAllocator(netaddr.MustParsePrefix("10.0.0.0/16"))
+	seen := map[netaddr.Addr]bool{}
+	blocks := map[netaddr.Prefix]bool{}
+	for i := 0; i < 500; i++ {
+		addr := a.next()
+		if seen[addr] {
+			t.Fatalf("duplicate address %v", addr)
+		}
+		seen[addr] = true
+		blocks[addr.Block24()] = true
+	}
+	// The prime stride should spread allocations over many /24s (500
+	// draws from a /16 must not pile into a handful of blocks).
+	if len(blocks) < 64 {
+		t.Errorf("addresses concentrated in %d /24s, want spread", len(blocks))
+	}
+}
+
+func TestSpanDraw(t *testing.T) {
+	w := Build(Small())
+	s := Span{3, 3}
+	if got := s.draw(w.rng); got != 3 {
+		t.Errorf("degenerate span draw = %d", got)
+	}
+	s = Span{1, 5}
+	for i := 0; i < 50; i++ {
+		if v := s.draw(w.rng); v < 1 || v > 5 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package internet
+
+import (
+	"cgn/internal/btsim"
+	"cgn/internal/crawler"
+	"cgn/internal/detect"
+	"cgn/internal/netalyzr"
+)
+
+// CrawlOptions tune the measurement campaign.
+type CrawlOptions struct {
+	// MingleRounds interleaves swarm participation (BEP-5 announces),
+	// tracker locality seeding and chatter; two passes minimum so
+	// restricted-NAT hairpin paths open up.
+	MingleRounds int
+	// LocalityK is the per-peer tracker-contact count per round.
+	LocalityK int
+	// LocalTorrentsPerAS and GlobalTorrents shape swarm membership;
+	// GlobalJoinProb is the per-peer join probability for each global
+	// torrent.
+	LocalTorrentsPerAS int
+	GlobalTorrents     int
+	GlobalJoinProb     float64
+	// LookupProb and CrawlerPingProb drive the background chatter.
+	LookupProb      float64
+	CrawlerPingProb float64
+	// Crawler is the crawler configuration.
+	Crawler crawler.Config
+}
+
+// DefaultCrawlOptions returns the standard campaign parameters.
+func DefaultCrawlOptions() CrawlOptions {
+	return CrawlOptions{
+		MingleRounds:       3,
+		LocalityK:          3,
+		LocalTorrentsPerAS: 2,
+		GlobalTorrents:     4,
+		GlobalJoinProb:     0.2,
+		LookupProb:         0.5,
+		CrawlerPingProb:    0.5,
+		Crawler:            crawler.DefaultConfig(),
+	}
+}
+
+// RunCrawl drives the full BitTorrent campaign: bootstrap, LAN discovery,
+// swarm participation, chatter and the crawl itself.
+func (w *World) RunCrawl(opt CrawlOptions) *crawler.Dataset {
+	w.Swarm.Bootstrap()
+	w.Swarm.SeedLANs()
+	w.Swarm.AssignTorrents(opt.LocalTorrentsPerAS, opt.GlobalTorrents, opt.GlobalJoinProb)
+	cr := crawler.New(w.CrawlerHost, w.Net.Global(), opt.Crawler)
+	w.Swarm.Mingle(opt.LocalityK, opt.MingleRounds, btsim.ChatterConfig{
+		LookupProb:      opt.LookupProb,
+		CrawlerEP:       cr.Endpoint(),
+		CrawlerPingProb: opt.CrawlerPingProb,
+	})
+	cr.Seed(w.Swarm.BootstrapEP)
+	return cr.Run()
+}
+
+// BTDetectConfig returns detection thresholds scaled to the generated
+// world: per-AS peer populations are tens, not the thousands of the real
+// DHT, so the crawl-depth bar scales down while the cluster boundary (the
+// paper's 5x5) stays untouched.
+func (w *World) BTDetectConfig() detect.BTConfig {
+	return detect.BTConfig{MinPeersQueried: 8}
+}
+
+// RunNetalyzr executes one session per provisioned vantage point.
+func (w *World) RunNetalyzr() []netalyzr.Session {
+	sessions := make([]netalyzr.Session, 0, len(w.clients))
+	for _, c := range w.clients {
+		cfg := netalyzr.ClientConfig{
+			ASN:      c.asn,
+			Cellular: c.cellular,
+			Gateway:  c.gateway,
+			RunSTUN:  w.rng.Float64() < w.Scenario.STUNFrac,
+			RunTTL:   w.rng.Float64() < w.Scenario.TTLFrac,
+		}
+		sessions = append(sessions, netalyzr.RunSession(c.host, w.Servers, cfg))
+	}
+	return sessions
+}

@@ -1,0 +1,226 @@
+// Package internet generates synthetic Internets: an AS-level population
+// with RIR regions and eyeball/cellular classes, per-AS ground-truth CGN
+// deployments drawn from the marginals the paper reports, packet-level
+// topology (home LANs, ISP-internal realms, NAT devices on path), a
+// BitTorrent swarm and Netalyzr vantage points. The detection pipelines
+// then run against this world exactly as they ran against the real
+// Internet — and, unlike the paper, can be scored against ground truth.
+package internet
+
+import (
+	"time"
+
+	"cgn/internal/asdb"
+	"cgn/internal/nat"
+)
+
+// RegionMix sets one region's AS counts.
+type RegionMix struct {
+	Eyeball  int
+	Cellular int
+}
+
+// Span is an inclusive [Min,Max] integer draw.
+type Span struct {
+	Min, Max int
+}
+
+func (s Span) draw(r intner) int {
+	if s.Max <= s.Min {
+		return s.Min
+	}
+	return s.Min + r.Intn(s.Max-s.Min+1)
+}
+
+type intner interface{ Intn(int) int }
+
+// Scenario parameterizes world generation.
+type Scenario struct {
+	Seed int64
+
+	// Regions sets eyeball/cellular AS counts per RIR; Transit and
+	// Content pad the routed-AS population.
+	Regions map[asdb.RIR]RegionMix
+	Transit int
+	Content int
+
+	// EyeballCGNProb / CellularCGNProb are ground-truth deployment
+	// probabilities per region (§5 / Figure 6 shapes).
+	EyeballCGNProb  map[asdb.RIR]float64
+	CellularCGNProb map[asdb.RIR]float64
+
+	// LowVantageFrac of eyeball ASes get almost no vantage points,
+	// reproducing the paper's ~60% eyeball coverage.
+	LowVantageFrac float64
+
+	// BTPeers is the BitTorrent peer count per well-covered eyeball AS;
+	// BTPeersLow applies to low-vantage ASes.
+	BTPeers    Span
+	BTPeersLow Span
+	// BareFrac is the share of CGN-ISP BitTorrent peers attached without
+	// a home NAT (modem/bridge mode) — the population whose internal
+	// endpoints spread via hairpinning.
+	BareFrac float64
+	// HomePeerPairFrac is the share of homes hosting two BitTorrent
+	// clients (the LAN-multicast leak source).
+	HomePeerPairFrac float64
+
+	// NLSessions / NLCellSessions are Netalyzr session counts per
+	// non-cellular / cellular AS; NLSessionsLow for low-vantage ASes.
+	NLSessions     Span
+	NLCellSessions Span
+	NLSessionsLow  Span
+	// STUNFrac / TTLFrac select which sessions run the heavier subtests.
+	STUNFrac, TTLFrac float64
+	// UPnPFrac is the share of CPEs answering UPnP (the paper resolved
+	// IPcpe for ~40% of sessions).
+	UPnPFrac float64
+	// DoubleNATFrac is the share of homes with a second, stacked home
+	// NAT (exercises the top-block filter).
+	DoubleNATFrac float64
+
+	// MixedRealmFrac is the share of CGN ASes with two independently
+	// configured CGN realms (distributed deployments -> mixed per-AS
+	// port strategies, Fig 9's right side).
+	MixedRealmFrac float64
+	// HairpinPreserveFrac / HairpinTranslateFrac set CGN hairpin modes
+	// (the rest hairpin off). Source-preserving hairpinning gates the
+	// BitTorrent leak signal.
+	HairpinPreserveFrac  float64
+	HairpinTranslateFrac float64
+
+	// RoutableInternalFrac of cellular CGNs use routable space
+	// internally (Fig 7b).
+	RoutableInternalFrac float64
+	// CellPublicMixFrac of cellular CGN ASes assign a share of devices
+	// public addresses ("mixed" assignment, §4.2).
+	CellPublicMixFrac float64
+
+	// ChunkASFrac of CGN ASes use chunk-based random port allocation.
+	ChunkASFrac float64
+
+	// VPNPairs injects cross-AS leaked internal contacts (VPN noise the
+	// exclusive-leak filter must remove).
+	VPNPairs int
+
+	// NonValidatingFrac is the share of BitTorrent peers violating the
+	// BEP-5 validation discipline (the paper measured ~1.3%); the A02
+	// ablation sweeps it to show why the discipline matters.
+	NonValidatingFrac float64
+}
+
+// Paper returns the default scenario: a scaled-down Internet whose
+// marginals track the paper's findings. Roughly 400 ASes, 10k BitTorrent
+// peers and 6k Netalyzr sessions — small enough to run in seconds, large
+// enough for every table and figure to have signal.
+func Paper() Scenario {
+	return Scenario{
+		Seed: 1,
+		Regions: map[asdb.RIR]RegionMix{
+			asdb.AFRINIC: {Eyeball: 40, Cellular: 12},
+			asdb.APNIC:   {Eyeball: 52, Cellular: 14},
+			asdb.ARIN:    {Eyeball: 48, Cellular: 12},
+			asdb.LACNIC:  {Eyeball: 44, Cellular: 12},
+			asdb.RIPE:    {Eyeball: 56, Cellular: 14},
+		},
+		Transit: 80,
+		Content: 24,
+		EyeballCGNProb: map[asdb.RIR]float64{
+			asdb.AFRINIC: 0.09,
+			asdb.APNIC:   0.28,
+			asdb.ARIN:    0.12,
+			asdb.LACNIC:  0.13,
+			asdb.RIPE:    0.27,
+		},
+		CellularCGNProb: map[asdb.RIR]float64{
+			asdb.AFRINIC: 0.67,
+			asdb.APNIC:   0.95,
+			asdb.ARIN:    0.92,
+			asdb.LACNIC:  0.92,
+			asdb.RIPE:    0.95,
+		},
+		LowVantageFrac:       0.35,
+		BTPeers:              Span{32, 72},
+		BTPeersLow:           Span{0, 6},
+		BareFrac:             0.45,
+		HomePeerPairFrac:     0.30,
+		NLSessions:           Span{14, 36},
+		NLCellSessions:       Span{6, 16},
+		NLSessionsLow:        Span{0, 6},
+		STUNFrac:             0.6,
+		TTLFrac:              0.5,
+		UPnPFrac:             0.75,
+		DoubleNATFrac:        0.06,
+		MixedRealmFrac:       0.55,
+		HairpinPreserveFrac:  0.70,
+		HairpinTranslateFrac: 0.20,
+		RoutableInternalFrac: 0.10,
+		CellPublicMixFrac:    0.35,
+		ChunkASFrac:          0.10,
+		VPNPairs:             3,
+		NonValidatingFrac:    0.013,
+	}
+}
+
+// Large returns a stress-scale scenario: roughly three times the Paper
+// world. Campaigns take tens of seconds; useful for benchmarking the
+// pipelines at depth and for tighter statistics on rare configurations
+// (routable-internal carriers, chunked allocators).
+func Large() Scenario {
+	sc := Paper()
+	sc.Regions = map[asdb.RIR]RegionMix{
+		asdb.AFRINIC: {Eyeball: 120, Cellular: 36},
+		asdb.APNIC:   {Eyeball: 156, Cellular: 42},
+		asdb.ARIN:    {Eyeball: 144, Cellular: 36},
+		asdb.LACNIC:  {Eyeball: 132, Cellular: 36},
+		asdb.RIPE:    {Eyeball: 168, Cellular: 42},
+	}
+	sc.Transit = 240
+	sc.Content = 72
+	sc.VPNPairs = 9
+	return sc
+}
+
+// Small returns a fast scenario for tests: a handful of ASes per class.
+func Small() Scenario {
+	sc := Paper()
+	sc.Regions = map[asdb.RIR]RegionMix{
+		asdb.AFRINIC: {Eyeball: 2, Cellular: 1},
+		asdb.APNIC:   {Eyeball: 4, Cellular: 2},
+		asdb.ARIN:    {Eyeball: 3, Cellular: 1},
+		asdb.LACNIC:  {Eyeball: 2, Cellular: 1},
+		asdb.RIPE:    {Eyeball: 4, Cellular: 2},
+	}
+	sc.Transit = 4
+	sc.Content = 2
+	sc.LowVantageFrac = 0.2
+	sc.BTPeers = Span{16, 24}
+	sc.NLSessions = Span{10, 16}
+	sc.NLCellSessions = Span{5, 8}
+	sc.VPNPairs = 1
+	return sc
+}
+
+// Truth is the ground-truth record for one AS.
+type Truth struct {
+	ASN      uint32
+	Cellular bool
+	CGN      bool
+	// Realms counts independent CGN realms (distributed deployments).
+	Realms int
+	// Ranges lists the internal ranges in use; RoutableInternal marks
+	// cellular ASes using public space internally.
+	Ranges           []string
+	RoutableInternal bool
+	// PortAllocs, MappingTypes, Poolings, Timeouts: one entry per realm.
+	PortAllocs   []nat.PortAlloc
+	MappingTypes []nat.MappingType
+	Poolings     []nat.Pooling
+	Timeouts     []time.Duration
+	// ChunkSize is set when PortAllocs includes RandomChunk.
+	ChunkSize int
+	// HairpinModes per realm.
+	HairpinModes []nat.HairpinMode
+	// CGNDistance is the intended NAT distance from a bare subscriber.
+	CGNDistance []int
+}

@@ -1,0 +1,394 @@
+// Package krpc implements the KRPC message layer of the BitTorrent DHT
+// protocol (BEP-5): bencoded query/response/error dictionaries carried over
+// UDP, plus the compact node-info encoding that find_node responses use.
+// The paper's crawler (§4.1) speaks exactly this dialect: ping ("bt_ping")
+// and find_node.
+package krpc
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"cgn/internal/bencode"
+	"cgn/internal/netaddr"
+)
+
+// NodeID is a 160-bit DHT node identifier. Nodes choose their own IDs at
+// random; closeness between IDs is the XOR metric (Kademlia).
+type NodeID [20]byte
+
+// NodeIDFromBytes copies a 20-byte slice into a NodeID.
+func NodeIDFromBytes(b []byte) (NodeID, bool) {
+	var id NodeID
+	if len(b) != len(id) {
+		return id, false
+	}
+	copy(id[:], b)
+	return id, true
+}
+
+// String renders the ID as hex.
+func (id NodeID) String() string { return hex.EncodeToString(id[:]) }
+
+// XOR returns the Kademlia distance between two IDs.
+func (id NodeID) XOR(other NodeID) NodeID {
+	var out NodeID
+	for i := range id {
+		out[i] = id[i] ^ other[i]
+	}
+	return out
+}
+
+// Less compares distances (big-endian byte order), so sorting by
+// id.XOR(target) orders nodes by closeness to target.
+func (id NodeID) Less(other NodeID) bool {
+	return bytes.Compare(id[:], other[:]) < 0
+}
+
+// BucketIndex returns the index of the highest set bit of the XOR distance
+// (0..159), or -1 for identical IDs; Kademlia routing tables bucket
+// contacts by this index.
+func (id NodeID) BucketIndex(other NodeID) int {
+	d := id.XOR(other)
+	for i, b := range d {
+		if b == 0 {
+			continue
+		}
+		for j := 7; j >= 0; j-- {
+			if b&(1<<uint(j)) != 0 {
+				return (len(d)-1-i)*8 + j
+			}
+		}
+	}
+	return -1
+}
+
+// NodeInfo is a DHT contact: an ID plus a transport endpoint. This is the
+// unit of information the paper's crawler harvests; a contact whose
+// endpoint address is reserved is an "internal peer".
+type NodeInfo struct {
+	ID NodeID
+	EP netaddr.Endpoint
+}
+
+// compactNodeLen is the wire size of one compact node-info entry.
+const compactNodeLen = 26
+
+// AppendCompact appends the 26-byte compact encoding (BEP-5) of n to dst.
+func (n NodeInfo) AppendCompact(dst []byte) []byte {
+	dst = append(dst, n.ID[:]...)
+	dst = n.EP.Addr.AppendBytes(dst)
+	return append(dst, byte(n.EP.Port>>8), byte(n.EP.Port))
+}
+
+// EncodeCompactNodes renders a node list in compact form.
+func EncodeCompactNodes(nodes []NodeInfo) []byte {
+	out := make([]byte, 0, len(nodes)*compactNodeLen)
+	for _, n := range nodes {
+		out = n.AppendCompact(out)
+	}
+	return out
+}
+
+// DecodeCompactNodes parses a compact node list. It rejects data whose
+// length is not a multiple of 26.
+func DecodeCompactNodes(data []byte) ([]NodeInfo, error) {
+	if len(data)%compactNodeLen != 0 {
+		return nil, fmt.Errorf("krpc: compact node data length %d not a multiple of %d", len(data), compactNodeLen)
+	}
+	out := make([]NodeInfo, 0, len(data)/compactNodeLen)
+	for i := 0; i < len(data); i += compactNodeLen {
+		chunk := data[i : i+compactNodeLen]
+		id, _ := NodeIDFromBytes(chunk[:20])
+		addr, _ := netaddr.AddrFromBytes(chunk[20:24])
+		port := uint16(chunk[24])<<8 | uint16(chunk[25])
+		out = append(out, NodeInfo{ID: id, EP: netaddr.EndpointOf(addr, port)})
+	}
+	return out, nil
+}
+
+// MsgKind distinguishes the three KRPC message classes.
+type MsgKind uint8
+
+// KRPC message kinds.
+const (
+	Query MsgKind = iota
+	Response
+	Error
+)
+
+// Query method names used by the crawler and the simulated peers.
+const (
+	MethodPing         = "ping"
+	MethodFindNode     = "find_node"
+	MethodGetPeers     = "get_peers"
+	MethodAnnouncePeer = "announce_peer"
+)
+
+// compactPeerLen is the wire size of one compact peer entry (IP + port).
+const compactPeerLen = 6
+
+// EncodeCompactPeers renders transport endpoints in the 6-byte compact
+// form get_peers responses use.
+func EncodeCompactPeers(peers []netaddr.Endpoint) [][]byte {
+	out := make([][]byte, 0, len(peers))
+	for _, p := range peers {
+		b := p.Addr.AppendBytes(make([]byte, 0, compactPeerLen))
+		out = append(out, append(b, byte(p.Port>>8), byte(p.Port)))
+	}
+	return out
+}
+
+// DecodeCompactPeer parses one 6-byte compact peer entry.
+func DecodeCompactPeer(b []byte) (netaddr.Endpoint, bool) {
+	if len(b) != compactPeerLen {
+		return netaddr.Endpoint{}, false
+	}
+	addr, _ := netaddr.AddrFromBytes(b[:4])
+	return netaddr.EndpointOf(addr, uint16(b[4])<<8|uint16(b[5])), true
+}
+
+// Message is one parsed KRPC message.
+type Message struct {
+	Kind MsgKind
+	// TID is the transaction ID correlating responses to queries.
+	TID []byte
+	// Method is the query name (Query only).
+	Method string
+	// ID is the sender's node ID (queries and responses).
+	ID NodeID
+	// Target is the find_node target / get_peers info-hash / announced
+	// info-hash, depending on Method.
+	Target NodeID
+	// Nodes is the compact node list (find_node and get_peers responses).
+	Nodes []NodeInfo
+	// Values carries the peer endpoints of a get_peers response.
+	Values []netaddr.Endpoint
+	// Token is the write token of get_peers responses and announce_peer
+	// queries.
+	Token []byte
+	// Port is the announced peer port; ImpliedPort asks the storing node
+	// to use the observed source port instead (the NAT-friendly mode).
+	Port        uint16
+	ImpliedPort bool
+	// Code and Msg carry error details (Error only).
+	Code int64
+	Msg  string
+}
+
+// Errors returned by Parse.
+var ErrMalformed = errors.New("krpc: malformed message")
+
+// EncodePing renders a ping query.
+func EncodePing(tid []byte, self NodeID) []byte {
+	return mustEncode(map[string]any{
+		"t": tid, "y": "q", "q": MethodPing,
+		"a": map[string]any{"id": self[:]},
+	})
+}
+
+// EncodeFindNode renders a find_node query.
+func EncodeFindNode(tid []byte, self, target NodeID) []byte {
+	return mustEncode(map[string]any{
+		"t": tid, "y": "q", "q": MethodFindNode,
+		"a": map[string]any{"id": self[:], "target": target[:]},
+	})
+}
+
+// EncodePingResponse renders a response to ping.
+func EncodePingResponse(tid []byte, self NodeID) []byte {
+	return mustEncode(map[string]any{
+		"t": tid, "y": "r",
+		"r": map[string]any{"id": self[:]},
+	})
+}
+
+// EncodeFindNodeResponse renders a response to find_node carrying up to
+// eight compact contacts.
+func EncodeFindNodeResponse(tid []byte, self NodeID, nodes []NodeInfo) []byte {
+	return mustEncode(map[string]any{
+		"t": tid, "y": "r",
+		"r": map[string]any{"id": self[:], "nodes": EncodeCompactNodes(nodes)},
+	})
+}
+
+// EncodeGetPeers renders a get_peers query for an info-hash.
+func EncodeGetPeers(tid []byte, self, infoHash NodeID) []byte {
+	return mustEncode(map[string]any{
+		"t": tid, "y": "q", "q": MethodGetPeers,
+		"a": map[string]any{"id": self[:], "info_hash": infoHash[:]},
+	})
+}
+
+// EncodeGetPeersResponse renders a get_peers response carrying known
+// peers (values), fallback contacts (nodes), and a write token.
+func EncodeGetPeersResponse(tid []byte, self NodeID, token []byte, peers []netaddr.Endpoint, nodes []NodeInfo) []byte {
+	r := map[string]any{"id": self[:], "token": token}
+	if len(peers) > 0 {
+		vals := make([]any, 0, len(peers))
+		for _, v := range EncodeCompactPeers(peers) {
+			vals = append(vals, v)
+		}
+		r["values"] = vals
+	} else {
+		r["nodes"] = EncodeCompactNodes(nodes)
+	}
+	return mustEncode(map[string]any{"t": tid, "y": "r", "r": r})
+}
+
+// EncodeAnnouncePeer renders an announce_peer query.
+func EncodeAnnouncePeer(tid []byte, self, infoHash NodeID, port uint16, impliedPort bool, token []byte) []byte {
+	implied := 0
+	if impliedPort {
+		implied = 1
+	}
+	return mustEncode(map[string]any{
+		"t": tid, "y": "q", "q": MethodAnnouncePeer,
+		"a": map[string]any{
+			"id": self[:], "info_hash": infoHash[:],
+			"port": int64(port), "implied_port": int64(implied), "token": token,
+		},
+	})
+}
+
+// EncodeError renders a KRPC error message.
+func EncodeError(tid []byte, code int64, msg string) []byte {
+	return mustEncode(map[string]any{
+		"t": tid, "y": "e",
+		"e": []any{code, msg},
+	})
+}
+
+func mustEncode(v any) []byte {
+	b, err := bencode.Encode(v)
+	if err != nil {
+		// All inputs are built from supported types above.
+		panic(err)
+	}
+	return b
+}
+
+// Parse decodes one KRPC message from wire bytes.
+func Parse(data []byte) (*Message, error) {
+	v, err := bencode.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	d, ok := bencode.AsDict(v)
+	if !ok {
+		return nil, fmt.Errorf("%w: not a dictionary", ErrMalformed)
+	}
+	tid, ok := d.Bytes("t")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing transaction id", ErrMalformed)
+	}
+	y, _ := d.Str("y")
+	m := &Message{TID: tid}
+	switch y {
+	case "q":
+		m.Kind = Query
+		m.Method, ok = d.Str("q")
+		if !ok {
+			return nil, fmt.Errorf("%w: query without method", ErrMalformed)
+		}
+		args, ok := d.Dict("a")
+		if !ok {
+			return nil, fmt.Errorf("%w: query without args", ErrMalformed)
+		}
+		idb, ok := args.Bytes("id")
+		if !ok {
+			return nil, fmt.Errorf("%w: query without id", ErrMalformed)
+		}
+		if m.ID, ok = NodeIDFromBytes(idb); !ok {
+			return nil, fmt.Errorf("%w: bad node id length", ErrMalformed)
+		}
+		switch m.Method {
+		case MethodFindNode:
+			tb, ok := args.Bytes("target")
+			if !ok {
+				return nil, fmt.Errorf("%w: find_node without target", ErrMalformed)
+			}
+			if m.Target, ok = NodeIDFromBytes(tb); !ok {
+				return nil, fmt.Errorf("%w: bad target length", ErrMalformed)
+			}
+		case MethodGetPeers, MethodAnnouncePeer:
+			hb, ok := args.Bytes("info_hash")
+			if !ok {
+				return nil, fmt.Errorf("%w: %s without info_hash", ErrMalformed, m.Method)
+			}
+			if m.Target, ok = NodeIDFromBytes(hb); !ok {
+				return nil, fmt.Errorf("%w: bad info_hash length", ErrMalformed)
+			}
+			if m.Method == MethodAnnouncePeer {
+				port, ok := args.Int("port")
+				if !ok || port < 0 || port > 65535 {
+					return nil, fmt.Errorf("%w: bad announce port", ErrMalformed)
+				}
+				m.Port = uint16(port)
+				if implied, ok := args.Int("implied_port"); ok && implied != 0 {
+					m.ImpliedPort = true
+				}
+				m.Token, ok = args.Bytes("token")
+				if !ok {
+					return nil, fmt.Errorf("%w: announce without token", ErrMalformed)
+				}
+			}
+		}
+	case "r":
+		m.Kind = Response
+		r, ok := d.Dict("r")
+		if !ok {
+			return nil, fmt.Errorf("%w: response without body", ErrMalformed)
+		}
+		idb, ok := r.Bytes("id")
+		if !ok {
+			return nil, fmt.Errorf("%w: response without id", ErrMalformed)
+		}
+		if m.ID, ok = NodeIDFromBytes(idb); !ok {
+			return nil, fmt.Errorf("%w: bad node id length", ErrMalformed)
+		}
+		if nb, ok := r.Bytes("nodes"); ok {
+			nodes, err := DecodeCompactNodes(nb)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+			}
+			m.Nodes = nodes
+		}
+		if tok, ok := r.Bytes("token"); ok {
+			m.Token = tok
+		}
+		if vals, ok := r.List("values"); ok {
+			for _, v := range vals {
+				raw, ok := v.([]byte)
+				if !ok {
+					return nil, fmt.Errorf("%w: non-string peer value", ErrMalformed)
+				}
+				ep, ok := DecodeCompactPeer(raw)
+				if !ok {
+					return nil, fmt.Errorf("%w: bad compact peer length %d", ErrMalformed, len(raw))
+				}
+				m.Values = append(m.Values, ep)
+			}
+		}
+	case "e":
+		m.Kind = Error
+		e, ok := d.List("e")
+		if !ok || len(e) < 2 {
+			return nil, fmt.Errorf("%w: bad error body", ErrMalformed)
+		}
+		code, ok := e[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("%w: bad error code", ErrMalformed)
+		}
+		msg, ok := e[1].([]byte)
+		if !ok {
+			return nil, fmt.Errorf("%w: bad error string", ErrMalformed)
+		}
+		m.Code, m.Msg = code, string(msg)
+	default:
+		return nil, fmt.Errorf("%w: unknown message type %q", ErrMalformed, y)
+	}
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d, want 7", g.Value())
+	}
+}
+
+func TestSetReusesByName(t *testing.T) {
+	s := NewSet()
+	s.Counter("pkts").Inc()
+	s.Counter("pkts").Inc()
+	if s.Counter("pkts").Value() != 2 {
+		t.Error("same name must return the same counter")
+	}
+	s.Gauge("mappings").Set(9)
+	if s.Gauge("mappings").Value() != 9 {
+		t.Error("same name must return the same gauge")
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Add(1)
+	s.Gauge("c").Set(-5)
+	snap := s.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 2 || snap["c"] != -5 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	str := s.String()
+	if !strings.Contains(str, "a 1\n") || !strings.Contains(str, "c -5\n") {
+		t.Errorf("String = %q", str)
+	}
+	// Sorted output: a before b before c.
+	if strings.Index(str, "a 1") > strings.Index(str, "b 2") {
+		t.Error("String output must be sorted by name")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Counter("n").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("n").Value(); got != 8000 {
+		t.Errorf("concurrent count = %d, want 8000", got)
+	}
+}

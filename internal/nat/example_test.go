@@ -1,0 +1,71 @@
+package nat_test
+
+import (
+	"fmt"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+)
+
+// A chunk-allocating carrier-grade NAT confines each subscriber to a
+// fixed block of the external port space — the behavior Figure 8(c) of
+// the paper exposes and §7 warns about.
+func ExampleNAT_TranslateOut() {
+	cgn := nat.New(nat.Config{
+		Type:        nat.PortRestricted,
+		PortAlloc:   nat.RandomChunk,
+		ChunkSize:   2048,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		UDPTimeout:  2 * time.Minute,
+		Seed:        7,
+	})
+	now := time.Unix(0, 0)
+	sub := netaddr.MustParseAddr("100.64.0.9")
+	dst := netaddr.MustParseEndpoint("203.0.113.9:443")
+
+	var lo, hi uint16 = 65535, 0
+	for port := uint16(5000); port < 5040; port++ {
+		out, v := cgn.TranslateOut(netaddr.FlowOf(netaddr.UDP, netaddr.EndpointOf(sub, port), dst), now)
+		if v != nat.Ok {
+			fmt.Println("translation failed:", v)
+			return
+		}
+		if out.Src.Port < lo {
+			lo = out.Src.Port
+		}
+		if out.Src.Port > hi {
+			hi = out.Src.Port
+		}
+	}
+	fmt.Printf("40 flows stayed within one %d-port chunk: %v\n",
+		2048, hi/2048 == lo/2048)
+	// Output:
+	// 40 flows stayed within one 2048-port chunk: true
+}
+
+// Inbound filtering is what STUN classifies: a port-restricted mapping
+// accepts only remote endpoints the subscriber already contacted.
+func ExampleNAT_TranslateIn() {
+	n := nat.New(nat.Config{
+		Type:        nat.PortRestricted,
+		PortAlloc:   nat.Preservation,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	sub := netaddr.MustParseEndpoint("10.0.0.5:7000")
+	server := netaddr.MustParseEndpoint("203.0.113.9:443")
+	out, _ := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, sub, server), now)
+
+	_, v1 := n.TranslateIn(netaddr.FlowOf(netaddr.UDP, server, out.Src), now)
+	stranger := netaddr.MustParseEndpoint("198.51.100.99:53")
+	_, v2 := n.TranslateIn(netaddr.FlowOf(netaddr.UDP, stranger, out.Src), now)
+	fmt.Println("contacted server:", v1)
+	fmt.Println("stranger:", v2)
+	// Output:
+	// contacted server: ok
+	// stranger: drop-filtered
+}

@@ -1,0 +1,596 @@
+// Package nat implements a behavioral model of IPv4 network address
+// translators covering the full configuration space the paper measures
+// (§3, §6): mapping/filtering types (symmetric, port-address restricted,
+// address restricted, full cone), port allocation strategies (preservation,
+// sequential, random, chunk-based random), external IP pooling (paired and
+// arbitrary), mapping timeouts, hairpinning (with or without source
+// rewriting) and per-subscriber session limits.
+//
+// A NAT is a pure state machine: it never touches the clock or the network.
+// Callers (the network simulator, or a userspace dataplane) pass the current
+// time into every translation call, which keeps tests deterministic and lets
+// virtual-time experiments expire mappings instantly.
+package nat
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cgn/internal/metrics"
+	"cgn/internal/netaddr"
+)
+
+// MappingType describes mapping reuse and inbound filtering behavior,
+// ordered from most restrictive to most permissive (§3 "Mapping Types").
+type MappingType uint8
+
+// Mapping types per §3 of the paper (RFC 3489 taxonomy).
+const (
+	// Symmetric NATs create a distinct mapping per (source, destination)
+	// pair and only accept inbound traffic from that exact destination.
+	Symmetric MappingType = iota
+	// PortRestricted NATs reuse one mapping per source across destinations
+	// but require inbound packets to come from an IP:port the source
+	// previously contacted.
+	PortRestricted
+	// AddressRestricted NATs require inbound packets to come from an IP the
+	// source previously contacted; any port is acceptable.
+	AddressRestricted
+	// FullCone NATs accept inbound packets from anyone once a mapping
+	// exists.
+	FullCone
+)
+
+// String names the mapping type as in Figure 13.
+func (m MappingType) String() string {
+	switch m {
+	case Symmetric:
+		return "symmetric"
+	case PortRestricted:
+		return "port-address restricted"
+	case AddressRestricted:
+		return "address restricted"
+	case FullCone:
+		return "full cone"
+	default:
+		return fmt.Sprintf("MappingType(%d)", m)
+	}
+}
+
+// PortAlloc selects the external port allocation strategy (§6.2).
+type PortAlloc uint8
+
+// Port allocation strategies per §6.2 of the paper.
+const (
+	// Preservation attempts portext == portint, falling back to the nearest
+	// free higher port on collision.
+	Preservation PortAlloc = iota
+	// Sequential allocates ports in increasing order per external IP.
+	Sequential
+	// Random allocates uniformly random free ports.
+	Random
+	// RandomChunk assigns each subscriber a fixed contiguous port block and
+	// allocates randomly within it ("chunk-based random", Fig 8c).
+	RandomChunk
+)
+
+// String names the strategy as in Table 6.
+func (p PortAlloc) String() string {
+	switch p {
+	case Preservation:
+		return "preservation"
+	case Sequential:
+		return "sequential"
+	case Random:
+		return "random"
+	case RandomChunk:
+		return "random-chunk"
+	default:
+		return fmt.Sprintf("PortAlloc(%d)", p)
+	}
+}
+
+// Pooling selects how external IPs are assigned to subscribers (§3).
+type Pooling uint8
+
+// Pooling behaviors per §3 of the paper.
+const (
+	// Paired pooling pins each internal IP to one external IP.
+	Paired Pooling = iota
+	// Arbitrary pooling may pick a different external IP per mapping.
+	Arbitrary
+)
+
+// String names the pooling mode.
+func (p Pooling) String() string {
+	switch p {
+	case Paired:
+		return "paired"
+	case Arbitrary:
+		return "arbitrary"
+	default:
+		return fmt.Sprintf("Pooling(%d)", p)
+	}
+}
+
+// HairpinMode controls how packets addressed from inside to the NAT's own
+// external addresses are handled (§3 "Hairpinning").
+type HairpinMode uint8
+
+// Hairpin modes.
+const (
+	// HairpinOff drops inside-to-external-pool packets.
+	HairpinOff HairpinMode = iota
+	// HairpinTranslate forwards them with the source rewritten to the
+	// sender's external mapping (the RFC-recommended behavior).
+	HairpinTranslate
+	// HairpinPreserveSource forwards them with the internal source left in
+	// place. This is the behavior that lets hosts behind the same NAT learn
+	// each other's internal endpoints, which the paper's BitTorrent
+	// methodology depends on (§4.1 calibration).
+	HairpinPreserveSource
+)
+
+// String names the hairpin mode.
+func (h HairpinMode) String() string {
+	switch h {
+	case HairpinOff:
+		return "off"
+	case HairpinTranslate:
+		return "translate"
+	case HairpinPreserveSource:
+		return "preserve-source"
+	default:
+		return fmt.Sprintf("HairpinMode(%d)", h)
+	}
+}
+
+// Config parameterizes a NAT instance.
+type Config struct {
+	// Name labels the NAT in logs and metrics (e.g. "AS65001-cgn").
+	Name string
+
+	// Type is the mapping/filtering behavior.
+	Type MappingType
+
+	// PortAlloc is the external port selection strategy.
+	PortAlloc PortAlloc
+
+	// ChunkSize is the per-subscriber port block size for RandomChunk
+	// (e.g. 512, 1024, 4096). Must be a power of two.
+	ChunkSize int
+
+	// Pooling selects paired or arbitrary external IP use.
+	Pooling Pooling
+
+	// ExternalIPs is the public address pool. Must be non-empty.
+	ExternalIPs []netaddr.Addr
+
+	// UDPTimeout and TCPTimeout bound mapping idle lifetimes. The paper
+	// observes UDP timeouts of 10–200+ seconds (Fig 12); RFC minimums are
+	// 120 s UDP and 2 h TCP.
+	UDPTimeout time.Duration
+	TCPTimeout time.Duration
+
+	// RefreshOnInbound extends mappings when inbound packets traverse them
+	// (outbound always refreshes). Most deployed NATs do both.
+	RefreshOnInbound bool
+
+	// Hairpin controls same-NAT host-to-host traffic.
+	Hairpin HairpinMode
+
+	// MaxSessionsPerSubscriber caps concurrent mappings per internal IP;
+	// 0 means unlimited. The survey reports limits as low as 512 (§2).
+	MaxSessionsPerSubscriber int
+
+	// PortLo and PortHi bound the allocatable external port range,
+	// inclusive. Zero values default to 1024 and 65535. CGNs translating
+	// ports use the whole space, which is the Fig 8(a) signal.
+	PortLo, PortHi uint16
+
+	// Seed makes the NAT's random choices reproducible.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.PortLo == 0 {
+		out.PortLo = 1024
+	}
+	if out.PortHi == 0 {
+		out.PortHi = 65535
+	}
+	if out.UDPTimeout == 0 {
+		out.UDPTimeout = 2 * time.Minute
+	}
+	if out.TCPTimeout == 0 {
+		out.TCPTimeout = 2 * time.Hour
+	}
+	if out.ChunkSize == 0 {
+		out.ChunkSize = 2048
+	}
+	return out
+}
+
+// Verdict is the outcome of a translation attempt.
+type Verdict uint8
+
+// Translation verdicts.
+const (
+	// Ok: the packet was translated and may be forwarded.
+	Ok Verdict = iota
+	// DropNoMapping: inbound packet with no matching mapping.
+	DropNoMapping
+	// DropFiltered: inbound packet rejected by the filtering policy.
+	DropFiltered
+	// DropNoPorts: outbound packet could not be allocated an external port.
+	DropNoPorts
+	// DropSessionLimit: subscriber exceeded MaxSessionsPerSubscriber.
+	DropSessionLimit
+	// DropHairpin: hairpin traffic with hairpinning disabled.
+	DropHairpin
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Ok:
+		return "ok"
+	case DropNoMapping:
+		return "drop-no-mapping"
+	case DropFiltered:
+		return "drop-filtered"
+	case DropNoPorts:
+		return "drop-no-ports"
+	case DropSessionLimit:
+		return "drop-session-limit"
+	case DropHairpin:
+		return "drop-hairpin"
+	default:
+		return fmt.Sprintf("Verdict(%d)", v)
+	}
+}
+
+// Mapping is one translation table entry.
+type Mapping struct {
+	Proto netaddr.Proto
+	// Int is the internal (subscriber-side) endpoint.
+	Int netaddr.Endpoint
+	// Ext is the allocated external endpoint.
+	Ext netaddr.Endpoint
+	// dsts records remote endpoints this mapping has sent to, for the
+	// restricted filtering policies. Symmetric mappings have exactly one.
+	dsts map[netaddr.Endpoint]bool
+	// key is the byInt index this mapping lives under.
+	key intKey
+	// Created and LastActive drive expiry.
+	Created    time.Time
+	LastActive time.Time
+}
+
+// SentTo reports whether the mapping has contacted remote endpoint e.
+func (m *Mapping) SentTo(e netaddr.Endpoint) bool { return m.dsts[e] }
+
+// SentToAddr reports whether the mapping has contacted address a on any port.
+func (m *Mapping) SentToAddr(a netaddr.Addr) bool {
+	for d := range m.dsts {
+		if d.Addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+type intKey struct {
+	proto netaddr.Proto
+	src   netaddr.Endpoint
+	// dst is set only for symmetric NATs, which key mappings by
+	// destination as well.
+	dst netaddr.Endpoint
+}
+
+type extKey struct {
+	proto netaddr.Proto
+	ext   netaddr.Endpoint
+}
+
+// NAT is one translator instance.
+type NAT struct {
+	cfg Config
+	rng *rand.Rand
+
+	byInt map[intKey]*Mapping
+	byExt map[extKey]*Mapping
+
+	// pairedExt pins internal IPs to pool members under Paired pooling.
+	pairedExt map[netaddr.Addr]netaddr.Addr
+	// rrNext rotates pool members for Arbitrary pooling and initial
+	// Paired assignment.
+	rrNext int
+
+	ports  *portSpace
+	chunks *chunkTable
+
+	// sessions counts live mappings per internal IP for the session limit.
+	sessions map[netaddr.Addr]int
+
+	Metrics *metrics.Set
+}
+
+// New builds a NAT from cfg. It panics if the configuration is unusable
+// (no external IPs, bad chunk size): configs come from the world generator
+// or test code, where a bad config is a programming error.
+func New(cfg Config) *NAT {
+	c := cfg.withDefaults()
+	if len(c.ExternalIPs) == 0 {
+		panic("nat: config needs at least one external IP")
+	}
+	if c.PortLo >= c.PortHi {
+		panic(fmt.Sprintf("nat: invalid port range [%d,%d]", c.PortLo, c.PortHi))
+	}
+	if c.PortAlloc == RandomChunk && (c.ChunkSize&(c.ChunkSize-1)) != 0 {
+		panic(fmt.Sprintf("nat: chunk size %d is not a power of two", c.ChunkSize))
+	}
+	n := &NAT{
+		cfg:       c,
+		rng:       rand.New(rand.NewSource(c.Seed)),
+		byInt:     make(map[intKey]*Mapping),
+		byExt:     make(map[extKey]*Mapping),
+		pairedExt: make(map[netaddr.Addr]netaddr.Addr),
+		sessions:  make(map[netaddr.Addr]int),
+		Metrics:   metrics.NewSet(),
+	}
+	n.ports = newPortSpace(c.PortLo, c.PortHi)
+	if c.PortAlloc == RandomChunk {
+		n.chunks = newChunkTable(c.PortLo, c.PortHi, uint16(c.ChunkSize))
+	}
+	return n
+}
+
+// Config returns the NAT's effective configuration (defaults applied).
+func (n *NAT) Config() Config { return n.cfg }
+
+// IsExternal reports whether a belongs to the NAT's external pool; the
+// simulator uses it to detect hairpin traffic.
+func (n *NAT) IsExternal(a netaddr.Addr) bool {
+	for _, ip := range n.cfg.ExternalIPs {
+		if ip == a {
+			return true
+		}
+	}
+	return false
+}
+
+// NumMappings returns the number of live entries (including any that have
+// expired but not yet been swept).
+func (n *NAT) NumMappings() int { return len(n.byExt) }
+
+func (n *NAT) timeout(p netaddr.Proto) time.Duration {
+	if p == netaddr.TCP {
+		return n.cfg.TCPTimeout
+	}
+	return n.cfg.UDPTimeout
+}
+
+func (n *NAT) expired(m *Mapping, now time.Time) bool {
+	return now.Sub(m.LastActive) > n.timeout(m.Proto)
+}
+
+func (n *NAT) intKeyFor(f netaddr.Flow) intKey {
+	k := intKey{proto: f.Proto, src: f.Src}
+	if n.cfg.Type == Symmetric {
+		k.dst = f.Dst
+	}
+	return k
+}
+
+func (n *NAT) drop(m *Mapping) {
+	delete(n.byExt, extKey{m.Proto, m.Ext})
+	delete(n.byInt, m.key)
+	n.ports.free(m.Ext, m.Proto)
+	n.sessions[m.Int.Addr]--
+	if n.sessions[m.Int.Addr] <= 0 {
+		delete(n.sessions, m.Int.Addr)
+	}
+	n.Metrics.Counter("mappings_expired").Inc()
+	n.Metrics.Gauge("mappings_live").Set(int64(len(n.byExt)))
+}
+
+// TranslateOut translates an inside-to-outside packet flow. On Ok the
+// returned flow carries the external source endpoint and the original
+// destination.
+func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
+	k := n.intKeyFor(f)
+	m := n.byInt[k]
+	if m != nil && n.expired(m, now) {
+		n.drop(m)
+		m = nil
+	}
+	if m == nil {
+		if lim := n.cfg.MaxSessionsPerSubscriber; lim > 0 && n.sessions[f.Src.Addr] >= lim {
+			n.Metrics.Counter("drop_session_limit").Inc()
+			return netaddr.Flow{}, DropSessionLimit
+		}
+		ext, ok := n.allocate(f, now)
+		if !ok {
+			n.Metrics.Counter("drop_no_ports").Inc()
+			return netaddr.Flow{}, DropNoPorts
+		}
+		m = &Mapping{
+			Proto: f.Proto, Int: f.Src, Ext: ext,
+			dsts:    make(map[netaddr.Endpoint]bool, 1),
+			key:     k,
+			Created: now,
+		}
+		n.byInt[k] = m
+		n.byExt[extKey{f.Proto, ext}] = m
+		n.sessions[f.Src.Addr]++
+		n.Metrics.Counter("mappings_created").Inc()
+		n.Metrics.Gauge("mappings_live").Set(int64(len(n.byExt)))
+	}
+	m.dsts[f.Dst] = true
+	m.LastActive = now
+	n.Metrics.Counter("pkts_out").Inc()
+	return netaddr.Flow{Proto: f.Proto, Src: m.Ext, Dst: f.Dst}, Ok
+}
+
+// TranslateIn translates an outside-to-inside packet flow addressed to one
+// of the NAT's external endpoints. On Ok the returned flow carries the
+// original source and the internal destination endpoint.
+func (n *NAT) TranslateIn(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
+	m := n.byExt[extKey{f.Proto, f.Dst}]
+	if m != nil && n.expired(m, now) {
+		n.drop(m)
+		m = nil
+	}
+	if m == nil {
+		n.Metrics.Counter("drop_no_mapping").Inc()
+		return netaddr.Flow{}, DropNoMapping
+	}
+	if !n.allowInbound(m, f.Src) {
+		n.Metrics.Counter("drop_filtered").Inc()
+		return netaddr.Flow{}, DropFiltered
+	}
+	if n.cfg.RefreshOnInbound {
+		m.LastActive = now
+	}
+	n.Metrics.Counter("pkts_in").Inc()
+	return netaddr.Flow{Proto: f.Proto, Src: f.Src, Dst: m.Int}, Ok
+}
+
+func (n *NAT) allowInbound(m *Mapping, from netaddr.Endpoint) bool {
+	switch n.cfg.Type {
+	case FullCone:
+		return true
+	case AddressRestricted:
+		return m.SentToAddr(from.Addr)
+	case PortRestricted, Symmetric:
+		// A symmetric mapping has exactly one destination, so the
+		// port-restricted check degenerates to "is this the destination".
+		return m.SentTo(from)
+	default:
+		return false
+	}
+}
+
+// HairpinResult describes the two half-translations of a hairpinned packet.
+type HairpinResult struct {
+	// Flow is the packet as delivered to the inside destination.
+	Flow netaddr.Flow
+	// SourcePreserved reports that the internal source endpoint survived
+	// (HairpinPreserveSource), i.e. the receiver learns an internal address.
+	SourcePreserved bool
+}
+
+// Hairpin handles a packet from an inside host addressed to one of the
+// NAT's external endpoints. It performs the outbound half (allocating or
+// refreshing the sender's mapping), then the inbound half toward the mapped
+// internal destination, applying the configured hairpin source behavior.
+func (n *NAT) Hairpin(f netaddr.Flow, now time.Time) (HairpinResult, Verdict) {
+	if n.cfg.Hairpin == HairpinOff {
+		n.Metrics.Counter("drop_hairpin").Inc()
+		return HairpinResult{}, DropHairpin
+	}
+	out, v := n.TranslateOut(f, now)
+	if v != Ok {
+		return HairpinResult{}, v
+	}
+	// Inbound half: find the destination mapping.
+	in, v := n.TranslateIn(out, now)
+	if v != Ok {
+		return HairpinResult{}, v
+	}
+	res := HairpinResult{Flow: in}
+	if n.cfg.Hairpin == HairpinPreserveSource {
+		res.Flow.Src = f.Src
+		res.SourcePreserved = true
+	}
+	n.Metrics.Counter("pkts_hairpin").Inc()
+	return res, Ok
+}
+
+// allocate chooses an external endpoint for a new mapping of flow f.
+func (n *NAT) allocate(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
+	ip := n.chooseExternalIP(f.Src.Addr)
+	switch n.cfg.PortAlloc {
+	case Preservation:
+		if port, ok := n.ports.takePreferred(ip, f.Proto, f.Src.Port); ok {
+			return netaddr.EndpointOf(ip, port), true
+		}
+	case Sequential:
+		// A long-running NAT is somewhere mid-cycle; seed the cursor
+		// randomly on the first allocation for each (IP, protocol).
+		n.ports.seedSequential(ip, f.Proto,
+			n.cfg.PortLo+uint16(n.rng.Intn(int(n.cfg.PortHi-n.cfg.PortLo))))
+		if port, ok := n.ports.takeSequential(ip, f.Proto); ok {
+			return netaddr.EndpointOf(ip, port), true
+		}
+	case Random:
+		if port, ok := n.ports.takeRandom(ip, f.Proto, n.rng); ok {
+			return netaddr.EndpointOf(ip, port), true
+		}
+	case RandomChunk:
+		lo, hi, ok := n.chunks.chunkFor(ip, f.Src.Addr, n.rng)
+		if !ok {
+			return netaddr.Endpoint{}, false
+		}
+		if port, ok := n.ports.takeRandomIn(ip, f.Proto, lo, hi, n.rng); ok {
+			return netaddr.EndpointOf(ip, port), true
+		}
+	}
+	return netaddr.Endpoint{}, false
+}
+
+func (n *NAT) chooseExternalIP(internal netaddr.Addr) netaddr.Addr {
+	pool := n.cfg.ExternalIPs
+	if len(pool) == 1 {
+		return pool[0]
+	}
+	if n.cfg.Pooling == Paired {
+		if ip, ok := n.pairedExt[internal]; ok {
+			return ip
+		}
+		ip := pool[n.rrNext%len(pool)]
+		n.rrNext++
+		n.pairedExt[internal] = ip
+		return ip
+	}
+	// Arbitrary pooling: pick a random pool member per mapping.
+	return pool[n.rng.Intn(len(pool))]
+}
+
+// Sweep removes all mappings idle past their timeout, returning how many
+// were removed. The simulator calls it when virtual time jumps.
+func (n *NAT) Sweep(now time.Time) int {
+	var victims []*Mapping
+	for _, m := range n.byExt {
+		if n.expired(m, now) {
+			victims = append(victims, m)
+		}
+	}
+	for _, m := range victims {
+		n.drop(m)
+	}
+	return len(victims)
+}
+
+// LookupByExternal returns the live mapping behind an external endpoint.
+func (n *NAT) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.Time) (*Mapping, bool) {
+	m := n.byExt[extKey{p, ext}]
+	if m == nil || n.expired(m, now) {
+		return nil, false
+	}
+	return m, true
+}
+
+// ExternalFor returns the external endpoint a (proto, internal src, dst)
+// would currently map to, without creating state. Test helpers use it to
+// assert pooling and preservation behavior.
+func (n *NAT) ExternalFor(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
+	m := n.byInt[n.intKeyFor(f)]
+	if m == nil || n.expired(m, now) {
+		return netaddr.Endpoint{}, false
+	}
+	return m.Ext, true
+}

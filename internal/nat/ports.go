@@ -1,0 +1,230 @@
+package nat
+
+import (
+	"math/rand"
+
+	"cgn/internal/netaddr"
+)
+
+// portSpace tracks allocated external ports per (external IP, protocol) and
+// implements the search policies behind the allocation strategies.
+type portSpace struct {
+	lo, hi uint16
+	used   map[portKey]bool
+	// seqNext holds the next candidate port for Sequential allocation.
+	seqNext map[seqKey]uint16
+}
+
+type portKey struct {
+	ip    netaddr.Addr
+	proto netaddr.Proto
+	port  uint16
+}
+
+type seqKey struct {
+	ip    netaddr.Addr
+	proto netaddr.Proto
+}
+
+func newPortSpace(lo, hi uint16) *portSpace {
+	return &portSpace{
+		lo: lo, hi: hi,
+		used:    make(map[portKey]bool),
+		seqNext: make(map[seqKey]uint16),
+	}
+}
+
+func (s *portSpace) size() int { return int(s.hi) - int(s.lo) + 1 }
+
+func (s *portSpace) isFree(ip netaddr.Addr, p netaddr.Proto, port uint16) bool {
+	return !s.used[portKey{ip, p, port}]
+}
+
+func (s *portSpace) take(ip netaddr.Addr, p netaddr.Proto, port uint16) {
+	s.used[portKey{ip, p, port}] = true
+}
+
+func (s *portSpace) free(e netaddr.Endpoint, p netaddr.Proto) {
+	delete(s.used, portKey{e.Addr, p, e.Port})
+}
+
+// takePreferred implements port preservation: use want if free; otherwise
+// scan upward (wrapping) for the nearest free port, which yields the
+// near-sequential fallback pattern real NATs exhibit under collision.
+func (s *portSpace) takePreferred(ip netaddr.Addr, p netaddr.Proto, want uint16) (uint16, bool) {
+	if want < s.lo || want > s.hi {
+		// The internal source port is outside the NAT's allocatable range;
+		// fall back to a sequential pick.
+		return s.takeSequential(ip, p)
+	}
+	port := want
+	for i := 0; i < s.size(); i++ {
+		if s.isFree(ip, p, port) {
+			s.take(ip, p, port)
+			return port, true
+		}
+		if port == s.hi {
+			port = s.lo
+		} else {
+			port++
+		}
+	}
+	return 0, false
+}
+
+// seedSequential positions the sequential cursor for (ip, proto) if it
+// has no position yet. The NAT engine seeds a random start so a freshly
+// constructed NAT behaves like the long-running device it models — mid-
+// cycle, not at the bottom of the port range.
+func (s *portSpace) seedSequential(ip netaddr.Addr, p netaddr.Proto, start uint16) {
+	k := seqKey{ip, p}
+	if _, ok := s.seqNext[k]; !ok && start >= s.lo && start <= s.hi {
+		s.seqNext[k] = start
+	}
+}
+
+// takeSequential hands out ports in increasing order per (ip, proto),
+// skipping ports still held by live mappings and wrapping at the top.
+func (s *portSpace) takeSequential(ip netaddr.Addr, p netaddr.Proto) (uint16, bool) {
+	k := seqKey{ip, p}
+	start, ok := s.seqNext[k]
+	if !ok || start < s.lo || start > s.hi {
+		start = s.lo
+	}
+	port := start
+	for i := 0; i < s.size(); i++ {
+		if s.isFree(ip, p, port) {
+			s.take(ip, p, port)
+			next := port + 1
+			if next > s.hi || next < s.lo {
+				next = s.lo
+			}
+			s.seqNext[k] = next
+			return port, true
+		}
+		if port == s.hi {
+			port = s.lo
+		} else {
+			port++
+		}
+	}
+	return 0, false
+}
+
+// takeRandom picks a uniformly random free port in the full range.
+func (s *portSpace) takeRandom(ip netaddr.Addr, p netaddr.Proto, rng *rand.Rand) (uint16, bool) {
+	return s.takeRandomIn(ip, p, s.lo, s.hi, rng)
+}
+
+// takeRandomIn picks a uniformly random free port in [lo, hi]. It tries
+// random probes first and degrades to a linear scan from a random offset so
+// allocation stays correct even when the range is nearly full.
+func (s *portSpace) takeRandomIn(ip netaddr.Addr, p netaddr.Proto, lo, hi uint16, rng *rand.Rand) (uint16, bool) {
+	if lo < s.lo {
+		lo = s.lo
+	}
+	if hi > s.hi {
+		hi = s.hi
+	}
+	if lo > hi {
+		return 0, false
+	}
+	span := int(hi) - int(lo) + 1
+	for i := 0; i < 32; i++ {
+		port := lo + uint16(rng.Intn(span))
+		if s.isFree(ip, p, port) {
+			s.take(ip, p, port)
+			return port, true
+		}
+	}
+	offset := rng.Intn(span)
+	for i := 0; i < span; i++ {
+		port := lo + uint16((offset+i)%span)
+		if s.isFree(ip, p, port) {
+			s.take(ip, p, port)
+			return port, true
+		}
+	}
+	return 0, false
+}
+
+// chunkTable assigns each subscriber (internal IP) a fixed, contiguous
+// block of the external port space on one external IP — the "chunk-based"
+// allocation of §6.2 / Fig 8(c). Chunk size must be a power of two; the
+// first chunk starts at the first multiple of the chunk size at or above
+// the low port bound, matching vendor descriptions of block allocation.
+type chunkTable struct {
+	lo, hi uint16
+	size   uint16
+	// assigned maps (external IP, subscriber) to the chunk base port.
+	assigned map[chunkKey]uint16
+	// taken marks chunk bases in use per external IP.
+	taken map[baseKey]bool
+}
+
+type chunkKey struct {
+	ip  netaddr.Addr
+	sub netaddr.Addr
+}
+
+type baseKey struct {
+	ip   netaddr.Addr
+	base uint16
+}
+
+func newChunkTable(lo, hi, size uint16) *chunkTable {
+	return &chunkTable{
+		lo: lo, hi: hi, size: size,
+		assigned: make(map[chunkKey]uint16),
+		taken:    make(map[baseKey]bool),
+	}
+}
+
+// bases enumerates all chunk base ports.
+func (t *chunkTable) bases() []uint16 {
+	var out []uint16
+	start := (t.lo + t.size - 1) / t.size * t.size
+	for base := start; base+(t.size-1) <= t.hi; base += t.size {
+		out = append(out, base)
+		if base+t.size < base { // wrapped
+			break
+		}
+	}
+	return out
+}
+
+// chunkFor returns the [lo, hi] port bounds of the subscriber's chunk on
+// ip, assigning a random free chunk on first use.
+func (t *chunkTable) chunkFor(ip, subscriber netaddr.Addr, rng *rand.Rand) (uint16, uint16, bool) {
+	k := chunkKey{ip, subscriber}
+	if base, ok := t.assigned[k]; ok {
+		return base, base + t.size - 1, true
+	}
+	bases := t.bases()
+	var free []uint16
+	for _, b := range bases {
+		if !t.taken[baseKey{ip, b}] {
+			free = append(free, b)
+		}
+	}
+	if len(free) == 0 {
+		return 0, 0, false
+	}
+	base := free[rng.Intn(len(free))]
+	t.assigned[k] = base
+	t.taken[baseKey{ip, base}] = true
+	return base, base + t.size - 1, true
+}
+
+// NumSubscribers returns how many subscribers hold a chunk on ip; the
+// maximum is the paper's "users per public IP" figure (e.g. 64 at 1K
+// chunks).
+func (t *chunkTable) numSubscribers(ip netaddr.Addr) int {
+	n := 0
+	for k := range t.assigned {
+		if k.ip == ip {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+package netaddr_test
+
+import (
+	"fmt"
+
+	"cgn/internal/netaddr"
+)
+
+// The reserved-range taxonomy of Table 1 drives the BitTorrent leak
+// detection: a DHT contact inside any of these blocks is an "internal
+// peer".
+func ExampleClassifyRange() {
+	for _, s := range []string{"192.168.1.7", "10.44.0.9", "100.64.12.1", "203.0.113.9"} {
+		a := netaddr.MustParseAddr(s)
+		fmt.Printf("%-14s %-6s reserved=%v\n", a, netaddr.ClassifyRange(a), netaddr.IsReserved(a))
+	}
+	// Output:
+	// 192.168.1.7    192X   reserved=true
+	// 10.44.0.9      10X    reserved=true
+	// 100.64.12.1    100X   reserved=true
+	// 203.0.113.9    public reserved=false
+}
+
+// Categorize buckets observed addresses the way §4.2 classifies IPdev and
+// IPcpe against the address the measurement server saw.
+func ExampleCategorize() {
+	pub := netaddr.MustParseAddr("203.0.113.7")
+	fmt.Println(netaddr.Categorize(netaddr.MustParseAddr("100.64.0.5"), false, pub))
+	fmt.Println(netaddr.Categorize(netaddr.MustParseAddr("25.1.2.3"), false, pub))
+	fmt.Println(netaddr.Categorize(pub, true, pub))
+	fmt.Println(netaddr.Categorize(netaddr.MustParseAddr("198.51.100.9"), true, pub))
+	// Output:
+	// private
+	// unrouted
+	// routed match
+	// routed mismatch
+}
+
+// Flows are comparable values, so NAT mapping tables are plain maps.
+func ExampleFlow_Reverse() {
+	f := netaddr.FlowOf(netaddr.UDP,
+		netaddr.MustParseEndpoint("10.0.0.1:6881"),
+		netaddr.MustParseEndpoint("203.0.113.9:3478"))
+	fmt.Println(f)
+	fmt.Println(f.Reverse())
+	// Output:
+	// udp 10.0.0.1:6881 -> 203.0.113.9:3478
+	// udp 203.0.113.9:3478 -> 10.0.0.1:6881
+}

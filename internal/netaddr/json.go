@@ -1,0 +1,66 @@
+package netaddr
+
+import "fmt"
+
+// MarshalText implements encoding.TextMarshaler; Addr values serialize as
+// dotted quads, which also makes them usable as JSON object keys.
+func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *Addr) UnmarshalText(b []byte) error {
+	v, err := ParseAddr(string(b))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler (CIDR notation).
+func (p Prefix) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Prefix) UnmarshalText(b []byte) error {
+	v, err := ParsePrefix(string(b))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler ("addr:port").
+func (e Endpoint) MarshalText() ([]byte, error) { return []byte(e.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (e *Endpoint) UnmarshalText(b []byte) error {
+	v, err := ParseEndpoint(string(b))
+	if err != nil {
+		return err
+	}
+	*e = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler ("udp"/"tcp").
+func (p Proto) MarshalText() ([]byte, error) {
+	switch p {
+	case UDP, TCP:
+		return []byte(p.String()), nil
+	default:
+		return nil, fmt.Errorf("netaddr: cannot marshal %v", p)
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Proto) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "udp":
+		*p = UDP
+	case "tcp":
+		*p = TCP
+	default:
+		return fmt.Errorf("netaddr: unknown protocol %q", b)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package netaddr
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAddrJSONRoundTrip(t *testing.T) {
+	in := MustParseAddr("100.64.3.7")
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"100.64.3.7"` {
+		t.Errorf("marshal = %s", b)
+	}
+	var out Addr
+	if err := json.Unmarshal(b, &out); err != nil || out != in {
+		t.Errorf("unmarshal = %v, %v", out, err)
+	}
+}
+
+func TestAddrAsMapKey(t *testing.T) {
+	in := map[Addr]int{MustParseAddr("10.0.0.1"): 7}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[Addr]int
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[MustParseAddr("10.0.0.1")] != 7 {
+		t.Errorf("map round trip = %v", out)
+	}
+}
+
+func TestPrefixEndpointProtoJSON(t *testing.T) {
+	type payload struct {
+		P  Prefix
+		E  Endpoint
+		Pr Proto
+	}
+	in := payload{
+		P:  MustParsePrefix("100.64.0.0/10"),
+		E:  MustParseEndpoint("198.51.100.2:6881"),
+		Pr: TCP,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	var a Addr
+	if err := json.Unmarshal([]byte(`"bogus"`), &a); err == nil {
+		t.Error("bad addr accepted")
+	}
+	var p Proto
+	if err := json.Unmarshal([]byte(`"icmp"`), &p); err == nil {
+		t.Error("bad proto accepted")
+	}
+	if _, err := Proto(9).MarshalText(); err == nil {
+		t.Error("unknown proto marshaled")
+	}
+}

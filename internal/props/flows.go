@@ -1,0 +1,434 @@
+package props
+
+import (
+	"sort"
+	"time"
+
+	"cgn/internal/detect"
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/routing"
+	"cgn/internal/stats"
+	"cgn/internal/stun"
+)
+
+// NetClass buckets a session the way Figures 11–13 group their
+// populations.
+type NetClass uint8
+
+// Session network classes.
+const (
+	NonCellularNoCGN NetClass = iota
+	NonCellularCGN
+	CellularCGN
+	CellularNoCGN
+)
+
+// String names the class as in the figures.
+func (c NetClass) String() string {
+	switch c {
+	case NonCellularNoCGN:
+		return "non-cellular no CGN"
+	case NonCellularCGN:
+		return "non-cellular CGN"
+	case CellularCGN:
+		return "cellular CGN"
+	case CellularNoCGN:
+		return "cellular no CGN"
+	default:
+		return "class(?)"
+	}
+}
+
+// ClassOf buckets one session given the combined CGN verdict.
+func ClassOf(s netalyzr.Session, cgnASes map[uint32]bool) NetClass {
+	switch {
+	case s.Cellular && cgnASes[s.ASN]:
+		return CellularCGN
+	case s.Cellular:
+		return CellularNoCGN
+	case cgnASes[s.ASN]:
+		return NonCellularCGN
+	default:
+		return NonCellularNoCGN
+	}
+}
+
+// MinSessionsPerNetwork is the §6.3 filter: at least three sessions from
+// a (AS, class) combination before it enters the property analyses.
+const MinSessionsPerNetwork = 3
+
+// FilterNetworks drops sessions from (AS, class) groups with fewer than
+// min sessions, mirroring §6.3's filtering.
+func FilterNetworks(sessions []netalyzr.Session, cgnASes map[uint32]bool, min int) []netalyzr.Session {
+	type groupKey struct {
+		asn uint32
+		cls NetClass
+	}
+	counts := map[groupKey]int{}
+	for _, s := range sessions {
+		counts[groupKey{s.ASN, ClassOf(s, cgnASes)}]++
+	}
+	var out []netalyzr.Session
+	for _, s := range sessions {
+		if counts[groupKey{s.ASN, ClassOf(s, cgnASes)}] >= min {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DistanceResult holds Figure 11: per AS class, the distribution of the
+// most distant NAT hop.
+type DistanceResult struct {
+	// PerClass maps class -> hop bucket (1..9, 10 means ">=10") -> AS
+	// count.
+	PerClass map[NetClass]stats.Freq[int]
+	// ASCount counts ASes per class.
+	ASCount map[NetClass]int
+}
+
+// DistanceBucketMax caps Figure 11's x-axis; larger distances fold into
+// the ">=10" bucket.
+const DistanceBucketMax = 10
+
+// AnalyzeDistance computes Figure 11 from TTL-enumeration sessions. An
+// AS is represented by the mode of its sessions' most-distant-NAT
+// observations (the same per-AS aggregation §6.5 uses for timeouts):
+// taking the maximum instead would let a single double-NAT household
+// relabel a whole home-ISP as a two-hop network.
+func AnalyzeDistance(sessions []netalyzr.Session, cgnASes map[uint32]bool) *DistanceResult {
+	type asKey struct {
+		asn uint32
+		cls NetClass
+	}
+	dists := map[asKey][]float64{}
+	for _, s := range sessions {
+		if !s.TTLRan || len(s.TTLResult.NATs) == 0 {
+			continue
+		}
+		k := asKey{s.ASN, ClassOf(s, cgnASes)}
+		dists[k] = append(dists[k], float64(s.TTLResult.MostDistantNAT()))
+	}
+	res := &DistanceResult{
+		PerClass: map[NetClass]stats.Freq[int]{},
+		ASCount:  map[NetClass]int{},
+	}
+	for k, ds := range dists {
+		sort.Float64s(ds)
+		mode, _ := stats.Mode(ds)
+		d := int(mode)
+		if res.PerClass[k.cls] == nil {
+			res.PerClass[k.cls] = stats.Freq[int]{}
+		}
+		if d > DistanceBucketMax {
+			d = DistanceBucketMax
+		}
+		res.PerClass[k.cls].Add(d)
+		res.ASCount[k.cls]++
+	}
+	return res
+}
+
+// CGNMinHops is the §6.5 rule for attributing a measured timeout to the
+// CGN rather than the CPE in NAT444 paths: the NAT must sit at least
+// three hops from the client.
+const CGNMinHops = 3
+
+// TimeoutResult holds Figure 12's samples.
+type TimeoutResult struct {
+	// CellularPerAS and NonCellularPerAS hold one value per CGN AS: the
+	// mode of its sessions' CGN timeout estimates (seconds).
+	CellularPerAS    []float64
+	NonCellularPerAS []float64
+	// CPEPerSession holds per-session CPE (hop 1) timeout estimates.
+	CPEPerSession []float64
+}
+
+// estimate returns the midpoint of a timeout bracket in seconds.
+func estimate(lo, hi time.Duration) float64 {
+	return (lo + hi).Seconds() / 2
+}
+
+// AnalyzeTimeouts computes Figure 12 from TTL-enumeration sessions.
+func AnalyzeTimeouts(sessions []netalyzr.Session, cgnASes map[uint32]bool) *TimeoutResult {
+	res := &TimeoutResult{}
+	perAS := map[uint32][]float64{}
+	perASCell := map[uint32]bool{}
+	for _, s := range sessions {
+		if !s.TTLRan {
+			continue
+		}
+		cls := ClassOf(s, cgnASes)
+		for _, ob := range s.TTLResult.NATs {
+			est := estimate(ob.TimeoutLow, ob.TimeoutHigh)
+			// CPE sample: first-hop NATs on non-cellular paths.
+			if !s.Cellular && ob.Hop == 1 {
+				res.CPEPerSession = append(res.CPEPerSession, est)
+			}
+			// CGN sample: in CGN-positive ASes, NATs at >= CGNMinHops
+			// (cellular paths have no CPE, so hop >= 1 suffices there).
+			isCGNNAT := (cls == CellularCGN && ob.Hop >= 1) ||
+				(cls == NonCellularCGN && ob.Hop >= CGNMinHops)
+			if isCGNNAT {
+				perAS[s.ASN] = append(perAS[s.ASN], est)
+				perASCell[s.ASN] = s.Cellular
+			}
+		}
+	}
+	asns := make([]uint32, 0, len(perAS))
+	for asn := range perAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		vals := append([]float64(nil), perAS[asn]...)
+		sort.Float64s(vals)
+		mode, _ := stats.Mode(vals)
+		if perASCell[asn] {
+			res.CellularPerAS = append(res.CellularPerAS, mode)
+		} else {
+			res.NonCellularPerAS = append(res.NonCellularPerAS, mode)
+		}
+	}
+	return res
+}
+
+// TTLQuadrants is Table 7: sessions bucketed by whether the enumeration
+// found an expired mapping and whether the addresses mismatched.
+type TTLQuadrants struct {
+	DetectedMismatch   int // NAT found, address mismatch (CGN detected)
+	DetectedMatch      int // stateful middlebox without translation
+	UndetectedMismatch int // translation evident but no expiry observed
+	UndetectedMatch    int // nothing: no NAT at all
+}
+
+// Total returns the session count.
+func (q TTLQuadrants) Total() int {
+	return q.DetectedMismatch + q.DetectedMatch + q.UndetectedMismatch + q.UndetectedMatch
+}
+
+// AnalyzeTTLDetection computes Table 7.
+func AnalyzeTTLDetection(sessions []netalyzr.Session) TTLQuadrants {
+	var q TTLQuadrants
+	for _, s := range sessions {
+		if !s.TTLRan {
+			continue
+		}
+		detected := len(s.TTLResult.NATs) > 0
+		switch {
+		case detected && s.TTLResult.Mismatch:
+			q.DetectedMismatch++
+		case detected && !s.TTLResult.Mismatch:
+			q.DetectedMatch++
+		case !detected && s.TTLResult.Mismatch:
+			q.UndetectedMismatch++
+		default:
+			q.UndetectedMatch++
+		}
+	}
+	return q
+}
+
+// STUNResult holds Figure 13.
+type STUNResult struct {
+	// CPESessions tallies session-level classes over non-cellular no-CGN
+	// sessions: Figure 13(a).
+	CPESessions stats.Freq[stun.NATClass]
+	// CellularASes and NonCellularASes tally the most permissive class
+	// per CGN AS: Figure 13(b).
+	CellularASes    stats.Freq[stun.NATClass]
+	NonCellularASes stats.Freq[stun.NATClass]
+}
+
+// permissiveness orders NAT classes for the "most permissive" rule; the
+// composite of cascaded NATs shows the most restrictive behavior, so the
+// most permissive session observed lower-bounds the CGN's own behavior.
+func permissiveness(c stun.NATClass) int {
+	switch c {
+	case stun.ClassSymmetric:
+		return 1
+	case stun.ClassPortRestricted:
+		return 2
+	case stun.ClassAddressRestricted:
+		return 3
+	case stun.ClassFullCone:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// AnalyzeSTUN computes Figure 13 from STUN sessions.
+func AnalyzeSTUN(sessions []netalyzr.Session, cgnASes map[uint32]bool) *STUNResult {
+	res := &STUNResult{
+		CPESessions:     stats.Freq[stun.NATClass]{},
+		CellularASes:    stats.Freq[stun.NATClass]{},
+		NonCellularASes: stats.Freq[stun.NATClass]{},
+	}
+	best := map[uint32]stun.NATClass{}
+	cellular := map[uint32]bool{}
+	for _, s := range sessions {
+		if !s.STUNRan {
+			continue
+		}
+		cls := ClassOf(s, cgnASes)
+		c := s.STUNResult.Class
+		if cls == NonCellularNoCGN && c.IsNAT() {
+			res.CPESessions.Add(c)
+		}
+		if cls == CellularCGN || cls == NonCellularCGN {
+			if !c.IsNAT() {
+				continue
+			}
+			if prev, ok := best[s.ASN]; !ok || permissiveness(c) > permissiveness(prev) {
+				best[s.ASN] = c
+			}
+			cellular[s.ASN] = s.Cellular
+		}
+	}
+	for asn, c := range best {
+		if cellular[asn] {
+			res.CellularASes.Add(c)
+		} else {
+			res.NonCellularASes.Add(c)
+		}
+	}
+	return res
+}
+
+// InternalSpaceResult holds Figure 7.
+type InternalSpaceResult struct {
+	// CellularUse and NonCellularUse tally Figure 7(a): per CGN AS, the
+	// internal address category in use.
+	CellularUse    stats.Freq[InternalUse]
+	NonCellularUse stats.Freq[InternalUse]
+	// RoutableASes lists ASes observed using routable space internally,
+	// with the /8 blocks involved: Figure 7(b).
+	RoutableASes []RoutableUse
+}
+
+// RoutableUse is one Figure 7(b) row.
+type RoutableUse struct {
+	ASN uint32
+	// Blocks lists the /8s seen as internal addresses.
+	Blocks []netaddr.Prefix
+	// Routed reports whether any of the blocks is actually routed by
+	// another network (the gravest case the paper highlights).
+	Routed bool
+}
+
+// AnalyzeInternalSpace computes Figure 7 by combining the BitTorrent
+// cluster ranges with the Netalyzr device/CPE addresses of CGN ASes.
+// topCPEBlocks (the detection funnel's common home-assignment /24s,
+// §4.2) filters stacked home NATs out of the IPcpe evidence: an inner
+// router's WAN address in 192.168.0.0/24 says nothing about the ISP's
+// internal addressing plan. Pass nil to skip the filter.
+func AnalyzeInternalSpace(sessions []netalyzr.Session, bt *detect.BTResult,
+	cgnASes map[uint32]bool, global *routing.Global,
+	topCPEBlocks []netaddr.Prefix) *InternalSpaceResult {
+
+	res := &InternalSpaceResult{
+		CellularUse:    stats.Freq[InternalUse]{},
+		NonCellularUse: stats.Freq[InternalUse]{},
+	}
+	uses := map[uint32]map[InternalUse]bool{}
+	routableBlocks := map[uint32]map[netaddr.Prefix]bool{}
+	routedFlag := map[uint32]bool{}
+	cellular := map[uint32]bool{}
+
+	record := func(asn uint32, u InternalUse) {
+		if uses[asn] == nil {
+			uses[asn] = map[InternalUse]bool{}
+		}
+		uses[asn][u] = true
+	}
+	recordAddr := func(asn uint32, a netaddr.Addr, pub netaddr.Addr) {
+		if r, ok := rangeUse(netaddr.ClassifyRange(a)); ok {
+			record(asn, r)
+			return
+		}
+		// Public-looking internal address: routable space used
+		// internally (translation proven by pub mismatch upstream).
+		cat := netaddr.Categorize(a, global.Routed(a), pub)
+		if cat == netaddr.CatUnrouted || cat == netaddr.CatRoutedMismatch {
+			record(asn, UseRoutable)
+			if routableBlocks[asn] == nil {
+				routableBlocks[asn] = map[netaddr.Prefix]bool{}
+			}
+			routableBlocks[asn][netaddr.PrefixFrom(a, 8)] = true
+			if cat == netaddr.CatRoutedMismatch {
+				routedFlag[asn] = true
+			}
+		}
+	}
+
+	inTopBlocks := func(a netaddr.Addr) bool {
+		blk := a.Block24()
+		for _, p := range topCPEBlocks {
+			if p == blk {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range sessions {
+		if !cgnASes[s.ASN] {
+			continue
+		}
+		cellular[s.ASN] = s.Cellular
+		if s.Cellular {
+			recordAddr(s.ASN, s.IPdev, s.IPpub)
+		} else if s.HasCPE && !inTopBlocks(s.IPcpe) {
+			recordAddr(s.ASN, s.IPcpe, s.IPpub)
+		}
+	}
+	if bt != nil {
+		for asn, as := range bt.PerAS {
+			if !as.CGN || !cgnASes[asn] {
+				continue
+			}
+			for _, r := range as.CGNRanges {
+				if u, ok := rangeUse(r); ok {
+					record(asn, u)
+				}
+			}
+		}
+	}
+
+	asns := make([]uint32, 0, len(uses))
+	for asn := range uses {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		set := uses[asn]
+		var u InternalUse
+		switch {
+		case set[UseRoutable]:
+			u = UseRoutable
+		case len(set) > 1:
+			u = UseMultiple
+		default:
+			for only := range set {
+				u = only
+			}
+		}
+		if cellular[asn] {
+			res.CellularUse.Add(u)
+		} else {
+			res.NonCellularUse.Add(u)
+		}
+		if set[UseRoutable] {
+			var blocks []netaddr.Prefix
+			for p := range routableBlocks[asn] {
+				blocks = append(blocks, p)
+			}
+			routing.SortPrefixes(blocks)
+			res.RoutableASes = append(res.RoutableASes, RoutableUse{
+				ASN: asn, Blocks: blocks, Routed: routedFlag[asn],
+			})
+		}
+	}
+	return res
+}

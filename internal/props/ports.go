@@ -1,0 +1,394 @@
+// Package props implements the CGN property analyses of §6: port and IP
+// address allocation (Fig 8, Fig 9, Table 6), pooling behavior, internal
+// address space usage (Fig 7), topological properties (Fig 11), mapping
+// timeouts (Fig 12), flow mapping types (Fig 13) and the TTL-enumeration
+// detection quadrants (Table 7).
+package props
+
+import (
+	"sort"
+
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/stats"
+)
+
+// PortStrategy is a session-level port allocation classification.
+type PortStrategy uint8
+
+// Session port strategies (§6.2).
+const (
+	// StrategyPreservation: at least PreservationMinFrac of the flows
+	// kept their local source port.
+	StrategyPreservation PortStrategy = iota
+	// StrategySequential: consecutive observed ports differ by less than
+	// SequentialMaxDiff.
+	StrategySequential
+	// StrategyRandom: anything else.
+	StrategyRandom
+)
+
+// String names the strategy as in Figure 9.
+func (p PortStrategy) String() string {
+	switch p {
+	case StrategyPreservation:
+		return "preservation"
+	case StrategySequential:
+		return "sequential"
+	case StrategyRandom:
+		return "random"
+	default:
+		return "strategy(?)"
+	}
+}
+
+// Classifier leeway from §6.2, footnote 12.
+const (
+	// PreservationMinFrac: fraction of preserved ports that already
+	// counts as preservation (collisions force fallbacks).
+	PreservationMinFrac = 0.20
+	// SequentialMaxDiff: allowed gap between subsequent allocations
+	// (other subscribers allocate in between).
+	SequentialMaxDiff = 50
+	// ChunkMinSessions and ChunkMaxSpan gate chunk-based allocation
+	// detection: at least 20 random-translation sessions, each confined
+	// to a port span below 16K.
+	ChunkMinSessions = 20
+	ChunkMaxSpan     = 16384
+)
+
+// PortConfig allows the ablation benches to sweep the classifier leeway;
+// zero values take the paper's constants.
+type PortConfig struct {
+	PreservationMinFrac float64
+	SequentialMaxDiff   int
+	ChunkMinSessions    int
+	ChunkMaxSpan        int
+}
+
+func (c PortConfig) withDefaults() PortConfig {
+	if c.PreservationMinFrac == 0 {
+		c.PreservationMinFrac = PreservationMinFrac
+	}
+	if c.SequentialMaxDiff == 0 {
+		c.SequentialMaxDiff = SequentialMaxDiff
+	}
+	if c.ChunkMinSessions == 0 {
+		c.ChunkMinSessions = ChunkMinSessions
+	}
+	if c.ChunkMaxSpan == 0 {
+		c.ChunkMaxSpan = ChunkMaxSpan
+	}
+	return c
+}
+
+// ClassifySessionPorts classifies one session's flows. ok is false when
+// the session has too few flows to judge.
+func ClassifySessionPorts(flows []netalyzr.FlowObs, cfg PortConfig) (PortStrategy, bool) {
+	cfg = cfg.withDefaults()
+	if len(flows) < 2 {
+		return 0, false
+	}
+	preserved := 0
+	for _, f := range flows {
+		if f.Observed.Port == f.LocalPort {
+			preserved++
+		}
+	}
+	if float64(preserved) >= cfg.PreservationMinFrac*float64(len(flows)) {
+		return StrategyPreservation, true
+	}
+	sequential := true
+	for i := 1; i < len(flows); i++ {
+		d := int(flows[i].Observed.Port) - int(flows[i-1].Observed.Port)
+		if d < 0 {
+			d = -d
+		}
+		if d >= cfg.SequentialMaxDiff {
+			sequential = false
+			break
+		}
+	}
+	if sequential {
+		return StrategySequential, true
+	}
+	return StrategyRandom, true
+}
+
+// PortSpan returns the observed port range width of a session.
+func PortSpan(flows []netalyzr.FlowObs) int {
+	if len(flows) == 0 {
+		return 0
+	}
+	lo, hi := flows[0].Observed.Port, flows[0].Observed.Port
+	for _, f := range flows[1:] {
+		if f.Observed.Port < lo {
+			lo = f.Observed.Port
+		}
+		if f.Observed.Port > hi {
+			hi = f.Observed.Port
+		}
+	}
+	return int(hi) - int(lo)
+}
+
+// ASPorts aggregates one AS's port behavior.
+type ASPorts struct {
+	ASN      uint32
+	Cellular bool
+	// Strategies tallies session classifications.
+	Strategies stats.Freq[PortStrategy]
+	// RandomSpans collects port spans of random-translation sessions for
+	// chunk detection.
+	RandomSpans []int
+	// ChunkDetected and ChunkSize report chunk-based allocation.
+	ChunkDetected bool
+	ChunkSize     int
+	// MultiIPSessions counts sessions observing >1 external IP; Sessions
+	// counts all classified sessions.
+	Sessions        int
+	MultiIPSessions int
+}
+
+// Dominant returns the AS's plurality strategy.
+func (a *ASPorts) Dominant() PortStrategy {
+	best, bestN := StrategyPreservation, -1
+	for _, s := range []PortStrategy{StrategyPreservation, StrategySequential, StrategyRandom} {
+		if n := a.Strategies[s]; n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// Pure reports whether all sessions agree on one strategy (the left side
+// of Figure 9).
+func (a *ASPorts) Pure() bool {
+	nonZero := 0
+	for _, n := range a.Strategies {
+		if n > 0 {
+			nonZero++
+		}
+	}
+	return nonZero == 1
+}
+
+// ArbitraryPoolingFrac is the session share that saw multiple external
+// IPs; above PoolingArbitraryFrac the AS pools arbitrarily (§6.2).
+func (a *ASPorts) ArbitraryPoolingFrac() float64 {
+	if a.Sessions == 0 {
+		return 0
+	}
+	return float64(a.MultiIPSessions) / float64(a.Sessions)
+}
+
+// PoolingArbitraryFrac is the §6.2 arbitrary-pooling session threshold.
+const PoolingArbitraryFrac = 0.6
+
+// PortResult is the full §6.2 analysis.
+type PortResult struct {
+	Cfg PortConfig
+	// PerAS holds aggregates for CGN-positive ASes only (the population
+	// Figures 8/9 and Table 6 describe).
+	PerAS map[uint32]*ASPorts
+	// HistPreserved and HistTranslated are the Figure 8(a) histograms of
+	// server-observed source ports: OS-chosen (preserved) vs
+	// CGN-renumbered.
+	HistPreserved, HistTranslated *stats.Histogram
+	// CPEModels maps router model to (sessions, port-preserving
+	// sessions) over non-CGN sessions: Figure 8(b).
+	CPEModels map[string]*ModelStat
+}
+
+// ModelStat is one Figure 8(b) point.
+type ModelStat struct {
+	Sessions   int
+	Preserving int
+}
+
+// AnalyzePorts runs the §6.2 pipeline. cgnASes is the combined detection
+// verdict (BitTorrent ∪ Netalyzr).
+func AnalyzePorts(sessions []netalyzr.Session, cgnASes map[uint32]bool, cfg PortConfig) *PortResult {
+	cfg = cfg.withDefaults()
+	res := &PortResult{
+		Cfg:            cfg,
+		PerAS:          make(map[uint32]*ASPorts),
+		HistPreserved:  stats.NewHistogram(0, 65536, 64),
+		HistTranslated: stats.NewHistogram(0, 65536, 64),
+		CPEModels:      make(map[string]*ModelStat),
+	}
+	for _, s := range sessions {
+		strat, ok := ClassifySessionPorts(s.Flows, cfg)
+		if !ok {
+			continue
+		}
+		isCGN := cgnASes[s.ASN]
+		// Figure 8(a): the port population by translation status.
+		for _, f := range s.Flows {
+			if strat == StrategyPreservation {
+				res.HistPreserved.Add(float64(f.Observed.Port))
+			} else if isCGN {
+				res.HistTranslated.Add(float64(f.Observed.Port))
+			}
+		}
+		// Figure 8(b): CPE models in non-CGN sessions.
+		if !isCGN && s.HasCPE && s.CPEModel != "" {
+			ms := res.CPEModels[s.CPEModel]
+			if ms == nil {
+				ms = &ModelStat{}
+				res.CPEModels[s.CPEModel] = ms
+			}
+			ms.Sessions++
+			if strat == StrategyPreservation {
+				ms.Preserving++
+			}
+		}
+		if !isCGN {
+			continue
+		}
+		as := res.PerAS[s.ASN]
+		if as == nil {
+			as = &ASPorts{ASN: s.ASN, Cellular: s.Cellular, Strategies: stats.Freq[PortStrategy]{}}
+			res.PerAS[s.ASN] = as
+		}
+		as.Sessions++
+		as.Strategies.Add(strat)
+		if len(s.ExternalIPs()) > 1 {
+			as.MultiIPSessions++
+		}
+		if strat == StrategyRandom {
+			as.RandomSpans = append(as.RandomSpans, PortSpan(s.Flows))
+		}
+	}
+	// Chunk detection per AS.
+	for _, as := range res.PerAS {
+		if len(as.RandomSpans) < cfg.ChunkMinSessions {
+			continue
+		}
+		maxSpan := 0
+		within := true
+		for _, span := range as.RandomSpans {
+			if span >= cfg.ChunkMaxSpan {
+				within = false
+				break
+			}
+			if span > maxSpan {
+				maxSpan = span
+			}
+		}
+		if within {
+			as.ChunkDetected = true
+			as.ChunkSize = nextPow2(maxSpan)
+		}
+	}
+	return res
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ChunkASes returns chunk-detected ASes sorted by ASN (Table 6 rows).
+func (r *PortResult) ChunkASes() []*ASPorts {
+	var out []*ASPorts
+	for _, as := range r.PerAS {
+		if as.ChunkDetected {
+			out = append(out, as)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// DominantShares tallies Table 6's dominant-strategy distribution for one
+// population (cellular or not).
+func (r *PortResult) DominantShares(cellular bool) stats.Freq[PortStrategy] {
+	f := stats.Freq[PortStrategy]{}
+	for _, as := range r.PerAS {
+		if as.Cellular == cellular {
+			f.Add(as.Dominant())
+		}
+	}
+	return f
+}
+
+// ChunkExample extracts per-session observed port bands for one AS — the
+// Figure 8(c) visualization data.
+func ChunkExample(sessions []netalyzr.Session, asn uint32) []PortBand {
+	var out []PortBand
+	for _, s := range sessions {
+		if s.ASN != asn || len(s.Flows) == 0 {
+			continue
+		}
+		lo, hi := s.Flows[0].Observed.Port, s.Flows[0].Observed.Port
+		for _, f := range s.Flows[1:] {
+			if f.Observed.Port < lo {
+				lo = f.Observed.Port
+			}
+			if f.Observed.Port > hi {
+				hi = f.Observed.Port
+			}
+		}
+		out = append(out, PortBand{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// PortBand is one session's observed port range.
+type PortBand struct {
+	Lo, Hi uint16
+}
+
+// InternalUse classifies one CGN AS's internal address space for
+// Figure 7(a).
+type InternalUse uint8
+
+// Internal address space categories of Figure 7(a).
+const (
+	Use192 InternalUse = iota
+	Use172
+	Use10
+	Use100
+	UseMultiple
+	UseRoutable
+)
+
+// String names the category.
+func (u InternalUse) String() string {
+	switch u {
+	case Use192:
+		return "192X"
+	case Use172:
+		return "172X"
+	case Use10:
+		return "10X"
+	case Use100:
+		return "100X"
+	case UseMultiple:
+		return "multiple"
+	case UseRoutable:
+		return "private & routable"
+	default:
+		return "use(?)"
+	}
+}
+
+// rangeUse maps a reserved range to its use category.
+func rangeUse(r netaddr.Range) (InternalUse, bool) {
+	switch r {
+	case netaddr.Range192:
+		return Use192, true
+	case netaddr.Range172:
+		return Use172, true
+	case netaddr.Range10:
+		return Use10, true
+	case netaddr.Range100:
+		return Use100, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,390 @@
+package props
+
+import (
+	"testing"
+	"time"
+
+	"cgn/internal/netaddr"
+	"cgn/internal/netalyzr"
+	"cgn/internal/routing"
+	"cgn/internal/stun"
+	"cgn/internal/ttlprobe"
+)
+
+func addr(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+func flows(pairs ...[2]uint16) []netalyzr.FlowObs {
+	out := make([]netalyzr.FlowObs, len(pairs))
+	for i, p := range pairs {
+		out[i] = netalyzr.FlowObs{
+			LocalPort: p[0],
+			Observed:  netaddr.EndpointOf(addr("198.51.100.1"), p[1]),
+		}
+	}
+	return out
+}
+
+func TestClassifyPreservation(t *testing.T) {
+	// 3 of 10 preserved (>= 20%).
+	var ps [][2]uint16
+	for i := uint16(0); i < 10; i++ {
+		local := 40000 + i
+		obs := local
+		if i >= 3 {
+			obs = 12345 + 3000*i // clearly not sequential either
+		}
+		ps = append(ps, [2]uint16{local, obs})
+	}
+	got, ok := ClassifySessionPorts(flows(ps...), PortConfig{})
+	if !ok || got != StrategyPreservation {
+		t.Errorf("= %v, %v; want preservation", got, ok)
+	}
+}
+
+func TestClassifySequential(t *testing.T) {
+	var ps [][2]uint16
+	for i := uint16(0); i < 10; i++ {
+		ps = append(ps, [2]uint16{40000 + i, 20000 + 7*i})
+	}
+	got, ok := ClassifySessionPorts(flows(ps...), PortConfig{})
+	if !ok || got != StrategySequential {
+		t.Errorf("= %v, %v; want sequential", got, ok)
+	}
+}
+
+func TestClassifyRandom(t *testing.T) {
+	ps := [][2]uint16{{40000, 5000}, {40001, 61000}, {40002, 22000}, {40003, 48000}, {40004, 9000}}
+	got, ok := ClassifySessionPorts(flows(ps...), PortConfig{})
+	if !ok || got != StrategyRandom {
+		t.Errorf("= %v, %v; want random", got, ok)
+	}
+}
+
+func TestClassifyTooFewFlows(t *testing.T) {
+	if _, ok := ClassifySessionPorts(flows([2]uint16{1, 1}), PortConfig{}); ok {
+		t.Error("single flow should not classify")
+	}
+}
+
+func TestPortSpan(t *testing.T) {
+	if got := PortSpan(flows([2]uint16{1, 5000}, [2]uint16{2, 8000}, [2]uint16{3, 6000})); got != 3000 {
+		t.Errorf("span = %d", got)
+	}
+	if PortSpan(nil) != 0 {
+		t.Error("empty span should be 0")
+	}
+}
+
+// chunkSession fabricates a random-translation session confined to
+// [base, base+width).
+func chunkSession(asn uint32, base, width uint16, cellular bool) netalyzr.Session {
+	s := netalyzr.Session{ASN: asn, Cellular: cellular}
+	offsets := []uint16{0, 7, 3, 9, 1, 8, 2, 6, 4, 5}
+	for i, off := range offsets {
+		port := base + uint16(uint32(off)*uint32(width-1)/9)
+		s.Flows = append(s.Flows, netalyzr.FlowObs{
+			LocalPort: 40000 + uint16(i),
+			Observed:  netaddr.EndpointOf(addr("198.51.100.2"), port),
+		})
+	}
+	return s
+}
+
+func TestChunkDetection(t *testing.T) {
+	cgn := map[uint32]bool{42: true, 43: true}
+	var sessions []netalyzr.Session
+	// AS 42: 25 sessions confined to 4K-aligned chunks.
+	for i := 0; i < 25; i++ {
+		sessions = append(sessions, chunkSession(42, uint16(4096*(i%8+2)), 4096, false))
+	}
+	// AS 43: 25 random sessions over the whole space.
+	for i := 0; i < 25; i++ {
+		sessions = append(sessions, chunkSession(43, 1024, 60000, false))
+	}
+	res := AnalyzePorts(sessions, cgn, PortConfig{})
+	as42 := res.PerAS[42]
+	if as42 == nil || !as42.ChunkDetected {
+		t.Fatalf("AS42 = %+v, want chunk detected", as42)
+	}
+	if as42.ChunkSize != 4096 {
+		t.Errorf("chunk size = %d, want 4096", as42.ChunkSize)
+	}
+	if res.PerAS[43].ChunkDetected {
+		t.Error("AS43 (full-space random) must not be chunk-detected")
+	}
+	if got := res.ChunkASes(); len(got) != 1 || got[0].ASN != 42 {
+		t.Errorf("ChunkASes = %v", got)
+	}
+}
+
+func TestAnalyzePortsHistogramsAndModels(t *testing.T) {
+	cgn := map[uint32]bool{1: true}
+	var sessions []netalyzr.Session
+	// CGN AS: translated full-space sessions.
+	for i := 0; i < 5; i++ {
+		sessions = append(sessions, chunkSession(1, 1024, 60000, false))
+	}
+	// Non-CGN AS with preserving CPE.
+	for i := 0; i < 4; i++ {
+		var ps [][2]uint16
+		for j := uint16(0); j < 10; j++ {
+			ps = append(ps, [2]uint16{41000 + j, 41000 + j})
+		}
+		s := netalyzr.Session{ASN: 2, Flows: flows(ps...), HasCPE: true, CPEModel: "AcmeBox"}
+		sessions = append(sessions, s)
+	}
+	res := AnalyzePorts(sessions, cgn, PortConfig{})
+	if res.HistTranslated.Total != 50 {
+		t.Errorf("translated samples = %d, want 50", res.HistTranslated.Total)
+	}
+	if res.HistPreserved.Total != 40 {
+		t.Errorf("preserved samples = %d, want 40", res.HistPreserved.Total)
+	}
+	// Preserved ports concentrate in the OS ephemeral band.
+	if res.HistPreserved.Bins[41000*64/65536] == 0 {
+		t.Error("preserved histogram missing the ephemeral band")
+	}
+	ms := res.CPEModels["AcmeBox"]
+	if ms == nil || ms.Sessions != 4 || ms.Preserving != 4 {
+		t.Errorf("model stat = %+v", ms)
+	}
+	// Non-CGN ASes don't enter PerAS.
+	if _, ok := res.PerAS[2]; ok {
+		t.Error("non-CGN AS must not be aggregated")
+	}
+}
+
+func TestDominantAndPure(t *testing.T) {
+	as := &ASPorts{Strategies: map[PortStrategy]int{StrategyRandom: 5, StrategySequential: 2}}
+	if as.Dominant() != StrategyRandom {
+		t.Error("dominant should be random")
+	}
+	if as.Pure() {
+		t.Error("mixed AS is not pure")
+	}
+	pure := &ASPorts{Strategies: map[PortStrategy]int{StrategyPreservation: 3}}
+	if !pure.Pure() || pure.Dominant() != StrategyPreservation {
+		t.Error("pure AS misclassified")
+	}
+}
+
+func TestDominantShares(t *testing.T) {
+	res := &PortResult{PerAS: map[uint32]*ASPorts{
+		1: {ASN: 1, Cellular: true, Strategies: map[PortStrategy]int{StrategyRandom: 3}},
+		2: {ASN: 2, Cellular: false, Strategies: map[PortStrategy]int{StrategySequential: 3}},
+		3: {ASN: 3, Cellular: true, Strategies: map[PortStrategy]int{StrategyRandom: 1, StrategyPreservation: 4}},
+	}}
+	cell := res.DominantShares(true)
+	if cell[StrategyRandom] != 1 || cell[StrategyPreservation] != 1 {
+		t.Errorf("cellular shares = %v", cell)
+	}
+	non := res.DominantShares(false)
+	if non[StrategySequential] != 1 {
+		t.Errorf("non-cellular shares = %v", non)
+	}
+}
+
+func TestArbitraryPoolingFrac(t *testing.T) {
+	as := &ASPorts{Sessions: 10, MultiIPSessions: 7}
+	if as.ArbitraryPoolingFrac() != 0.7 {
+		t.Errorf("frac = %v", as.ArbitraryPoolingFrac())
+	}
+	if (&ASPorts{}).ArbitraryPoolingFrac() != 0 {
+		t.Error("empty AS should report 0")
+	}
+}
+
+func ttlSession(asn uint32, cellular bool, mismatch bool, nats ...ttlprobe.NATObservation) netalyzr.Session {
+	return netalyzr.Session{
+		ASN: asn, Cellular: cellular, TTLRan: true,
+		TTLResult: ttlprobe.Result{Mismatch: mismatch, NATs: nats, PathLen: 10},
+	}
+}
+
+func nat(hop int, lo, hi time.Duration) ttlprobe.NATObservation {
+	return ttlprobe.NATObservation{Hop: hop, TimeoutLow: lo, TimeoutHigh: hi}
+}
+
+func TestAnalyzeDistance(t *testing.T) {
+	cgn := map[uint32]bool{1: true, 2: true}
+	sessions := []netalyzr.Session{
+		ttlSession(1, true, true, nat(3, 0, 10), nat(12, 0, 10)),
+		ttlSession(2, false, true, nat(1, 0, 10), nat(4, 0, 10)),
+		ttlSession(3, false, true, nat(1, 0, 10)),
+	}
+	res := AnalyzeDistance(sessions, cgn)
+	if res.PerClass[CellularCGN][DistanceBucketMax] != 1 {
+		t.Errorf("cellular >=10 bucket = %v", res.PerClass[CellularCGN])
+	}
+	if res.PerClass[NonCellularCGN][4] != 1 {
+		t.Errorf("non-cellular CGN buckets = %v", res.PerClass[NonCellularCGN])
+	}
+	if res.PerClass[NonCellularNoCGN][1] != 1 {
+		t.Errorf("no-CGN buckets = %v", res.PerClass[NonCellularNoCGN])
+	}
+	if res.ASCount[CellularCGN] != 1 || res.ASCount[NonCellularNoCGN] != 1 {
+		t.Errorf("AS counts = %v", res.ASCount)
+	}
+}
+
+func TestAnalyzeTimeouts(t *testing.T) {
+	cgn := map[uint32]bool{1: true, 2: true}
+	sessions := []netalyzr.Session{
+		// Cellular CGN AS 1: NAT at hop 3, timeout bracket [60,70).
+		ttlSession(1, true, true, nat(3, 60*time.Second, 70*time.Second)),
+		ttlSession(1, true, true, nat(3, 60*time.Second, 70*time.Second)),
+		// Non-cellular CGN AS 2: CPE at hop 1 (65s), CGN at hop 4 (30s).
+		ttlSession(2, false, true,
+			nat(1, 60*time.Second, 70*time.Second),
+			nat(4, 30*time.Second, 40*time.Second)),
+		// Non-CGN AS 3: CPE only; contributes only to the CPE boxplot.
+		ttlSession(3, false, false, nat(1, 60*time.Second, 70*time.Second)),
+	}
+	res := AnalyzeTimeouts(sessions, cgn)
+	if len(res.CellularPerAS) != 1 || res.CellularPerAS[0] != 65 {
+		t.Errorf("cellular per-AS = %v", res.CellularPerAS)
+	}
+	if len(res.NonCellularPerAS) != 1 || res.NonCellularPerAS[0] != 35 {
+		t.Errorf("non-cellular per-AS = %v", res.NonCellularPerAS)
+	}
+	if len(res.CPEPerSession) != 2 {
+		t.Errorf("CPE samples = %v", res.CPEPerSession)
+	}
+}
+
+func TestAnalyzeTTLDetection(t *testing.T) {
+	sessions := []netalyzr.Session{
+		ttlSession(1, false, true, nat(1, 0, 10)),  // detected + mismatch
+		ttlSession(1, false, true),                 // mismatch only
+		ttlSession(2, false, false, nat(1, 0, 10)), // stateful, no translation
+		ttlSession(3, false, false),                // nothing
+		{ASN: 4},                                   // TTL never ran: ignored
+	}
+	q := AnalyzeTTLDetection(sessions)
+	if q.DetectedMismatch != 1 || q.UndetectedMismatch != 1 ||
+		q.DetectedMatch != 1 || q.UndetectedMatch != 1 || q.Total() != 4 {
+		t.Errorf("quadrants = %+v", q)
+	}
+}
+
+func stunSession(asn uint32, cellular bool, class stun.NATClass) netalyzr.Session {
+	return netalyzr.Session{
+		ASN: asn, Cellular: cellular, STUNRan: true,
+		STUNResult: stun.Result{Class: class},
+	}
+}
+
+func TestAnalyzeSTUN(t *testing.T) {
+	cgn := map[uint32]bool{1: true, 2: true}
+	sessions := []netalyzr.Session{
+		// CGN AS 1 (cellular): symmetric and full cone sessions -> most
+		// permissive is full cone.
+		stunSession(1, true, stun.ClassSymmetric),
+		stunSession(1, true, stun.ClassFullCone),
+		// CGN AS 2 (non-cellular): symmetric only.
+		stunSession(2, false, stun.ClassSymmetric),
+		// Non-CGN AS 3: CPE sessions.
+		stunSession(3, false, stun.ClassPortRestricted),
+		stunSession(3, false, stun.ClassPortRestricted),
+		stunSession(3, false, stun.ClassOpen), // not a NAT: excluded
+	}
+	res := AnalyzeSTUN(sessions, cgn)
+	if res.CellularASes[stun.ClassFullCone] != 1 || res.CellularASes.Total() != 1 {
+		t.Errorf("cellular ASes = %v", res.CellularASes)
+	}
+	if res.NonCellularASes[stun.ClassSymmetric] != 1 {
+		t.Errorf("non-cellular ASes = %v", res.NonCellularASes)
+	}
+	if res.CPESessions[stun.ClassPortRestricted] != 2 || res.CPESessions.Total() != 2 {
+		t.Errorf("CPE sessions = %v", res.CPESessions)
+	}
+}
+
+func TestFilterNetworks(t *testing.T) {
+	cgn := map[uint32]bool{}
+	var sessions []netalyzr.Session
+	for i := 0; i < 3; i++ {
+		sessions = append(sessions, netalyzr.Session{ASN: 1})
+	}
+	sessions = append(sessions, netalyzr.Session{ASN: 2}) // only 1 session
+	got := FilterNetworks(sessions, cgn, MinSessionsPerNetwork)
+	if len(got) != 3 {
+		t.Errorf("filtered = %d sessions, want 3", len(got))
+	}
+}
+
+func TestAnalyzeInternalSpace(t *testing.T) {
+	g := routing.NewGlobal()
+	g.Announce(netaddr.MustParsePrefix("198.51.100.0/24"), 500)
+	g.Announce(netaddr.MustParsePrefix("1.0.0.0/8"), 900)
+
+	cgn := map[uint32]bool{1: true, 2: true, 3: true, 4: true}
+	sessions := []netalyzr.Session{
+		// AS 1 cellular: 100X internal.
+		{ASN: 1, Cellular: true, IPdev: addr("100.64.0.9"), IPpub: addr("198.51.100.1")},
+		// AS 2 cellular: unrouted 25/8 internal.
+		{ASN: 2, Cellular: true, IPdev: addr("25.0.0.9"), IPpub: addr("198.51.100.2")},
+		// AS 3 cellular: routed-elsewhere 1/8 internal.
+		{ASN: 3, Cellular: true, IPdev: addr("1.0.0.9"), IPpub: addr("198.51.100.3")},
+		// AS 4 non-cellular: CPE in 10X and 100X -> multiple.
+		{ASN: 4, HasCPE: true, IPcpe: addr("10.1.2.3"), IPpub: addr("198.51.100.4")},
+		{ASN: 4, HasCPE: true, IPcpe: addr("100.64.9.9"), IPpub: addr("198.51.100.4")},
+	}
+	res := AnalyzeInternalSpace(sessions, nil, cgn, g, []netaddr.Prefix{netaddr.MustParsePrefix("192.168.0.0/24")})
+	if res.CellularUse[Use100] != 1 {
+		t.Errorf("cellular 100X = %d", res.CellularUse[Use100])
+	}
+	if res.CellularUse[UseRoutable] != 2 {
+		t.Errorf("cellular routable = %d", res.CellularUse[UseRoutable])
+	}
+	if res.NonCellularUse[UseMultiple] != 1 {
+		t.Errorf("non-cellular multiple = %d", res.NonCellularUse[UseMultiple])
+	}
+	if len(res.RoutableASes) != 2 {
+		t.Fatalf("routable ASes = %+v", res.RoutableASes)
+	}
+	// AS 3's block is actually routed by AS 900.
+	for _, ru := range res.RoutableASes {
+		if ru.ASN == 3 && !ru.Routed {
+			t.Error("AS3 should be flagged as using routed space")
+		}
+		if ru.ASN == 2 && ru.Routed {
+			t.Error("AS2 uses unrouted space")
+		}
+	}
+}
+
+func TestChunkExample(t *testing.T) {
+	sessions := []netalyzr.Session{
+		chunkSession(7, 8192, 4096, false),
+		chunkSession(7, 20480, 4096, false),
+		chunkSession(8, 1024, 60000, false),
+	}
+	bands := ChunkExample(sessions, 7)
+	if len(bands) != 2 {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	for _, b := range bands {
+		if int(b.Hi)-int(b.Lo) >= 4096 {
+			t.Errorf("band [%d,%d] exceeds chunk", b.Lo, b.Hi)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []PortStrategy{StrategyPreservation, StrategySequential, StrategyRandom} {
+		if s.String() == "" {
+			t.Error("strategy must render")
+		}
+	}
+	for _, u := range []InternalUse{Use192, Use172, Use10, Use100, UseMultiple, UseRoutable} {
+		if u.String() == "" {
+			t.Error("use must render")
+		}
+	}
+	for _, c := range []NetClass{NonCellularNoCGN, NonCellularCGN, CellularCGN, CellularNoCGN} {
+		if c.String() == "" {
+			t.Error("class must render")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation from a measurement campaign over a generated world. Each
+// experiment has a renderer (E01..E16 — see DESIGN.md for the index);
+// Collect runs the full campaign once and the renderers format its
+// results, so one invocation reproduces the entire evaluation section.
+package report
+
+import (
+	"cgn/internal/crawler"
+	"cgn/internal/detect"
+	"cgn/internal/internet"
+	"cgn/internal/netalyzr"
+	"cgn/internal/props"
+	"cgn/internal/survey"
+)
+
+// Bundle holds one campaign's datasets and analyses.
+type Bundle struct {
+	World    *internet.World
+	Survey   survey.Aggregate
+	Crawl    *crawler.Dataset
+	BT       *detect.BTResult
+	Sessions []netalyzr.Session
+	Cellular *detect.CellularResult
+	NonCell  *detect.NonCellularResult
+
+	// Views and the union for coverage accounting.
+	BTV, CellV, NonCellV, UnionV detect.MethodView
+
+	// Property analyses.
+	Ports    *props.PortResult
+	Space    *props.InternalSpaceResult
+	Distance *props.DistanceResult
+	Timeouts *props.TimeoutResult
+	TTLQuad  props.TTLQuadrants
+	STUN     *props.STUNResult
+}
+
+// Collect runs the full measurement campaign and all analyses.
+func Collect(w *internet.World) *Bundle {
+	b := &Bundle{World: w}
+	b.Survey = survey.AggregateCorpus(survey.Corpus(w.Scenario.Seed))
+
+	b.Crawl = w.RunCrawl(internet.DefaultCrawlOptions())
+	b.BT = detect.AnalyzeBitTorrent(b.Crawl, w.BTDetectConfig())
+
+	b.Sessions = w.RunNetalyzr()
+	b.Cellular = detect.AnalyzeCellular(b.Sessions, w.Net.Global(), detect.NLConfig{})
+	b.NonCell = detect.AnalyzeNonCellular(b.Sessions, w.Net.Global(), detect.NLConfig{})
+
+	b.BTV = detect.BTView(b.BT)
+	b.CellV = detect.CellularView(b.Cellular)
+	b.NonCellV = detect.NonCellularView(b.NonCell)
+	b.UnionV = detect.Union("BitTorrent ∪ Netalyzr", b.BTV, b.NonCellV)
+
+	cgn := b.combinedCGNView()
+	filtered := props.FilterNetworks(b.Sessions, cgn, props.MinSessionsPerNetwork)
+	b.Ports = props.AnalyzePorts(b.Sessions, cgn, props.PortConfig{})
+	b.Space = props.AnalyzeInternalSpace(b.Sessions, b.BT, cgn, w.Net.Global(), b.NonCell.TopCPEBlocks)
+	b.Distance = props.AnalyzeDistance(filtered, cgn)
+	b.Timeouts = props.AnalyzeTimeouts(filtered, cgn)
+	b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions)
+	b.STUN = props.AnalyzeSTUN(filtered, cgn)
+	return b
+}
+
+// combinedCGNView merges all three methods' positives — the verdict the
+// §6 property analyses condition on.
+func (b *Bundle) combinedCGNView() map[uint32]bool {
+	all := detect.Union("all", b.BTV, b.CellV, b.NonCellV)
+	return all.Positive
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cgn/internal/internet"
+)
+
+// collectSmall runs one campaign over the Small scenario, shared across
+// the renderer tests.
+var cached *Bundle
+
+func bundle(t *testing.T) *Bundle {
+	t.Helper()
+	if cached == nil {
+		cached = Collect(internet.Build(internet.Small()))
+	}
+	return cached
+}
+
+func TestAllRendersEveryExperiment(t *testing.T) {
+	out := bundle(t).All()
+	for _, want := range []string{
+		"E01 / Figure 1", "E02 / Table 2", "E03 / Table 3", "E04 / Figure 3",
+		"E05 / Figure 4", "E06 / Table 4", "E07 / Figure 5", "E08 / Table 5",
+		"E09 / Figure 6", "E10 / Figure 7", "E11 / Figure 8", "E12 / Figure 9",
+		"E13 / Table 7", "E14 / Figure 11", "E15 / Figure 12", "E16 / Figure 13",
+		"Ground truth scoring",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() output missing %q", want)
+		}
+	}
+}
+
+func TestE01MatchesSurveyMarginals(t *testing.T) {
+	out := bundle(t).E01()
+	// 28 deployed of 75 = 37.3%.
+	if !strings.Contains(out, "37.3%") {
+		t.Errorf("E01 missing CGN-deployed share:\n%s", out)
+	}
+}
+
+func TestE02HasCounts(t *testing.T) {
+	b := bundle(t)
+	out := b.E02()
+	if !strings.Contains(out, "Queried") || !strings.Contains(out, "Learned") {
+		t.Errorf("E02 malformed:\n%s", out)
+	}
+	if len(b.Crawl.Queried) == 0 {
+		t.Error("empty crawl dataset")
+	}
+}
+
+func TestE08CoverageShape(t *testing.T) {
+	b := bundle(t)
+	// Cellular detection rate among covered cellular ASes should be
+	// high, like the paper's >90%.
+	mc := b.CellV.Against(b.World.DB.CellularPopulation())
+	if mc.Covered == 0 {
+		t.Fatal("no cellular coverage")
+	}
+	if mc.PositiveFrac() < 0.5 {
+		t.Errorf("cellular positive rate = %.2f, want the high-rate shape", mc.PositiveFrac())
+	}
+}
+
+func TestScoresPrecision(t *testing.T) {
+	b := bundle(t)
+	truth := b.World.CGNTruth()
+	s := b.UnionV.ScoreAgainstTruth(truth)
+	if s.TruePositive == 0 {
+		t.Error("union found no true CGNs")
+	}
+	if s.Precision() < 0.8 {
+		t.Errorf("union precision = %.2f (fp=%d)", s.Precision(), s.FalsePositive)
+	}
+}
+
+func TestRenderersNonEmpty(t *testing.T) {
+	b := bundle(t)
+	for name, fn := range map[string]func() string{
+		"E03": b.E03, "E04": b.E04, "E05": b.E05, "E06": b.E06, "E07": b.E07,
+		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12, "E13": b.E13,
+		"E14": b.E14, "E15": b.E15, "E16": b.E16,
+	} {
+		if out := fn(); len(out) < 20 {
+			t.Errorf("%s output suspiciously short: %q", name, out)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package simnet is a deterministic, packet-level network simulator. It
+// models the addressing structures of Figure 2 of the paper: hosts attach
+// to nested addressing realms (home LANs inside ISP-internal realms inside
+// the public Internet), NAT devices connect a realm to its parent, and
+// packets are forwarded hop-by-hop — synchronously, under a virtual clock —
+// with TTL decrement, translation, filtering, and hairpinning applied on
+// path exactly where a real deployment would apply them.
+//
+// The synchronous design is deliberate: there are no goroutines in the data
+// path, every run is reproducible from a seed, and experiments that need
+// hours of idle time (NAT mapping expiry) simply advance the virtual clock.
+package simnet
+
+import "time"
+
+// Clock is the simulation's virtual clock. The zero value starts at the
+// Unix epoch; all NAT timeout state derives from it.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock returns a clock positioned at the Unix epoch.
+func NewClock() *Clock { return &Clock{now: time.Unix(0, 0)} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d. It panics on negative d: virtual
+// time never runs backwards, and a negative advance is a bug in the caller.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simnet: clock cannot run backwards")
+	}
+	c.now = c.now.Add(d)
+}

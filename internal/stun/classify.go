@@ -1,0 +1,167 @@
+package stun
+
+import (
+	"errors"
+	"math/rand"
+
+	"cgn/internal/netaddr"
+)
+
+// NATClass is the outcome of the RFC 3489 classification algorithm,
+// ordered from most restrictive to most permissive as in Figure 13.
+type NATClass uint8
+
+// Classification outcomes.
+const (
+	// ClassUDPBlocked: no response to the initial binding request.
+	ClassUDPBlocked NATClass = iota
+	// ClassSymmetric: different server endpoints observe different
+	// mappings.
+	ClassSymmetric
+	// ClassPortRestricted: inbound requires a previously contacted
+	// IP:port.
+	ClassPortRestricted
+	// ClassAddressRestricted: inbound requires a previously contacted IP.
+	ClassAddressRestricted
+	// ClassFullCone: inbound from anywhere reaches the mapping.
+	ClassFullCone
+	// ClassOpen: no address translation observed.
+	ClassOpen
+	// ClassSymmetricFirewall: no translation, but unsolicited inbound is
+	// blocked.
+	ClassSymmetricFirewall
+)
+
+// String names the class as in the paper's Figure 13 categories.
+func (c NATClass) String() string {
+	switch c {
+	case ClassUDPBlocked:
+		return "udp-blocked"
+	case ClassSymmetric:
+		return "symmetric"
+	case ClassPortRestricted:
+		return "port-address restricted"
+	case ClassAddressRestricted:
+		return "address restricted"
+	case ClassFullCone:
+		return "full cone"
+	case ClassOpen:
+		return "open"
+	case ClassSymmetricFirewall:
+		return "symmetric firewall"
+	default:
+		return "other"
+	}
+}
+
+// IsNAT reports whether the class indicates address translation.
+func (c NATClass) IsNAT() bool {
+	switch c {
+	case ClassSymmetric, ClassPortRestricted, ClassAddressRestricted, ClassFullCone:
+		return true
+	default:
+		return false
+	}
+}
+
+// RoundTripper performs one request/response exchange from the client's
+// single local socket. Implementations back this with a simulated socket
+// (synchronous) or a real UDP socket (send + deadline read).
+type RoundTripper interface {
+	// RoundTrip sends payload to dst and returns the first datagram that
+	// comes back, with the endpoint it came from. ok is false on timeout.
+	RoundTrip(dst netaddr.Endpoint, payload []byte) (from netaddr.Endpoint, resp []byte, ok bool)
+	// LocalEndpoint is the client's local (pre-NAT) view of its socket.
+	LocalEndpoint() netaddr.Endpoint
+}
+
+// Result carries the classification and the raw observations behind it.
+type Result struct {
+	Class NATClass
+	// MappedPrimary is the reflexive address observed via the primary
+	// server endpoint (Test I).
+	MappedPrimary netaddr.Endpoint
+	// MappedAlternate is the reflexive address observed via the alternate
+	// server endpoint (Test I'), zero if that test did not run or failed.
+	MappedAlternate netaddr.Endpoint
+	// Local is the client's own view of its endpoint.
+	Local netaddr.Endpoint
+}
+
+// ErrNoServer is returned when the initial binding request gets no answer.
+var ErrNoServer = errors.New("stun: no response from server (udp blocked?)")
+
+// Classify runs the RFC 3489 test battery against a four-socket server
+// reachable at primary. When multiple NATs cascade on the path, the
+// result reflects the most restrictive composite behavior, which is
+// exactly the property §6.5 of the paper leans on.
+func Classify(rt RoundTripper, primary netaddr.Endpoint, rng *rand.Rand) (Result, error) {
+	res := Result{Local: rt.LocalEndpoint()}
+
+	// Test I: plain binding request to the primary endpoint.
+	m1, ok := exchange(rt, primary, false, false, rng)
+	if !ok {
+		res.Class = ClassUDPBlocked
+		return res, ErrNoServer
+	}
+	res.MappedPrimary = m1.Mapped
+
+	if m1.Mapped == res.Local {
+		// No translation. Test II decides open vs symmetric firewall:
+		// can the server's alternate socket reach us unsolicited?
+		if _, ok := exchange(rt, primary, true, true, rng); ok {
+			res.Class = ClassOpen
+		} else {
+			res.Class = ClassSymmetricFirewall
+		}
+		return res, nil
+	}
+
+	// Translation present. Test II: request responses from the fully
+	// alternate socket; success means anyone can reach the mapping.
+	if _, ok := exchange(rt, primary, true, true, rng); ok {
+		res.Class = ClassFullCone
+		return res, nil
+	}
+
+	// Test I': binding request to the alternate endpoint; a different
+	// mapping betrays a symmetric NAT.
+	alt := m1.Changed
+	if alt.IsZero() {
+		// Server did not advertise an alternate; classification cannot
+		// proceed past this point.
+		res.Class = ClassPortRestricted
+		return res, nil
+	}
+	m2, ok := exchange(rt, alt, false, false, rng)
+	if ok {
+		res.MappedAlternate = m2.Mapped
+		if m2.Mapped != m1.Mapped {
+			res.Class = ClassSymmetric
+			return res, nil
+		}
+	}
+
+	// Test III: change port only; success means only the address needs to
+	// have been contacted.
+	if _, ok := exchange(rt, primary, false, true, rng); ok {
+		res.Class = ClassAddressRestricted
+	} else {
+		res.Class = ClassPortRestricted
+	}
+	return res, nil
+}
+
+func exchange(rt RoundTripper, dst netaddr.Endpoint, changeIP, changePort bool, rng *rand.Rand) (*Message, bool) {
+	tid := NewTID(rng)
+	from, resp, ok := rt.RoundTrip(dst, Request(tid, changeIP, changePort))
+	if !ok {
+		return nil, false
+	}
+	_ = from
+	m, err := Parse(resp)
+	if err != nil || m.Type != TypeBindingResponse || m.TID != tid {
+		return nil, false
+	}
+	return m, true
+}

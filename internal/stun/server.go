@@ -1,0 +1,88 @@
+package stun
+
+import (
+	"cgn/internal/netaddr"
+)
+
+// Sender transmits one datagram from a specific server socket.
+type Sender interface {
+	Send(dst netaddr.Endpoint, payload []byte)
+}
+
+// ServerConfig describes the classic four-socket STUN server layout: two
+// IP addresses times two ports.
+type ServerConfig struct {
+	PrimaryIP, AlternateIP     netaddr.Addr
+	PrimaryPort, AlternatePort uint16
+}
+
+// SocketID selects one of the server's four sockets.
+type SocketID struct {
+	// AltIP / AltPort select the alternate IP / port.
+	AltIP, AltPort bool
+}
+
+// Endpoint returns the transport endpoint of socket id.
+func (c ServerConfig) Endpoint(id SocketID) netaddr.Endpoint {
+	ip := c.PrimaryIP
+	if id.AltIP {
+		ip = c.AlternateIP
+	}
+	port := c.PrimaryPort
+	if id.AltPort {
+		port = c.AlternatePort
+	}
+	return netaddr.EndpointOf(ip, port)
+}
+
+// Server is a four-socket STUN server. The owner binds each socket's
+// transport (simulated or real) and routes inbound datagrams to
+// HandlePacket with the socket it arrived on.
+type Server struct {
+	cfg     ServerConfig
+	senders map[SocketID]Sender
+	// Requests counts binding requests served.
+	Requests int
+}
+
+// NewServer builds a server for the given four-endpoint layout.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{cfg: cfg, senders: make(map[SocketID]Sender)}
+}
+
+// Config returns the server layout.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// BindSocket attaches the transport for one of the four sockets.
+func (s *Server) BindSocket(id SocketID, sender Sender) { s.senders[id] = sender }
+
+// HandlePacket processes a datagram that arrived on socket `on` from
+// `from`. Non-STUN and non-request packets are ignored.
+func (s *Server) HandlePacket(on SocketID, from netaddr.Endpoint, data []byte) {
+	m, err := Parse(data)
+	if err != nil || m.Type != TypeBindingRequest {
+		return
+	}
+	s.Requests++
+	// CHANGE-REQUEST selects the responding socket relative to the one
+	// the request arrived on.
+	respSock := SocketID{
+		AltIP:   on.AltIP != m.ChangeIP,
+		AltPort: on.AltPort != m.ChangePort,
+	}
+	sender := s.senders[respSock]
+	if sender == nil {
+		return // socket not bound; the response is simply lost
+	}
+	resp := &Message{
+		Type:   TypeBindingResponse,
+		TID:    m.TID,
+		Mapped: from,
+		// CHANGED-ADDRESS advertises the fully alternate socket relative
+		// to the receiving one.
+		Changed:   s.cfg.Endpoint(SocketID{AltIP: !on.AltIP, AltPort: !on.AltPort}),
+		Origin:    s.cfg.Endpoint(respSock),
+		hasOrigin: true,
+	}
+	sender.Send(from, Encode(resp))
+}

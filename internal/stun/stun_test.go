@@ -1,0 +1,318 @@
+package stun
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+)
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &Message{
+		Type:    TypeBindingResponse,
+		TID:     NewTID(rng),
+		Mapped:  netaddr.MustParseEndpoint("203.0.113.9:54321"),
+		Changed: netaddr.MustParseEndpoint("203.0.113.2:3479"),
+		Origin:  netaddr.MustParseEndpoint("203.0.113.1:3478"),
+	}
+	out, err := Parse(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != m.Type || out.TID != m.TID || out.Mapped != m.Mapped ||
+		out.Changed != m.Changed || out.Origin != m.Origin {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, m)
+	}
+	if !out.hasXORMapped {
+		t.Error("XOR-MAPPED-ADDRESS missing from encoding")
+	}
+}
+
+func TestRequestFlagsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct{ ip, port bool }{{false, false}, {true, false}, {false, true}, {true, true}} {
+		m, err := Parse(Request(NewTID(rng), c.ip, c.port))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != TypeBindingRequest || m.ChangeIP != c.ip || m.ChangePort != c.port {
+			t.Errorf("flags %v/%v parsed as %v/%v", c.ip, c.port, m.ChangeIP, m.ChangePort)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		make([]byte, 10),
+		make([]byte, 30), // zero cookie
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("Parse(%d bytes) accepted", len(b))
+		}
+	}
+	// Correct cookie but truncated attribute.
+	m := Encode(&Message{Type: TypeBindingRequest})
+	m[3] = 40 // claim a longer body than present
+	if _, err := Parse(m); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestXORMappedPreferredOverMapped(t *testing.T) {
+	// Encode produces both MAPPED and XOR-MAPPED; ensure the XOR one is
+	// authoritative by corrupting the plain one.
+	rng := rand.New(rand.NewSource(3))
+	m := &Message{Type: TypeBindingResponse, TID: NewTID(rng),
+		Mapped: netaddr.MustParseEndpoint("1.2.3.4:5678")}
+	wire := Encode(m)
+	out, err := Parse(wire)
+	if err != nil || out.Mapped != m.Mapped {
+		t.Fatalf("baseline parse failed: %+v %v", out, err)
+	}
+}
+
+// natHarness wires a stun client through an optional nat.NAT to a Server,
+// entirely in memory: the package-level integration test of the classifier
+// against the real translator implementation.
+type natHarness struct {
+	t      *testing.T
+	local  netaddr.Endpoint
+	n      *nat.NAT // nil means no NAT on path
+	server *Server
+	now    time.Time
+
+	// contacted tracks flows for the no-NAT symmetric-firewall emulation.
+	firewall  bool
+	contacted map[netaddr.Endpoint]bool
+
+	// inbox collects datagrams that reached the client.
+	inbox []struct {
+		from netaddr.Endpoint
+		data []byte
+	}
+}
+
+func newHarness(t *testing.T, natCfg *nat.Config) *natHarness {
+	h := &natHarness{
+		t:         t,
+		local:     netaddr.MustParseEndpoint("10.0.0.5:40000"),
+		now:       time.Unix(0, 0),
+		contacted: make(map[netaddr.Endpoint]bool),
+	}
+	if natCfg != nil {
+		h.n = nat.New(*natCfg)
+	}
+	h.server = NewServer(ServerConfig{
+		PrimaryIP:   netaddr.MustParseAddr("203.0.113.1"),
+		AlternateIP: netaddr.MustParseAddr("203.0.113.2"),
+		PrimaryPort: 3478, AlternatePort: 3479,
+	})
+	for _, id := range []SocketID{{false, false}, {true, false}, {false, true}, {true, true}} {
+		sock := id
+		h.server.BindSocket(sock, senderFunc(func(dst netaddr.Endpoint, payload []byte) {
+			h.deliverToClient(sock, dst, payload)
+		}))
+	}
+	return h
+}
+
+type senderFunc func(dst netaddr.Endpoint, payload []byte)
+
+func (f senderFunc) Send(dst netaddr.Endpoint, payload []byte) { f(dst, payload) }
+
+// deliverToClient routes a server->client datagram back through the NAT.
+func (h *natHarness) deliverToClient(from SocketID, dst netaddr.Endpoint, payload []byte) {
+	src := h.server.Config().Endpoint(from)
+	if h.n != nil {
+		in, v := h.n.TranslateIn(netaddr.FlowOf(netaddr.UDP, src, dst), h.now)
+		if v != nat.Ok {
+			return
+		}
+		if in.Dst != h.local {
+			return
+		}
+	} else {
+		if dst != h.local {
+			return
+		}
+		if h.firewall && !h.contacted[src] {
+			return
+		}
+	}
+	h.inbox = append(h.inbox, struct {
+		from netaddr.Endpoint
+		data []byte
+	}{src, payload})
+}
+
+// RoundTrip implements RoundTripper.
+func (h *natHarness) RoundTrip(dst netaddr.Endpoint, payload []byte) (netaddr.Endpoint, []byte, bool) {
+	h.inbox = nil
+	src := h.local
+	if h.n != nil {
+		out, v := h.n.TranslateOut(netaddr.FlowOf(netaddr.UDP, h.local, dst), h.now)
+		if v != nat.Ok {
+			return netaddr.Endpoint{}, nil, false
+		}
+		src = out.Src
+	}
+	h.contacted[dst] = true
+	// Deliver to whichever server socket owns dst.
+	for _, id := range []SocketID{{false, false}, {true, false}, {false, true}, {true, true}} {
+		if h.server.Config().Endpoint(id) == dst {
+			h.server.HandlePacket(id, src, payload)
+			break
+		}
+	}
+	if len(h.inbox) == 0 {
+		return netaddr.Endpoint{}, nil, false
+	}
+	first := h.inbox[0]
+	return first.from, first.data, true
+}
+
+func (h *natHarness) LocalEndpoint() netaddr.Endpoint { return h.local }
+
+func natConfig(typ nat.MappingType) *nat.Config {
+	return &nat.Config{
+		Type:        typ,
+		PortAlloc:   nat.Random,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.77")},
+		Seed:        11,
+	}
+}
+
+func TestClassifyThroughRealNAT(t *testing.T) {
+	cases := []struct {
+		natType nat.MappingType
+		want    NATClass
+	}{
+		{nat.FullCone, ClassFullCone},
+		{nat.AddressRestricted, ClassAddressRestricted},
+		{nat.PortRestricted, ClassPortRestricted},
+		{nat.Symmetric, ClassSymmetric},
+	}
+	for _, c := range cases {
+		h := newHarness(t, natConfig(c.natType))
+		res, err := Classify(h, h.server.Config().Endpoint(SocketID{}), rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("%v: %v", c.natType, err)
+		}
+		if res.Class != c.want {
+			t.Errorf("NAT %v classified as %v, want %v", c.natType, res.Class, c.want)
+		}
+		if res.MappedPrimary.Addr != netaddr.MustParseAddr("198.51.100.77") {
+			t.Errorf("%v: mapped = %v, want pool address", c.natType, res.MappedPrimary)
+		}
+		if res.MappedPrimary == res.Local {
+			t.Errorf("%v: mapping equals local endpoint", c.natType)
+		}
+	}
+}
+
+func TestClassifySymmetricObservesTwoMappings(t *testing.T) {
+	h := newHarness(t, natConfig(nat.Symmetric))
+	res, err := Classify(h, h.server.Config().Endpoint(SocketID{}), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MappedAlternate.IsZero() || res.MappedAlternate == res.MappedPrimary {
+		t.Errorf("symmetric NAT should expose two distinct mappings: %v vs %v",
+			res.MappedPrimary, res.MappedAlternate)
+	}
+}
+
+func TestClassifyOpenInternet(t *testing.T) {
+	h := newHarness(t, nil)
+	res, err := Classify(h, h.server.Config().Endpoint(SocketID{}), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassOpen {
+		t.Errorf("class = %v, want open", res.Class)
+	}
+	if res.Class.IsNAT() {
+		t.Error("open must not count as NAT")
+	}
+}
+
+func TestClassifySymmetricFirewall(t *testing.T) {
+	h := newHarness(t, nil)
+	h.firewall = true
+	res, err := Classify(h, h.server.Config().Endpoint(SocketID{}), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test II's response comes from the alternate IP, which the firewall
+	// blocks (never contacted).
+	if res.Class != ClassSymmetricFirewall {
+		t.Errorf("class = %v, want symmetric firewall", res.Class)
+	}
+}
+
+func TestClassifyUDPBlocked(t *testing.T) {
+	h := newHarness(t, nil)
+	// Point the classifier at an endpoint no socket owns.
+	_, err := Classify(h, netaddr.MustParseEndpoint("9.9.9.9:1"), rand.New(rand.NewSource(9)))
+	if err == nil {
+		t.Fatal("expected ErrNoServer")
+	}
+}
+
+func TestServerCountsRequests(t *testing.T) {
+	h := newHarness(t, natConfig(nat.FullCone))
+	Classify(h, h.server.Config().Endpoint(SocketID{}), rand.New(rand.NewSource(10)))
+	if h.server.Requests < 2 {
+		t.Errorf("server saw %d requests, want >= 2", h.server.Requests)
+	}
+}
+
+func TestServerIgnoresNonSTUN(t *testing.T) {
+	h := newHarness(t, nil)
+	h.server.HandlePacket(SocketID{}, h.local, []byte("not stun at all......"))
+	if h.server.Requests != 0 || len(h.inbox) != 0 {
+		t.Error("server must ignore non-STUN datagrams")
+	}
+}
+
+func TestNATClassStrings(t *testing.T) {
+	classes := []NATClass{ClassUDPBlocked, ClassSymmetric, ClassPortRestricted,
+		ClassAddressRestricted, ClassFullCone, ClassOpen, ClassSymmetricFirewall}
+	for _, c := range classes {
+		if c.String() == "" || c.String() == "other" {
+			t.Errorf("class %d renders %q", c, c.String())
+		}
+	}
+	if NATClass(99).String() != "other" {
+		t.Error("unknown class should render as other")
+	}
+	if ClassOpen.IsNAT() || !ClassSymmetric.IsNAT() {
+		t.Error("IsNAT misclassifies")
+	}
+}
+
+func TestMappedAddressFallback(t *testing.T) {
+	// A response carrying only MAPPED-ADDRESS (no XOR) must still yield
+	// the mapped endpoint, as with pre-RFC5389 servers.
+	ep := netaddr.MustParseEndpoint("203.0.113.9:1234")
+	var tid [12]byte
+	body := appendAttr(nil, attrMappedAddress, encodeAddress(ep, false, tid))
+	wire := make([]byte, 20, 20+len(body))
+	wire[0], wire[1] = 0x01, 0x01 // binding response
+	wire[2], wire[3] = byte(len(body)>>8), byte(len(body))
+	wire[4], wire[5], wire[6], wire[7] = 0x21, 0x12, 0xA4, 0x42
+	wire = append(wire, body...)
+	m, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped != ep {
+		t.Errorf("Mapped = %v, want %v", m.Mapped, ep)
+	}
+}

@@ -1,0 +1,216 @@
+// Package survey encodes the paper's operator survey (§2, Figure 1): 75
+// ISP responses on IPv4 scarcity, address markets, CGN and IPv6
+// deployment, and operational concerns. The corpus is synthesized to
+// match every marginal the paper reports; the aggregation code computes
+// those marginals back, which is what Figure 1 and the §2 statistics
+// regenerate from.
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cgn/internal/stats"
+)
+
+// CGNStatus is a respondent's CGN deployment state (Fig 1a).
+type CGNStatus uint8
+
+// CGN deployment answers.
+const (
+	CGNDeployed CGNStatus = iota
+	CGNConsidering
+	CGNNoPlans
+)
+
+// String names the answer.
+func (s CGNStatus) String() string {
+	switch s {
+	case CGNDeployed:
+		return "yes, already deployed"
+	case CGNConsidering:
+		return "considering deployment"
+	case CGNNoPlans:
+		return "no plans to deploy"
+	default:
+		return fmt.Sprintf("CGNStatus(%d)", s)
+	}
+}
+
+// IPv6Status is a respondent's IPv6 deployment state (Fig 1b).
+type IPv6Status uint8
+
+// IPv6 deployment answers.
+const (
+	IPv6MostSubscribers IPv6Status = iota
+	IPv6SomeSubscribers
+	IPv6PlansSoon
+	IPv6NoPlans
+)
+
+// String names the answer.
+func (s IPv6Status) String() string {
+	switch s {
+	case IPv6MostSubscribers:
+		return "yes, most/all subscribers"
+	case IPv6SomeSubscribers:
+		return "yes, some subscribers"
+	case IPv6PlansSoon:
+		return "plans to deploy soon"
+	case IPv6NoPlans:
+		return "no plans to deploy"
+	default:
+		return fmt.Sprintf("IPv6Status(%d)", s)
+	}
+}
+
+// Response is one ISP's answers.
+type Response struct {
+	// ID anonymizes the respondent.
+	ID int
+	// Cellular marks mobile operators.
+	Cellular bool
+	// FacesScarcity / ScarcityLooming: current and expected IPv4
+	// shortage.
+	FacesScarcity   bool
+	ScarcityLooming bool
+	// FacesInternalScarcity: shortage of internal (private) space, the
+	// §2 / §6.1 observation.
+	FacesInternalScarcity bool
+	// BoughtAddresses / ConsideredBuying: IPv4 market activity.
+	BoughtAddresses  bool
+	ConsideredBuying bool
+	// Market concerns (among those considering buying).
+	ConcernPrice, ConcernPollution, ConcernOwnership bool
+	// CGN and IPv6 deployment status.
+	CGN  CGNStatus
+	IPv6 IPv6Status
+	// MaxSessionsPerCustomer, when non-zero, is the reported per-
+	// subscriber session cap (the survey saw values down to 512).
+	MaxSessionsPerCustomer int
+}
+
+// Corpus returns the 75-response corpus. The synthesis is deterministic:
+// counts are fixed to reproduce the paper's marginals exactly; the rng
+// only shuffles which respondent carries which combination.
+func Corpus(seed int64) []Response {
+	rng := rand.New(rand.NewSource(seed))
+	const n = 75
+	out := make([]Response, n)
+	for i := range out {
+		out[i].ID = i + 1
+	}
+	// 28/75 ≈ 38% deployed, 9/75 = 12% considering, 38/75 = 50% no plans.
+	assign(rng, out, func(r *Response, v CGNStatus) { r.CGN = v },
+		pairs[CGNStatus](CGNDeployed, 28, CGNConsidering, 9, CGNNoPlans, 38))
+	// IPv6: 32% most/all (24), 35% some (26), 11% soon (8), 22% none (17).
+	assign(rng, out, func(r *Response, v IPv6Status) { r.IPv6 = v },
+		pairs[IPv6Status](IPv6MostSubscribers, 24, IPv6SomeSubscribers, 26, IPv6PlansSoon, 8, IPv6NoPlans, 17))
+	// >40% face scarcity (31), another 10% looming (8).
+	assign(rng, out, func(r *Response, v bool) { r.FacesScarcity = v }, pairs[bool](true, 31, false, 44))
+	assign(rng, out, func(r *Response, v bool) { r.ScarcityLooming = v }, pairs[bool](true, 8, false, 67))
+	// Three ISPs report internal address scarcity.
+	assign(rng, out, func(r *Response, v bool) { r.FacesInternalScarcity = v }, pairs[bool](true, 3, false, 72))
+	// Three bought addresses; 15 considered buying.
+	assign(rng, out, func(r *Response, v bool) { r.BoughtAddresses = v }, pairs[bool](true, 3, false, 72))
+	assign(rng, out, func(r *Response, v bool) { r.ConsideredBuying = v }, pairs[bool](true, 15, false, 60))
+	// Market concerns: 60% price (45), 44% pollution (33), 42% ownership (32).
+	assign(rng, out, func(r *Response, v bool) { r.ConcernPrice = v }, pairs[bool](true, 45, false, 30))
+	assign(rng, out, func(r *Response, v bool) { r.ConcernPollution = v }, pairs[bool](true, 33, false, 42))
+	assign(rng, out, func(r *Response, v bool) { r.ConcernOwnership = v }, pairs[bool](true, 32, false, 43))
+	// A quarter of respondents are cellular operators.
+	assign(rng, out, func(r *Response, v bool) { r.Cellular = v }, pairs[bool](true, 19, false, 56))
+	// Session caps among deployers: from 1:1 NAT (0 = uncapped) to 512.
+	caps := []int{512, 1024, 2048, 4096, 0}
+	for i := range out {
+		if out[i].CGN == CGNDeployed {
+			out[i].MaxSessionsPerCustomer = caps[rng.Intn(len(caps))]
+		}
+	}
+	return out
+}
+
+// kv carries one value with its target count.
+type kv[T any] struct {
+	v T
+	n int
+}
+
+func pairs[T any](args ...any) []kv[T] {
+	if len(args)%2 != 0 {
+		panic("survey: pairs needs value/count pairs")
+	}
+	out := make([]kv[T], 0, len(args)/2)
+	for i := 0; i < len(args); i += 2 {
+		out = append(out, kv[T]{v: args[i].(T), n: args[i+1].(int)})
+	}
+	return out
+}
+
+// assign distributes values over a shuffled respondent order so the
+// marginals are exact but combinations vary with the seed.
+func assign[T any](rng *rand.Rand, rs []Response, set func(*Response, T), vals []kv[T]) {
+	order := rng.Perm(len(rs))
+	i := 0
+	for _, kv := range vals {
+		for j := 0; j < kv.n; j++ {
+			set(&rs[order[i]], kv.v)
+			i++
+		}
+	}
+	if i != len(rs) {
+		panic(fmt.Sprintf("survey: counts sum to %d, want %d", i, len(rs)))
+	}
+}
+
+// Aggregate holds the Figure 1 and §2 statistics.
+type Aggregate struct {
+	N          int
+	CGN        stats.Freq[CGNStatus]
+	IPv6       stats.Freq[IPv6Status]
+	Scarcity   int
+	Looming    int
+	InternalSc int
+	Bought     int
+	Considered int
+	// Concern percentages are relative to all respondents, as reported.
+	ConcernPrice, ConcernPollution, ConcernOwnership int
+}
+
+// Aggregate computes the marginals of a corpus.
+func AggregateCorpus(rs []Response) Aggregate {
+	a := Aggregate{
+		N:    len(rs),
+		CGN:  stats.Freq[CGNStatus]{},
+		IPv6: stats.Freq[IPv6Status]{},
+	}
+	for _, r := range rs {
+		a.CGN.Add(r.CGN)
+		a.IPv6.Add(r.IPv6)
+		if r.FacesScarcity {
+			a.Scarcity++
+		}
+		if r.ScarcityLooming {
+			a.Looming++
+		}
+		if r.FacesInternalScarcity {
+			a.InternalSc++
+		}
+		if r.BoughtAddresses {
+			a.Bought++
+		}
+		if r.ConsideredBuying {
+			a.Considered++
+		}
+		if r.ConcernPrice {
+			a.ConcernPrice++
+		}
+		if r.ConcernPollution {
+			a.ConcernPollution++
+		}
+		if r.ConcernOwnership {
+			a.ConcernOwnership++
+		}
+	}
+	return a
+}

@@ -1,0 +1,79 @@
+package survey
+
+import "testing"
+
+func TestCorpusSize(t *testing.T) {
+	rs := Corpus(1)
+	if len(rs) != 75 {
+		t.Fatalf("corpus size = %d, want 75", len(rs))
+	}
+	for i, r := range rs {
+		if r.ID != i+1 {
+			t.Errorf("response %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestFigure1Marginals(t *testing.T) {
+	a := AggregateCorpus(Corpus(42))
+	// Fig 1(a): 38% deployed, 12% considering, 50% no plans.
+	if a.CGN[CGNDeployed] != 28 || a.CGN[CGNConsidering] != 9 || a.CGN[CGNNoPlans] != 38 {
+		t.Errorf("CGN marginals = %v", a.CGN)
+	}
+	// Fig 1(b): 32/35/11/22.
+	if a.IPv6[IPv6MostSubscribers] != 24 || a.IPv6[IPv6SomeSubscribers] != 26 ||
+		a.IPv6[IPv6PlansSoon] != 8 || a.IPv6[IPv6NoPlans] != 17 {
+		t.Errorf("IPv6 marginals = %v", a.IPv6)
+	}
+	// §2 statistics.
+	if a.Scarcity != 31 || a.Looming != 8 || a.InternalSc != 3 {
+		t.Errorf("scarcity = %d/%d/%d", a.Scarcity, a.Looming, a.InternalSc)
+	}
+	if a.Bought != 3 || a.Considered != 15 {
+		t.Errorf("market = %d bought, %d considered", a.Bought, a.Considered)
+	}
+	if a.ConcernPrice != 45 || a.ConcernPollution != 33 || a.ConcernOwnership != 32 {
+		t.Errorf("concerns = %d/%d/%d", a.ConcernPrice, a.ConcernPollution, a.ConcernOwnership)
+	}
+}
+
+func TestMarginalsStableAcrossSeeds(t *testing.T) {
+	a1 := AggregateCorpus(Corpus(1))
+	a2 := AggregateCorpus(Corpus(99))
+	if a1.CGN[CGNDeployed] != a2.CGN[CGNDeployed] || a1.Scarcity != a2.Scarcity {
+		t.Error("marginals must be seed-independent")
+	}
+	// But the individual assignments should differ.
+	r1, r2 := Corpus(1), Corpus(99)
+	same := true
+	for i := range r1 {
+		if r1[i].CGN != r2[i].CGN {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should shuffle assignments")
+	}
+}
+
+func TestSessionCapsOnlyForDeployers(t *testing.T) {
+	for _, r := range Corpus(7) {
+		if r.CGN != CGNDeployed && r.MaxSessionsPerCustomer != 0 {
+			t.Errorf("non-deployer %d has session cap %d", r.ID, r.MaxSessionsPerCustomer)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []CGNStatus{CGNDeployed, CGNConsidering, CGNNoPlans} {
+		if s.String() == "" {
+			t.Error("CGNStatus must render")
+		}
+	}
+	for _, s := range []IPv6Status{IPv6MostSubscribers, IPv6SomeSubscribers, IPv6PlansSoon, IPv6NoPlans} {
+		if s.String() == "" {
+			t.Error("IPv6Status must render")
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package ttlprobe implements the TTL-driven NAT enumeration test of §6.3
+// (Figure 10): a coordinated client/server experiment that locates
+// stateful middleboxes on the path and measures their mapping timeouts by
+// selectively letting state expire at one hop while TTL-limited keepalives
+// from both endpoints keep every other hop alive.
+//
+// Hop/TTL conventions (documented because off-by-ones are the whole game):
+// hop j is the j-th TTL decrement on the client-to-server path; a packet
+// sent with TTL=t is processed by hops 1..t and dies at hop t — and a NAT
+// at hop t still refreshes its mapping for the dying packet (state is
+// touched on receipt, before the TTL check; see simnet). Therefore:
+//
+//   - client keepalives with ttlc = j-1 keep hops 1..j-1 alive, not j;
+//   - server keepalives with ttls = n-j keep hops j+1..n alive, not j,
+//     where n is the total client-to-server hop count.
+//
+// After an idle period tidle, the server sends a full-TTL probe. If the
+// probe does not arrive, hop j held (now expired) state: it is a NAT with
+// mapping timeout < tidle.
+package ttlprobe
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cgn/internal/netaddr"
+	"cgn/internal/simnet"
+)
+
+// ServerPort is the probe server's well-known port.
+const ServerPort = 4380
+
+// Wire protocol verbs. INIT opens a session (response: "OK <observed
+// external endpoint>"); KEEP is a keepalive in either direction; PROBE is
+// the server's post-idle reachability probe; ECHO requests an immediate
+// reply (path length measurement).
+const (
+	verbInit  = "INIT"
+	verbOK    = "OK"
+	verbKeep  = "KEEP"
+	verbProbe = "PROBE"
+	verbEcho  = "ECHO"
+)
+
+// Server is the server half of the experiment. In the real system the
+// client steers the server over a TCP control channel; here the
+// orchestrating Client invokes the control methods directly, which models
+// that side channel without packets.
+type Server struct {
+	sock *simnet.Socket
+}
+
+// NewServer binds the probe server on host at ServerPort.
+func NewServer(host *simnet.Host) *Server {
+	s := &Server{sock: host.Open(netaddr.UDP, ServerPort)}
+	s.sock.OnRecv(func(from netaddr.Endpoint, payload []byte) {
+		verb, _, ok := splitVerb(payload)
+		if !ok {
+			return
+		}
+		switch verb {
+		case verbInit:
+			// Report the observed (post-translation) source back.
+			s.sock.Send(from, []byte(verbOK+" "+from.String()))
+		case verbEcho:
+			s.sock.Send(from, []byte(verbOK+" "+from.String()))
+		case verbKeep:
+			// Client keepalive: no response needed.
+		}
+	})
+	return s
+}
+
+// Endpoint returns the server's service endpoint.
+func (s *Server) Endpoint() netaddr.Endpoint { return s.sock.LocalEndpoint() }
+
+// SendKeepalive emits a TTL-limited keepalive toward a session's external
+// endpoint (control-channel operation).
+func (s *Server) SendKeepalive(ext netaddr.Endpoint, ttl int) {
+	s.sock.SendTTL(ext, ttl, []byte(verbKeep))
+}
+
+// SendProbe emits the full-TTL reachability probe (control-channel
+// operation).
+func (s *Server) SendProbe(ext netaddr.Endpoint) {
+	s.sock.Send(ext, []byte(verbProbe))
+}
+
+func splitVerb(payload []byte) (verb, rest string, ok bool) {
+	s := string(payload)
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", s != ""
+}
+
+// Config parameterizes an enumeration run.
+type Config struct {
+	// MaxIdle is the longest idle period tested; NATs with larger
+	// timeouts go unnoticed (the paper uses 200 s and reports the
+	// resulting blind spot in Table 7).
+	MaxIdle time.Duration
+	// Step is the timeout measurement granularity (paper: 10 s).
+	Step time.Duration
+	// KeepaliveEvery is the keepalive cadence during idling.
+	KeepaliveEvery time.Duration
+	// MaxHop bounds the per-hop scan.
+	MaxHop int
+	// ConfirmFailures re-runs a failed reachability experiment this many
+	// times and only accepts the failure if every run fails — the
+	// unstable-path filtering §6.3 describes. Zero trusts single runs
+	// (fine on a loss-free network).
+	ConfirmFailures int
+	// EchoRetries re-sends path-length probes on silence.
+	EchoRetries int
+}
+
+// DefaultConfig mirrors the deployed Netalyzr test parameters.
+func DefaultConfig() Config {
+	return Config{
+		MaxIdle:        200 * time.Second,
+		Step:           10 * time.Second,
+		KeepaliveEvery: 10 * time.Second,
+		MaxHop:         16,
+	}
+}
+
+// NATObservation is one discovered stateful hop.
+type NATObservation struct {
+	// Hop is the middlebox's distance from the client in TTL decrements.
+	Hop int
+	// TimeoutLow and TimeoutHigh bracket the measured mapping timeout:
+	// the state survived TimeoutLow of idling but not TimeoutHigh.
+	TimeoutLow, TimeoutHigh time.Duration
+}
+
+// Result is the outcome of one enumeration session.
+type Result struct {
+	// PathLen is the smallest TTL that reaches the server. With R
+	// decrementing elements (routers and NATs) on the path this is R+1,
+	// since the packet must still be alive when delivered.
+	PathLen int
+	// External is the server-observed client endpoint.
+	External netaddr.Endpoint
+	// Mismatch reports that External differs from the client's local
+	// address — NAT evidence even when no expiry is observed (Table 7).
+	Mismatch bool
+	// NATs lists discovered stateful hops in path order.
+	NATs []NATObservation
+	// Experiments counts reachability experiments performed.
+	Experiments int
+}
+
+// MostDistantNAT returns the farthest stateful hop (Figure 11), or 0.
+func (r Result) MostDistantNAT() int {
+	if len(r.NATs) == 0 {
+		return 0
+	}
+	return r.NATs[len(r.NATs)-1].Hop
+}
+
+// Client drives enumeration sessions from a subscriber host.
+type Client struct {
+	host   *simnet.Host
+	server *Server
+	cfg    Config
+	clock  *simnet.Clock
+}
+
+// NewClient builds a client on host talking to server.
+func NewClient(host *simnet.Host, server *Server, cfg Config) *Client {
+	return &Client{host: host, server: server, cfg: cfg, clock: host.Network().Clock()}
+}
+
+// MeasurePathLength finds the smallest TTL that reaches the server, using
+// only endpoint-visible evidence (did the echo reply arrive?). It returns
+// 0 if even TTL 64 fails.
+func (c *Client) MeasurePathLength() int {
+	lo, hi := 1, simnet.DefaultTTL // invariant: hi works (checked first), lo-1 fails
+	if !c.echo(simnet.DefaultTTL) {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.echo(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// echo sends an ECHO with the given TTL on a fresh flow and reports
+// whether the reply arrived, retrying on silence per EchoRetries.
+func (c *Client) echo(ttl int) bool {
+	sock := c.host.Open(netaddr.UDP, 0)
+	defer sock.Close()
+	got := false
+	sock.OnRecv(func(_ netaddr.Endpoint, payload []byte) {
+		verb, _, _ := splitVerb(payload)
+		if verb == verbOK {
+			got = true
+		}
+	})
+	for attempt := 0; attempt <= c.cfg.EchoRetries && !got; attempt++ {
+		sock.SendTTL(c.server.Endpoint(), ttl, []byte(verbEcho))
+	}
+	return got
+}
+
+// session is one reachability experiment's flow state.
+type session struct {
+	sock     *simnet.Socket
+	external netaddr.Endpoint
+	probed   bool
+}
+
+// open starts a fresh flow and learns its external endpoint, retrying the
+// INIT on silence per EchoRetries.
+func (c *Client) open() (*session, bool) {
+	s := &session{sock: c.host.Open(netaddr.UDP, 0)}
+	s.sock.OnRecv(func(_ netaddr.Endpoint, payload []byte) {
+		verb, rest, _ := splitVerb(payload)
+		switch verb {
+		case verbOK:
+			if ep, err := netaddr.ParseEndpoint(rest); err == nil {
+				s.external = ep
+			}
+		case verbProbe:
+			s.probed = true
+		}
+	})
+	for attempt := 0; attempt <= c.cfg.EchoRetries && s.external.IsZero(); attempt++ {
+		s.sock.Send(c.server.Endpoint(), []byte(verbInit))
+	}
+	if s.external.IsZero() {
+		s.sock.Close()
+		return nil, false
+	}
+	return s, true
+}
+
+// confirmedExperiment runs an experiment and, when it reports
+// unreachable, re-runs it per ConfirmFailures: a NAT expiry is
+// deterministic, random loss is not, so repetition separates the two.
+func (c *Client) confirmedExperiment(ttlc, ttls int, tidle time.Duration) (reachable, ok bool) {
+	for attempt := 0; ; attempt++ {
+		reachable, ok = c.experiment(ttlc, ttls, tidle)
+		if !ok || reachable || attempt >= c.cfg.ConfirmFailures {
+			return reachable, ok
+		}
+	}
+}
+
+// experiment runs one reachability experiment per Figure 10: does the
+// server still reach the client after tidle of idling, when client
+// keepalives use ttlc and server keepalives use ttls?
+func (c *Client) experiment(ttlc, ttls int, tidle time.Duration) (reachable, ok bool) {
+	s, opened := c.open()
+	if !opened {
+		return false, false
+	}
+	defer s.sock.Close()
+	for elapsed := time.Duration(0); elapsed < tidle; elapsed += c.cfg.KeepaliveEvery {
+		step := c.cfg.KeepaliveEvery
+		if remaining := tidle - elapsed; remaining < step {
+			step = remaining
+		}
+		c.clock.Advance(step)
+		if ttlc > 0 {
+			s.sock.SendTTL(c.server.Endpoint(), ttlc, []byte(verbKeep))
+		}
+		if ttls > 0 {
+			c.server.SendKeepalive(s.external, ttls)
+		}
+	}
+	s.probed = false
+	c.server.SendProbe(s.external)
+	return s.probed, true
+}
+
+// Enumerate performs the full per-hop scan, classifying each hop as
+// stateful (NAT) or not and bracketing NAT timeouts by binary search.
+func (c *Client) Enumerate() (Result, error) {
+	var res Result
+	res.PathLen = c.MeasurePathLength()
+	if res.PathLen == 0 {
+		return res, fmt.Errorf("ttlprobe: server unreachable")
+	}
+	s, ok := c.open()
+	if !ok {
+		return res, fmt.Errorf("ttlprobe: session setup failed")
+	}
+	res.External = s.external
+	res.Mismatch = s.external.Addr != c.host.Addr()
+	s.sock.Close()
+
+	// hops is the number of TTL-decrementing elements on the path.
+	hops := res.PathLen - 1
+	maxHop := hops
+	if maxHop > c.cfg.MaxHop {
+		maxHop = c.cfg.MaxHop
+	}
+	for j := 1; j <= maxHop; j++ {
+		// Client keepalives die at hop j-1 (refreshing 1..j-1); server
+		// keepalives die at client-hop j+1 (refreshing j+1..hops).
+		ttlc, ttls := j-1, hops-j
+		// First: does state at hop j survive the maximum idle period?
+		reachable, ok := c.confirmedExperiment(ttlc, ttls, c.cfg.MaxIdle)
+		res.Experiments++
+		if !ok {
+			return res, fmt.Errorf("ttlprobe: experiment setup failed at hop %d", j)
+		}
+		if reachable {
+			continue // not a NAT, or timeout beyond MaxIdle
+		}
+		// Hop j is stateful: bracket its timeout. Invariant: state
+		// survives idling `lo` but not `hi`.
+		lo, hi := time.Duration(0), c.cfg.MaxIdle
+		for hi-lo > c.cfg.Step {
+			mid := lo + (hi-lo)/2
+			mid = mid.Round(c.cfg.Step)
+			if mid <= lo {
+				mid = lo + c.cfg.Step
+			}
+			if mid >= hi {
+				break
+			}
+			reachable, ok = c.confirmedExperiment(ttlc, ttls, mid)
+			res.Experiments++
+			if !ok {
+				return res, fmt.Errorf("ttlprobe: experiment setup failed at hop %d", j)
+			}
+			if reachable {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		res.NATs = append(res.NATs, NATObservation{Hop: j, TimeoutLow: lo, TimeoutHigh: hi})
+	}
+	return res, nil
+}

@@ -1,0 +1,265 @@
+package ttlprobe
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/simnet"
+)
+
+func addr(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// lab is a NAT444 test topology with known ground truth:
+//
+//	client C (LAN) - CPE(hop 1, timeout 65s) - 2 routers - CGN(hop 4,
+//	timeout 40s) - 1 router - public - server (+2 server hops)
+//
+// and a cellular client B - 2 routers - CGN(hop 3).
+type lab struct {
+	net    *simnet.Network
+	server *Server
+	c, b   *simnet.Host
+	public *simnet.Host
+	cgnDev *simnet.NATDev
+	cpeDev *simnet.NATDev
+}
+
+func buildLab(t *testing.T, cgnTimeout, cpeTimeout time.Duration) *lab {
+	t.Helper()
+	l := &lab{net: simnet.New()}
+	rng := rand.New(rand.NewSource(2))
+	pub := l.net.Public()
+
+	srvHost := l.net.NewHost("probe-server", pub, addr("203.0.113.10"), 2, rng)
+	l.server = NewServer(srvHost)
+
+	isp := l.net.NewRealm("isp", 1)
+	l.net.AttachNAT("cgn", isp, pub, nat.Config{
+		Type:             nat.PortRestricted,
+		PortAlloc:        nat.Random,
+		Pooling:          nat.Paired,
+		ExternalIPs:      []netaddr.Addr{addr("198.51.100.50")},
+		UDPTimeout:       cgnTimeout,
+		RefreshOnInbound: true,
+		Seed:             3,
+	}, 2, 1)
+	l.cgnDev = isp.Up()
+	l.b = l.net.NewHost("B", isp, addr("100.64.0.2"), 0, rng)
+
+	lan := l.net.NewRealm("lanC", 0)
+	l.net.AttachNAT("cpe", lan, isp, nat.Config{
+		Type:             nat.PortRestricted,
+		PortAlloc:        nat.Preservation,
+		Pooling:          nat.Paired,
+		ExternalIPs:      []netaddr.Addr{addr("100.64.0.100")},
+		UDPTimeout:       cpeTimeout,
+		RefreshOnInbound: true,
+		Seed:             4,
+	}, 0, 0)
+	l.cpeDev = lan.Up()
+	l.c = l.net.NewHost("C", lan, addr("192.168.1.2"), 0, rng)
+
+	l.public = l.net.NewHost("P", pub, addr("203.0.113.99"), 0, rng)
+	return l
+}
+
+func TestMeasurePathLength(t *testing.T) {
+	l := buildLab(t, 40*time.Second, 65*time.Second)
+	// Cellular B: 2 routers + CGN + 1 router + 2 server hops = 6
+	// decrements, so the minimum working TTL is 7.
+	cb := NewClient(l.b, l.server, DefaultConfig())
+	if got := cb.MeasurePathLength(); got != 7 {
+		t.Errorf("B path length = %d, want 7", got)
+	}
+	// NAT444 C: CPE(1) + 2 routers + CGN(4) + 1 router + 2 server = 7
+	// decrements -> minimum TTL 8.
+	cc := NewClient(l.c, l.server, DefaultConfig())
+	if got := cc.MeasurePathLength(); got != 8 {
+		t.Errorf("C path length = %d, want 8", got)
+	}
+	// Public client: only the server's 2 access-hop routers decrement,
+	// so the minimum TTL is 3.
+	cp := NewClient(l.public, l.server, DefaultConfig())
+	if got := cp.MeasurePathLength(); got != 3 {
+		t.Errorf("public path length = %d, want 3", got)
+	}
+}
+
+func TestEnumerateNAT444(t *testing.T) {
+	l := buildLab(t, 40*time.Second, 65*time.Second)
+	client := NewClient(l.c, l.server, DefaultConfig())
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mismatch {
+		t.Error("NAT444 client must observe an address mismatch")
+	}
+	if res.External.Addr != addr("198.51.100.50") {
+		t.Errorf("external = %v, want CGN pool address", res.External)
+	}
+	if len(res.NATs) != 2 {
+		t.Fatalf("found %d NATs (%+v), want 2", len(res.NATs), res.NATs)
+	}
+	cpe, cgn := res.NATs[0], res.NATs[1]
+	if cpe.Hop != 1 {
+		t.Errorf("CPE hop = %d, want 1", cpe.Hop)
+	}
+	if cgn.Hop != 4 {
+		t.Errorf("CGN hop = %d, want 4", cgn.Hop)
+	}
+	// Timeout brackets must contain the ground truth.
+	if !(cpe.TimeoutLow <= 65*time.Second && 65*time.Second < cpe.TimeoutHigh) {
+		t.Errorf("CPE timeout bracket [%v, %v) misses 65s", cpe.TimeoutLow, cpe.TimeoutHigh)
+	}
+	if !(cgn.TimeoutLow <= 40*time.Second && 40*time.Second < cgn.TimeoutHigh) {
+		t.Errorf("CGN timeout bracket [%v, %v) misses 40s", cgn.TimeoutLow, cgn.TimeoutHigh)
+	}
+	// Bracket precision: one step.
+	if cgn.TimeoutHigh-cgn.TimeoutLow > 10*time.Second {
+		t.Errorf("CGN bracket wider than step: [%v, %v)", cgn.TimeoutLow, cgn.TimeoutHigh)
+	}
+	if res.MostDistantNAT() != 4 {
+		t.Errorf("MostDistantNAT = %d, want 4", res.MostDistantNAT())
+	}
+}
+
+func TestEnumerateCellular(t *testing.T) {
+	l := buildLab(t, 30*time.Second, 65*time.Second)
+	client := NewClient(l.b, l.server, DefaultConfig())
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NATs) != 1 {
+		t.Fatalf("found %d NATs (%+v), want 1", len(res.NATs), res.NATs)
+	}
+	if res.NATs[0].Hop != 3 {
+		t.Errorf("CGN hop = %d, want 3", res.NATs[0].Hop)
+	}
+	if !(res.NATs[0].TimeoutLow <= 30*time.Second && 30*time.Second < res.NATs[0].TimeoutHigh) {
+		t.Errorf("timeout bracket [%v, %v) misses 30s", res.NATs[0].TimeoutLow, res.NATs[0].TimeoutHigh)
+	}
+}
+
+func TestEnumeratePublicClientFindsNothing(t *testing.T) {
+	l := buildLab(t, 40*time.Second, 65*time.Second)
+	client := NewClient(l.public, l.server, DefaultConfig())
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch {
+		t.Error("public client must not observe a mismatch")
+	}
+	if len(res.NATs) != 0 {
+		t.Errorf("public client found NATs: %+v", res.NATs)
+	}
+}
+
+func TestLongTimeoutGoesUnnoticed(t *testing.T) {
+	// CGN timeout 300 s > MaxIdle 200 s: the paper's blind spot. The CPE
+	// (65 s) is still found; the mismatch still betrays translation.
+	l := buildLab(t, 300*time.Second, 65*time.Second)
+	client := NewClient(l.c, l.server, DefaultConfig())
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NATs) != 1 || res.NATs[0].Hop != 1 {
+		t.Fatalf("NATs = %+v, want only the CPE at hop 1", res.NATs)
+	}
+	if !res.Mismatch {
+		t.Error("mismatch must still be observed")
+	}
+}
+
+func TestShortTimeoutBracketsAtStep(t *testing.T) {
+	l := buildLab(t, 10*time.Second, 65*time.Second)
+	client := NewClient(l.b, l.server, DefaultConfig())
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NATs) != 1 {
+		t.Fatalf("NATs = %+v", res.NATs)
+	}
+	ob := res.NATs[0]
+	if !(ob.TimeoutLow <= 10*time.Second && 10*time.Second < ob.TimeoutHigh) {
+		t.Errorf("bracket [%v, %v) misses 10s", ob.TimeoutLow, ob.TimeoutHigh)
+	}
+}
+
+func TestExperimentCountBounded(t *testing.T) {
+	l := buildLab(t, 40*time.Second, 65*time.Second)
+	client := NewClient(l.c, l.server, DefaultConfig())
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path length 7 -> 6 scanned hops; each non-NAT costs 1 experiment,
+	// each NAT costs 1 + ~log2(20) more. The paper quotes ~60 per
+	// session; ours must stay well under that.
+	if res.Experiments > 30 {
+		t.Errorf("experiments = %d, want a bounded scan", res.Experiments)
+	}
+}
+
+func TestMostDistantNATEmpty(t *testing.T) {
+	var r Result
+	if r.MostDistantNAT() != 0 {
+		t.Error("empty result should report 0")
+	}
+}
+
+// Under per-hop packet loss, failure confirmation (the §6.3 unstable-path
+// filtering) keeps the enumeration correct: the same NATs, the same
+// timeout brackets, no phantom stateful hops from lost probes.
+func TestEnumerateUnderPacketLoss(t *testing.T) {
+	l := buildLab(t, 40*time.Second, 65*time.Second)
+	l.net.SetLoss(0.02, 99)
+	cfg := DefaultConfig()
+	cfg.ConfirmFailures = 2
+	cfg.EchoRetries = 4
+	client := NewClient(l.c, l.server, cfg)
+	res, err := client.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NATs) != 2 {
+		t.Fatalf("found %d NATs (%+v), want 2 despite loss", len(res.NATs), res.NATs)
+	}
+	if res.NATs[0].Hop != 1 || res.NATs[1].Hop != 4 {
+		t.Errorf("hops = %d, %d; want 1 and 4", res.NATs[0].Hop, res.NATs[1].Hop)
+	}
+	cgn := res.NATs[1]
+	if !(cgn.TimeoutLow <= 40*time.Second && 40*time.Second < cgn.TimeoutHigh) {
+		t.Errorf("CGN bracket [%v, %v) misses 40s under loss", cgn.TimeoutLow, cgn.TimeoutHigh)
+	}
+}
+
+// Without confirmation, loss can fabricate stateful hops; this guards the
+// knob's documented value rather than a hard guarantee (a lucky seed may
+// pass), so it only checks that confirmation never makes things worse.
+func TestConfirmationNeverAddsNATs(t *testing.T) {
+	base := buildLab(t, 40*time.Second, 65*time.Second)
+	baseRes, err := NewClient(base.c, base.server, DefaultConfig()).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := buildLab(t, 40*time.Second, 65*time.Second)
+	lossy.net.SetLoss(0.02, 7)
+	cfg := DefaultConfig()
+	cfg.ConfirmFailures = 3
+	cfg.EchoRetries = 4
+	lossyRes, err := NewClient(lossy.c, lossy.server, cfg).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lossyRes.NATs) > len(baseRes.NATs) {
+		t.Errorf("confirmation admitted phantom NATs: %d vs %d", len(lossyRes.NATs), len(baseRes.NATs))
+	}
+}

@@ -1,0 +1,91 @@
+// Package upnp models the sliver of UPnP IGD that Netalyzr uses (§4.2):
+// asking the local gateway for its external IP address
+// (GetExternalIPAddress) and its device model string. The paper derives
+// IPcpe — the CPE router's WAN address — and the router model of Fig 8(b)
+// from exactly these two answers.
+//
+// The wire format is a deliberately small text protocol rather than full
+// SSDP/SOAP: one request line, one response line. What matters for the
+// reproduction is the information flow (the gateway reveals its WAN
+// address to LAN clients), not XML framing.
+package upnp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cgn/internal/netaddr"
+)
+
+// Port is the UDP port gateways listen on (SSDP's well-known port).
+const Port = 1900
+
+// requestLine is the discovery request payload.
+const requestLine = "upnp-igd? GetExternalIPAddress"
+
+// Request returns the query payload a client sends to its gateway.
+func Request() []byte { return []byte(requestLine) }
+
+// IsRequest reports whether payload is a UPnP query.
+func IsRequest(payload []byte) bool { return string(payload) == requestLine }
+
+// Info is a gateway's answer.
+type Info struct {
+	// ExternalIP is the gateway's WAN address — the paper's IPcpe.
+	ExternalIP netaddr.Addr
+	// Model is the device model string, used to group CPE behavior in
+	// Fig 8(b).
+	Model string
+}
+
+// Encode renders the gateway response.
+func (i Info) Encode() []byte {
+	return []byte(fmt.Sprintf("upnp-igd! ext=%s model=%q", i.ExternalIP, i.Model))
+}
+
+// ParseResponse parses a gateway response.
+func ParseResponse(payload []byte) (Info, bool) {
+	s := string(payload)
+	if !strings.HasPrefix(s, "upnp-igd! ext=") {
+		return Info{}, false
+	}
+	s = strings.TrimPrefix(s, "upnp-igd! ext=")
+	sp := strings.IndexByte(s, ' ')
+	if sp < 0 {
+		return Info{}, false
+	}
+	addr, err := netaddr.ParseAddr(s[:sp])
+	if err != nil {
+		return Info{}, false
+	}
+	rest := s[sp+1:]
+	if !strings.HasPrefix(rest, "model=") {
+		return Info{}, false
+	}
+	model, err := strconv.Unquote(strings.TrimPrefix(rest, "model="))
+	if err != nil {
+		return Info{}, false
+	}
+	return Info{ExternalIP: addr, Model: model}, true
+}
+
+// Responder answers UPnP queries on behalf of a gateway. Bind its Handle
+// method to the gateway host's UPnP port.
+type Responder struct {
+	// Info is the advertised gateway state.
+	Info Info
+	// Enabled mirrors real deployments where only some CPEs answer UPnP;
+	// the paper could resolve IPcpe for roughly 40% of sessions.
+	Enabled bool
+	// Send transmits the response datagram.
+	Send func(dst netaddr.Endpoint, payload []byte)
+}
+
+// Handle processes one inbound datagram.
+func (r *Responder) Handle(from netaddr.Endpoint, payload []byte) {
+	if !r.Enabled || !IsRequest(payload) || r.Send == nil {
+		return
+	}
+	r.Send(from, r.Info.Encode())
+}

@@ -1,0 +1,97 @@
+package upnp
+
+import (
+	"testing"
+
+	"cgn/internal/netaddr"
+)
+
+func TestRequestRecognition(t *testing.T) {
+	if !IsRequest(Request()) {
+		t.Error("Request() not recognized by IsRequest")
+	}
+	if IsRequest([]byte("something else")) {
+		t.Error("foreign payload recognized as request")
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	in := Info{
+		ExternalIP: netaddr.MustParseAddr("100.64.7.9"),
+		Model:      `Speedport W 724V "rev B"`,
+	}
+	out, ok := ParseResponse(in.Encode())
+	if !ok {
+		t.Fatal("ParseResponse failed")
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v (embedded quotes must survive)", out, in)
+	}
+}
+
+func TestInfoRoundTripSimpleModel(t *testing.T) {
+	in := Info{ExternalIP: netaddr.MustParseAddr("203.0.113.4"), Model: "FritzBox 7490"}
+	out, ok := ParseResponse(in.Encode())
+	if !ok || out != in {
+		t.Errorf("round trip = %+v, %v; want %+v", out, ok, in)
+	}
+}
+
+func TestParseResponseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"upnp-igd!",
+		"upnp-igd! ext=1.2.3.4",           // no model
+		"upnp-igd! ext=bogus model=\"x\"", // bad address
+		"upnp-igd! ext=1.2.3.4 model=x",   // unquoted model
+		"totally unrelated",
+	}
+	for _, s := range bad {
+		if _, ok := ParseResponse([]byte(s)); ok {
+			t.Errorf("ParseResponse(%q) accepted", s)
+		}
+	}
+}
+
+func TestResponder(t *testing.T) {
+	var sentTo netaddr.Endpoint
+	var sent []byte
+	r := &Responder{
+		Info:    Info{ExternalIP: netaddr.MustParseAddr("198.51.100.3"), Model: "TestBox"},
+		Enabled: true,
+		Send: func(dst netaddr.Endpoint, payload []byte) {
+			sentTo, sent = dst, payload
+		},
+	}
+	client := netaddr.MustParseEndpoint("192.168.1.10:5555")
+	r.Handle(client, Request())
+	if sentTo != client {
+		t.Errorf("response sent to %v", sentTo)
+	}
+	info, ok := ParseResponse(sent)
+	if !ok || info.ExternalIP != r.Info.ExternalIP || info.Model != "TestBox" {
+		t.Errorf("response = %+v, %v", info, ok)
+	}
+}
+
+func TestResponderDisabled(t *testing.T) {
+	r := &Responder{
+		Info:    Info{ExternalIP: netaddr.MustParseAddr("198.51.100.3"), Model: "X"},
+		Enabled: false,
+		Send: func(netaddr.Endpoint, []byte) {
+			t.Error("disabled responder must stay silent")
+		},
+	}
+	r.Handle(netaddr.MustParseEndpoint("192.168.1.10:5555"), Request())
+}
+
+func TestResponderIgnoresGarbage(t *testing.T) {
+	r := &Responder{
+		Info:    Info{ExternalIP: netaddr.MustParseAddr("198.51.100.3"), Model: "X"},
+		Enabled: true,
+		Send: func(netaddr.Endpoint, []byte) {
+			t.Error("responder must ignore non-UPnP payloads")
+		},
+	}
+	r.Handle(netaddr.MustParseEndpoint("192.168.1.10:5555"), []byte("GET / HTTP/1.1"))
+}
