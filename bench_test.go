@@ -1,5 +1,5 @@
 // Benchmark harness: one bench per paper table/figure (E01..E16, see
-// DESIGN.md), four ablation benches for the design choices the detection
+// the experiment index in README.md), ablation benches for the design choices the detection
 // thresholds encode (A01..A04), and micro-benchmarks for the hot paths.
 //
 // Experiment benches measure the analysis step over a cached campaign
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cgn/internal/bencode"
+	"cgn/internal/campaign"
 	"cgn/internal/crawler"
 	"cgn/internal/detect"
 	"cgn/internal/dht"
@@ -554,6 +555,33 @@ func BenchmarkDHTFindNodeHandling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		node.HandlePacket(from, query)
+	}
+}
+
+// BenchmarkSweepSmall measures the campaign engine end to end: each
+// iteration runs a full multi-world sweep (4 replicate worlds of the
+// small scenario). The sub-benches vary only the worker count, so their
+// ratio is the engine's parallel speedup on this machine; per-world
+// outputs are byte-identical either way (the engine's determinism tests
+// assert it).
+func BenchmarkSweepSmall(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sw, err := campaign.Run(campaign.Config{
+					Scenarios:  []string{"small"},
+					Replicates: 4,
+					BaseSeed:   1,
+					Workers:    workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sw.Worlds) != 4 {
+					b.Fatalf("sweep returned %d worlds, want 4", len(sw.Worlds))
+				}
+			}
+		})
 	}
 }
 

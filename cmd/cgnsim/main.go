@@ -7,39 +7,53 @@
 //
 // Usage:
 //
-//	cgnsim [-scenario paper|small] [-seed N] [-experiment E08] [-truth]
+//	cgnsim [-scenario paper|small|large|...] [-seed N] [-experiment E08] [-truth]
+//
+// Sweep mode runs the campaign over a grid of scenarios and replicate
+// seeds on a worker pool and aggregates the ground-truth scores into
+// precision/recall distributions with confidence intervals:
+//
+//	cgnsim -sweep [-scenarios small,nat444-dense] [-replicates 8] [-workers 4] [-seed N] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"cgn/internal/campaign"
 	"cgn/internal/internet"
 	"cgn/internal/report"
 )
 
 func main() {
-	scenario := flag.String("scenario", "paper", "world size: paper, small or large")
-	seed := flag.Int64("seed", 1, "world generation seed")
+	scenario := flag.String("scenario", "paper", "world scenario: "+strings.Join(internet.Names(), ", "))
+	seed := flag.Int64("seed", 1, "world generation seed (sweep mode: base seed of the replicates)")
 	experiment := flag.String("experiment", "", "render a single experiment (e.g. E08); empty renders all")
 	truth := flag.Bool("truth", false, "also dump per-AS ground truth")
+	sweep := flag.Bool("sweep", false, "run a multi-world sweep instead of a single campaign")
+	scenarios := flag.String("scenarios", "small", "sweep mode: comma-separated scenario names")
+	replicates := flag.Int("replicates", 8, "sweep mode: replicate worlds (seeds) per scenario")
+	workers := flag.Int("workers", runtime.NumCPU(), "sweep mode: concurrent worlds")
+	verbose := flag.Bool("v", false, "sweep mode: print per-world results as they finish")
 	flag.Parse()
 
-	var sc internet.Scenario
-	switch *scenario {
-	case "paper":
-		sc = internet.Paper()
-	case "small":
-		sc = internet.Small()
-	case "large":
-		sc = internet.Large()
-	default:
-		fmt.Fprintf(os.Stderr, "cgnsim: unknown scenario %q\n", *scenario)
+	if *sweep {
+		os.Exit(runSweep(*scenarios, *replicates, *workers, *seed, *verbose))
+	}
+
+	sc, err := internet.Lookup(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	w := internet.Build(sc)
 	fmt.Printf("world: %d ASes, %d BitTorrent peers, %d Netalyzr vantage points, %d true CGN ASes\n\n",
@@ -66,6 +80,32 @@ func main() {
 			}
 		}
 	}
+}
+
+// runSweep drives the campaign engine and prints the aggregate table.
+func runSweep(scenarioList string, replicates, workers int, baseSeed int64, verbose bool) int {
+	cfg := campaign.Config{
+		Scenarios:  strings.Split(scenarioList, ","),
+		Replicates: replicates,
+		BaseSeed:   baseSeed,
+		Workers:    workers,
+	}
+	if verbose {
+		cfg.OnWorld = func(r campaign.WorldResult) {
+			u := r.Scores["BitTorrent ∪ Netalyzr"]
+			fmt.Fprintf(os.Stderr, "  %s seed=%d: union p=%.2f r=%.2f (%v, digest %s)\n",
+				r.Scenario, r.Seed, u.Precision(), u.Recall(), r.Elapsed.Round(1e6), r.Digest[:12])
+		}
+	}
+	sw, err := campaign.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("sweep: %d worlds (%d scenarios x %d replicates) on %d workers in %v\n\n",
+		len(sw.Worlds), len(cfg.Scenarios), cfg.Replicates, cfg.Workers, sw.Elapsed.Round(1e6))
+	fmt.Println(campaign.Render(campaign.Aggregate(sw.Worlds)))
+	return 0
 }
 
 func renderOne(b *report.Bundle, name string) (string, error) {

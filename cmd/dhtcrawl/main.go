@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cgn/internal/dataset"
 	"cgn/internal/detect"
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "paper", "world size: paper, small or large")
+	scenario := flag.String("scenario", "paper", "world scenario: "+strings.Join(internet.Names(), ", "))
 	seed := flag.Int64("seed", 1, "world generation seed")
 	verbose := flag.Bool("v", false, "print per-AS cluster details")
 	out := flag.String("o", "", "write the crawl dataset to this JSON file")
@@ -32,12 +33,10 @@ func main() {
 		return
 	}
 
-	sc := internet.Paper()
-	switch *scenario {
-	case "small":
-		sc = internet.Small()
-	case "large":
-		sc = internet.Large()
+	sc, err := internet.Lookup(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dhtcrawl: %v\n", err)
+		os.Exit(2)
 	}
 	sc.Seed = *seed
 

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cgn/internal/dataset"
 	"cgn/internal/detect"
@@ -16,19 +17,17 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "paper", "world size: paper, small or large")
+	scenario := flag.String("scenario", "paper", "world scenario: "+strings.Join(internet.Names(), ", "))
 	seed := flag.Int64("seed", 1, "world generation seed")
 	dump := flag.Int("dump", 0, "print the first N raw session records")
 	out := flag.String("o", "", "write the session records to this JSON file")
 	routes := flag.String("routes", "", "write a routing-table snapshot to this JSON file (for cmd/analyze)")
 	flag.Parse()
 
-	sc := internet.Paper()
-	switch *scenario {
-	case "small":
-		sc = internet.Small()
-	case "large":
-		sc = internet.Large()
+	sc, err := internet.Lookup(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netalyzr: %v\n", err)
+		os.Exit(2)
 	}
 	sc.Seed = *seed
 

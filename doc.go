@@ -5,8 +5,13 @@
 // CGN detection pipelines, and a benchmark harness that regenerates every
 // table and figure of the evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// This root package holds only documentation and the benchmark harness
-// (bench_test.go); the implementation lives under internal/.
+// Beyond the single-campaign driver, internal/campaign sweeps the
+// pipeline across many scenario/seed worlds in parallel and aggregates
+// ground-truth precision/recall into distributions with confidence
+// intervals (cgnsim -sweep).
+//
+// See README.md for the library tour, CLI usage (including sweep mode)
+// and the experiment index. This root package holds only documentation
+// and the benchmark harness (bench_test.go); the implementation lives
+// under internal/.
 package cgn

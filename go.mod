@@ -1,0 +1,3 @@
+module cgn
+
+go 1.24

@@ -223,13 +223,27 @@ func decodeString(data []byte) (any, []byte, error) {
 	if colon < 0 {
 		return nil, nil, ErrTruncated
 	}
-	lenStr := string(data[:colon])
-	if lenStr == "" || (lenStr[0] == '0' && lenStr != "0") {
-		return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenStr)
+	// Parse the length inline rather than through strconv: the decoder
+	// runs per packet in simulated campaigns and the intermediate string
+	// allocation is measurable. Digits only, no redundant leading zeros,
+	// int32 range. This is deliberately stricter than the ParseInt path
+	// it replaced, which admitted sign-prefixed lengths ("+5", "-0") —
+	// non-canonical forms whose acceptance violated the decoder's own
+	// round-trip invariant (FuzzDecode: accepted input must re-encode
+	// byte-identically).
+	lenBytes := data[:colon]
+	if len(lenBytes) == 0 || (lenBytes[0] == '0' && len(lenBytes) > 1) {
+		return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenBytes)
 	}
-	n, err := strconv.ParseInt(lenStr, 10, 32)
-	if err != nil || n < 0 {
-		return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenStr)
+	var n int64
+	for _, c := range lenBytes {
+		if c < '0' || c > '9' {
+			return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenBytes)
+		}
+		n = n*10 + int64(c-'0')
+		if n > 1<<31-1 {
+			return nil, nil, fmt.Errorf("%w: bad string length %q", ErrSyntax, lenBytes)
+		}
 	}
 	body := data[colon+1:]
 	if int64(len(body)) < n {

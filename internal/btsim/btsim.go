@@ -16,6 +16,7 @@ package btsim
 
 import (
 	"math/rand"
+	"sort"
 
 	"cgn/internal/dht"
 	"cgn/internal/krpc"
@@ -141,7 +142,16 @@ func (s *Swarm) SeedLANs() {
 			byLAN[p.LanID] = append(byLAN[p.LanID], p)
 		}
 	}
-	for _, peers := range byLAN {
+	// Iterate LANs in sorted order: discovery order drives packet order,
+	// which drives NAT port assignment — map order would make two runs of
+	// the same seed diverge.
+	lans := make([]string, 0, len(byLAN))
+	for id := range byLAN {
+		lans = append(lans, id)
+	}
+	sort.Strings(lans)
+	for _, id := range lans {
+		peers := byLAN[id]
 		for _, a := range peers {
 			for _, b := range peers {
 				if a != b {
@@ -152,17 +162,31 @@ func (s *Swarm) SeedLANs() {
 	}
 }
 
+// peersByASN groups peers by AS and returns the ASNs sorted. Callers
+// consume the swarm RNG per peer, so iteration order must not depend on
+// map order or same-seed runs would diverge.
+func (s *Swarm) peersByASN() (map[uint32][]*Peer, []uint32) {
+	byASN := make(map[uint32][]*Peer)
+	for _, p := range s.Peers {
+		byASN[p.ASN] = append(byASN[p.ASN], p)
+	}
+	asns := make([]uint32, 0, len(byASN))
+	for asn := range byASN {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	return byASN, asns
+}
+
 // SeedLocality hands each peer up to k tracker-learned external endpoints
 // of same-AS peers — the swarm-locality effect of sharing torrents with
 // nearby peers. Contacts still undergo validation through the real
 // network: behind a hairpinning CGN the validation happens via the
 // internal path, and the observed (internal) endpoint is what spreads.
 func (s *Swarm) SeedLocality(k int) {
-	byASN := make(map[uint32][]*Peer)
-	for _, p := range s.Peers {
-		byASN[p.ASN] = append(byASN[p.ASN], p)
-	}
-	for _, peers := range byASN {
+	byASN, asns := s.peersByASN()
+	for _, asn := range asns {
+		peers := byASN[asn]
 		if len(peers) < 2 {
 			continue
 		}
@@ -221,11 +245,9 @@ func (s *Swarm) AssignTorrents(localPerAS, globalCount int, globalProb float64) 
 	for i := range globals {
 		globals[i] = torrentID(0, i)
 	}
-	byASN := make(map[uint32][]*Peer)
-	for _, p := range s.Peers {
-		byASN[p.ASN] = append(byASN[p.ASN], p)
-	}
-	for asn, peers := range byASN {
+	byASN, asns := s.peersByASN()
+	for _, asn := range asns {
+		peers := byASN[asn]
 		for _, p := range peers {
 			p.Torrents = p.Torrents[:0]
 			if localPerAS > 0 {

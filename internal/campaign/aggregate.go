@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"cgn/internal/stats"
+)
+
+// MethodAgg aggregates one detection method's scores across the
+// replicates of one scenario.
+type MethodAgg struct {
+	Method string
+	// Precision and Recall are cross-replicate distributions; each
+	// replicate world contributes one observation.
+	Precision stats.MeanCI
+	Recall    stats.MeanCI
+	// TP/FP/FN are mean counts per world.
+	TP, FP, FN float64
+}
+
+// ScenarioAgg aggregates one scenario's replicates.
+type ScenarioAgg struct {
+	Scenario   string
+	Replicates int
+	// ASes and TrueCGN are mean world shape (constant across replicates
+	// up to the CGN deployment draw).
+	ASes    float64
+	TrueCGN float64
+	Methods []MethodAgg
+}
+
+// Aggregate folds per-world results into per-scenario distributions.
+// Scenarios appear in first-seen (grid) order, methods in Methods order.
+func Aggregate(worlds []WorldResult) []ScenarioAgg {
+	byScenario := make(map[string][]WorldResult)
+	var order []string
+	for _, w := range worlds {
+		if _, seen := byScenario[w.Scenario]; !seen {
+			order = append(order, w.Scenario)
+		}
+		byScenario[w.Scenario] = append(byScenario[w.Scenario], w)
+	}
+
+	out := make([]ScenarioAgg, 0, len(order))
+	for _, name := range order {
+		reps := byScenario[name]
+		agg := ScenarioAgg{Scenario: name, Replicates: len(reps)}
+		for _, w := range reps {
+			agg.ASes += float64(w.ASes) / float64(len(reps))
+			agg.TrueCGN += float64(w.TrueCGN) / float64(len(reps))
+		}
+		for _, method := range Methods {
+			ma := MethodAgg{Method: method}
+			var prec, rec []float64
+			for _, w := range reps {
+				s, ok := w.Scores[method]
+				if !ok {
+					continue
+				}
+				prec = append(prec, s.Precision())
+				rec = append(rec, s.Recall())
+				ma.TP += float64(s.TruePositive) / float64(len(reps))
+				ma.FP += float64(s.FalsePositive) / float64(len(reps))
+				ma.FN += float64(s.FalseNegative) / float64(len(reps))
+			}
+			ma.Precision = stats.MeanConfidence(prec)
+			ma.Recall = stats.MeanConfidence(rec)
+			agg.Methods = append(agg.Methods, ma)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// Render formats the aggregates as the sweep's precision/recall table:
+// one block per scenario, one row per method, mean ± 95% CI over the
+// replicates.
+func Render(aggs []ScenarioAgg) string {
+	var sb strings.Builder
+	for i, agg := range aggs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(fmt.Sprintf("Scenario %s — %d replicates, %.0f ASes, %.1f true CGN ASes (mean)\n",
+			agg.Scenario, agg.Replicates, agg.ASes, agg.TrueCGN))
+		w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "Method\tprecision (95% CI)\trecall (95% CI)\ttp\tfp\tfn")
+		for _, m := range agg.Methods {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
+				m.Method, m.Precision, m.Recall, m.TP, m.FP, m.FN)
+		}
+		w.Flush()
+	}
+	return sb.String()
+}

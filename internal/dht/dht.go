@@ -380,14 +380,29 @@ func (t *table) all() []krpc.NodeInfo {
 	return out
 }
 
-// closest returns up to k contacts ordered by XOR distance to target.
+// closest returns up to k contacts ordered by XOR distance to target. The
+// distance keys are computed once up front: recomputing two XORs inside
+// the comparator dominated find_node handling at campaign scale.
 func (t *table) closest(target krpc.NodeID, k int) []krpc.NodeInfo {
-	all := t.all()
-	sort.Slice(all, func(i, j int) bool {
-		return all[i].ID.XOR(target).Less(all[j].ID.XOR(target))
-	})
-	if len(all) > k {
-		all = all[:k]
+	type distNode struct {
+		key krpc.NodeID
+		c   krpc.NodeInfo
 	}
-	return all
+	nodes := make([]distNode, 0, t.size)
+	for _, b := range t.buckets {
+		for _, c := range b {
+			nodes = append(nodes, distNode{c.ID.XOR(target), c})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].key.Less(nodes[j].key)
+	})
+	if len(nodes) > k {
+		nodes = nodes[:k]
+	}
+	out := make([]krpc.NodeInfo, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.c
+	}
+	return out
 }

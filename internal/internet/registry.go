@@ -1,0 +1,181 @@
+package internet
+
+import (
+	"fmt"
+	"sort"
+
+	"cgn/internal/asdb"
+)
+
+// builders maps scenario names to their constructors. Registered at init
+// and read-only afterwards, so concurrent Lookup calls are safe.
+var builders = map[string]func() Scenario{
+	"paper":          Paper,
+	"small":          Small,
+	"large":          Large,
+	"cellular-heavy": CellularHeavy,
+	"nat444-dense":   NAT444Dense,
+	"sparse-cgn":     SparseCGN,
+}
+
+// Lookup resolves a scenario by registry name.
+func Lookup(name string) (Scenario, error) {
+	b, ok := builders[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("internet: unknown scenario %q (known: %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CellularHeavy returns a mobile-carrier-dominated world: few eyeball
+// ASes, many cellular ones, near-universal cellular CGN and a larger
+// share of carriers deploying routable space internally (the Figure 7(b)
+// tail). It stresses the Netalyzr address-classification pipeline, which
+// is the only method that covers cellular networks.
+func CellularHeavy() Scenario {
+	sc := Small()
+	sc.Regions = map[asdb.RIR]RegionMix{
+		asdb.AFRINIC: {Eyeball: 1, Cellular: 4},
+		asdb.APNIC:   {Eyeball: 2, Cellular: 6},
+		asdb.ARIN:    {Eyeball: 1, Cellular: 5},
+		asdb.LACNIC:  {Eyeball: 1, Cellular: 4},
+		asdb.RIPE:    {Eyeball: 2, Cellular: 6},
+	}
+	for r := range sc.CellularCGNProb {
+		sc.CellularCGNProb[r] = 0.95
+	}
+	sc.NLCellSessions = Span{10, 18}
+	sc.RoutableInternalFrac = 0.30
+	sc.CellPublicMixFrac = 0.40
+	return sc
+}
+
+// NAT444Dense returns an eyeball world where CGN deployment is the rule,
+// not the exception: most subscribers sit behind a home NAT *and* a
+// carrier NAT (the NAT444 topology), with stacked home NATs more common
+// than in the paper world. It stresses the BitTorrent leak detector —
+// hairpinned internal endpoints are its only signal — and the top-block
+// filter that separates CPE LANs from CGN realms.
+func NAT444Dense() Scenario {
+	sc := Small()
+	sc.Regions = map[asdb.RIR]RegionMix{
+		asdb.AFRINIC: {Eyeball: 3, Cellular: 1},
+		asdb.APNIC:   {Eyeball: 5, Cellular: 1},
+		asdb.ARIN:    {Eyeball: 4, Cellular: 1},
+		asdb.LACNIC:  {Eyeball: 3, Cellular: 1},
+		asdb.RIPE:    {Eyeball: 5, Cellular: 1},
+	}
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.60
+	}
+	// NAT444 proper: subscribers keep their home NAT, so bare (bridged)
+	// attachment is rare and double NATs are common.
+	sc.BareFrac = 0.15
+	sc.DoubleNATFrac = 0.15
+	sc.MixedRealmFrac = 0.65
+	sc.BTPeers = Span{24, 40}
+	return sc
+}
+
+// SparseCGN returns a world where CGN is rare everywhere — the hardest
+// regime for precision, since nearly every AS is a potential false
+// positive and VPN-style leak noise is as loud as the real signal.
+func SparseCGN() Scenario {
+	sc := Small()
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.05
+	}
+	for r := range sc.CellularCGNProb {
+		sc.CellularCGNProb[r] = 0.30
+	}
+	sc.VPNPairs = 4
+	return sc
+}
+
+// frac01 names one [0,1] fraction field for validation.
+type frac01 struct {
+	name string
+	v    float64
+}
+
+// Validate checks that the scenario's parameters are internally
+// consistent: population counts non-negative, probabilities and fractions
+// inside [0,1], spans ordered. A Scenario built by hand (CLI flags,
+// config files, sweep generators) should be validated before Build, which
+// panics or silently misbehaves on nonsense inputs.
+func (sc Scenario) Validate() error {
+	if len(sc.Regions) == 0 {
+		return fmt.Errorf("internet: scenario has no regions")
+	}
+	for region, mix := range sc.Regions {
+		if mix.Eyeball < 0 || mix.Cellular < 0 {
+			return fmt.Errorf("internet: region %s has negative AS counts (%d eyeball, %d cellular)",
+				region, mix.Eyeball, mix.Cellular)
+		}
+	}
+	if sc.Transit < 0 || sc.Content < 0 {
+		return fmt.Errorf("internet: negative transit (%d) or content (%d) count", sc.Transit, sc.Content)
+	}
+	if sc.VPNPairs < 0 {
+		return fmt.Errorf("internet: negative VPNPairs %d", sc.VPNPairs)
+	}
+	for name, probs := range map[string]map[asdb.RIR]float64{
+		"EyeballCGNProb":  sc.EyeballCGNProb,
+		"CellularCGNProb": sc.CellularCGNProb,
+	} {
+		for region, p := range probs {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("internet: %s[%s] = %v outside [0,1]", name, region, p)
+			}
+		}
+	}
+	for _, f := range []frac01{
+		{"LowVantageFrac", sc.LowVantageFrac},
+		{"BareFrac", sc.BareFrac},
+		{"HomePeerPairFrac", sc.HomePeerPairFrac},
+		{"STUNFrac", sc.STUNFrac},
+		{"TTLFrac", sc.TTLFrac},
+		{"UPnPFrac", sc.UPnPFrac},
+		{"DoubleNATFrac", sc.DoubleNATFrac},
+		{"MixedRealmFrac", sc.MixedRealmFrac},
+		{"HairpinPreserveFrac", sc.HairpinPreserveFrac},
+		{"HairpinTranslateFrac", sc.HairpinTranslateFrac},
+		{"RoutableInternalFrac", sc.RoutableInternalFrac},
+		{"CellPublicMixFrac", sc.CellPublicMixFrac},
+		{"ChunkASFrac", sc.ChunkASFrac},
+		{"NonValidatingFrac", sc.NonValidatingFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("internet: %s = %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if s := sc.HairpinPreserveFrac + sc.HairpinTranslateFrac; s > 1 {
+		return fmt.Errorf("internet: hairpin fractions sum to %v > 1", s)
+	}
+	for _, s := range []struct {
+		name string
+		span Span
+	}{
+		{"BTPeers", sc.BTPeers},
+		{"BTPeersLow", sc.BTPeersLow},
+		{"NLSessions", sc.NLSessions},
+		{"NLCellSessions", sc.NLCellSessions},
+		{"NLSessionsLow", sc.NLSessionsLow},
+	} {
+		if s.span.Min < 0 || s.span.Max < s.span.Min {
+			return fmt.Errorf("internet: span %s = [%d,%d] is not ordered and non-negative",
+				s.name, s.span.Min, s.span.Max)
+		}
+	}
+	return nil
+}

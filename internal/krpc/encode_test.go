@@ -1,0 +1,112 @@
+package krpc
+
+import (
+	"bytes"
+	"testing"
+
+	"cgn/internal/bencode"
+	"cgn/internal/netaddr"
+)
+
+// TestEncodersMatchGenericBencode pins the hand-rolled encoders to the
+// generic map-based bencoding they replaced: for every message shape the
+// direct byte construction must be identical to building the equivalent
+// map[string]any and encoding it, which is how the wire format defines
+// canonical (sorted-key) form.
+func TestEncodersMatchGenericBencode(t *testing.T) {
+	tid := []byte("ab")
+	var self, target NodeID
+	for i := range self {
+		self[i] = byte(i)
+		target[i] = byte(0xff - i)
+	}
+	nodes := []NodeInfo{
+		{ID: self, EP: netaddr.MustParseEndpoint("1.2.3.4:6881")},
+		{ID: target, EP: netaddr.MustParseEndpoint("10.0.0.9:51413")},
+	}
+	peers := []netaddr.Endpoint{
+		netaddr.MustParseEndpoint("192.0.2.7:1024"),
+		netaddr.MustParseEndpoint("198.51.100.3:65535"),
+	}
+	token := []byte("tok")
+
+	generic := func(v any) []byte {
+		b, err := bencode.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	peerVals := func() []any {
+		vals := make([]any, 0, len(peers))
+		for _, v := range EncodeCompactPeers(peers) {
+			vals = append(vals, v)
+		}
+		return vals
+	}
+
+	cases := []struct {
+		name string
+		fast []byte
+		want []byte
+	}{
+		{"ping", EncodePing(tid, self), generic(map[string]any{
+			"t": tid, "y": "q", "q": MethodPing,
+			"a": map[string]any{"id": self[:]},
+		})},
+		{"find_node", EncodeFindNode(tid, self, target), generic(map[string]any{
+			"t": tid, "y": "q", "q": MethodFindNode,
+			"a": map[string]any{"id": self[:], "target": target[:]},
+		})},
+		{"ping_response", EncodePingResponse(tid, self), generic(map[string]any{
+			"t": tid, "y": "r",
+			"r": map[string]any{"id": self[:]},
+		})},
+		{"find_node_response", EncodeFindNodeResponse(tid, self, nodes), generic(map[string]any{
+			"t": tid, "y": "r",
+			"r": map[string]any{"id": self[:], "nodes": EncodeCompactNodes(nodes)},
+		})},
+		{"find_node_response_empty", EncodeFindNodeResponse(tid, self, nil), generic(map[string]any{
+			"t": tid, "y": "r",
+			"r": map[string]any{"id": self[:], "nodes": []byte{}},
+		})},
+		{"get_peers", EncodeGetPeers(tid, self, target), generic(map[string]any{
+			"t": tid, "y": "q", "q": MethodGetPeers,
+			"a": map[string]any{"id": self[:], "info_hash": target[:]},
+		})},
+		{"get_peers_response_values", EncodeGetPeersResponse(tid, self, token, peers, nil), generic(map[string]any{
+			"t": tid, "y": "r",
+			"r": map[string]any{"id": self[:], "token": token, "values": peerVals()},
+		})},
+		{"get_peers_response_nodes", EncodeGetPeersResponse(tid, self, token, nil, nodes), generic(map[string]any{
+			"t": tid, "y": "r",
+			"r": map[string]any{"id": self[:], "token": token, "nodes": EncodeCompactNodes(nodes)},
+		})},
+		{"announce_peer", EncodeAnnouncePeer(tid, self, target, 6881, true, token), generic(map[string]any{
+			"t": tid, "y": "q", "q": MethodAnnouncePeer,
+			"a": map[string]any{
+				"id": self[:], "info_hash": target[:],
+				"port": int64(6881), "implied_port": int64(1), "token": token,
+			},
+		})},
+		{"announce_peer_no_implied", EncodeAnnouncePeer(tid, self, target, 80, false, token), generic(map[string]any{
+			"t": tid, "y": "q", "q": MethodAnnouncePeer,
+			"a": map[string]any{
+				"id": self[:], "info_hash": target[:],
+				"port": int64(80), "implied_port": int64(0), "token": token,
+			},
+		})},
+		{"error", EncodeError(tid, 203, "Protocol Error"), generic(map[string]any{
+			"t": tid, "y": "e",
+			"e": []any{int64(203), "Protocol Error"},
+		})},
+	}
+	for _, c := range cases {
+		if !bytes.Equal(c.fast, c.want) {
+			t.Errorf("%s:\n fast    %q\n generic %q", c.name, c.fast, c.want)
+		}
+		if _, err := Parse(c.fast); err != nil {
+			t.Errorf("%s: fast encoding does not parse: %v", c.name, err)
+		}
+	}
+}

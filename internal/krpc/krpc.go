@@ -10,6 +10,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"cgn/internal/bencode"
 	"cgn/internal/netaddr"
@@ -181,93 +182,199 @@ type Message struct {
 // Errors returned by Parse.
 var ErrMalformed = errors.New("krpc: malformed message")
 
+// The Encode* builders below write the bencoded bytes directly, with the
+// dictionary keys laid out in the sorted order the format mandates. This
+// is byte-identical to encoding a map[string]any through bencode.Encode
+// (TestEncodersMatchGenericBencode proves it) but skips the map
+// construction and key sort on what is the hottest path of a simulated
+// campaign: every DHT packet passes through one of these.
+
+// appendStr appends one bencoded byte string.
+func appendStr(dst []byte, s string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	return append(dst, s...)
+}
+
+// appendBytes appends one bencoded byte string.
+func appendBytes(dst, b []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, ':')
+	return append(dst, b...)
+}
+
+// appendInt appends one bencoded integer.
+func appendInt(dst []byte, n int64) []byte {
+	dst = append(dst, 'i')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, 'e')
+}
+
+// queryHeader opens a query dictionary up to the start of the "a" args
+// dict; queryFooter closes args and appends the q/t/y entries. Key order:
+// a < q < t < y.
+func queryFooter(dst []byte, method string, tid []byte) []byte {
+	dst = append(dst, 'e')
+	dst = appendStr(dst, "q")
+	dst = appendStr(dst, method)
+	dst = appendStr(dst, "t")
+	dst = appendBytes(dst, tid)
+	dst = appendStr(dst, "y")
+	dst = appendStr(dst, "q")
+	return append(dst, 'e')
+}
+
 // EncodePing renders a ping query.
 func EncodePing(tid []byte, self NodeID) []byte {
-	return mustEncode(map[string]any{
-		"t": tid, "y": "q", "q": MethodPing,
-		"a": map[string]any{"id": self[:]},
-	})
+	b := make([]byte, 0, 64+len(tid))
+	b = append(b, 'd')
+	b = appendStr(b, "a")
+	b = append(b, 'd')
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
+	return queryFooter(b, MethodPing, tid)
 }
 
 // EncodeFindNode renders a find_node query.
 func EncodeFindNode(tid []byte, self, target NodeID) []byte {
-	return mustEncode(map[string]any{
-		"t": tid, "y": "q", "q": MethodFindNode,
-		"a": map[string]any{"id": self[:], "target": target[:]},
-	})
+	b := make([]byte, 0, 96+len(tid))
+	b = append(b, 'd')
+	b = appendStr(b, "a")
+	b = append(b, 'd')
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
+	b = appendStr(b, "target")
+	b = appendBytes(b, target[:])
+	return queryFooter(b, MethodFindNode, tid)
+}
+
+// responseFooter appends the t/y entries closing a response dictionary.
+func responseFooter(dst, tid []byte) []byte {
+	dst = appendStr(dst, "t")
+	dst = appendBytes(dst, tid)
+	dst = appendStr(dst, "y")
+	dst = appendStr(dst, "r")
+	return append(dst, 'e')
 }
 
 // EncodePingResponse renders a response to ping.
 func EncodePingResponse(tid []byte, self NodeID) []byte {
-	return mustEncode(map[string]any{
-		"t": tid, "y": "r",
-		"r": map[string]any{"id": self[:]},
-	})
+	b := make([]byte, 0, 64+len(tid))
+	b = append(b, 'd')
+	b = appendStr(b, "r")
+	b = append(b, 'd')
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
+	b = append(b, 'e')
+	return responseFooter(b, tid)
 }
 
 // EncodeFindNodeResponse renders a response to find_node carrying up to
 // eight compact contacts.
 func EncodeFindNodeResponse(tid []byte, self NodeID, nodes []NodeInfo) []byte {
-	return mustEncode(map[string]any{
-		"t": tid, "y": "r",
-		"r": map[string]any{"id": self[:], "nodes": EncodeCompactNodes(nodes)},
-	})
+	b := make([]byte, 0, 96+len(tid)+len(nodes)*compactNodeLen)
+	b = append(b, 'd')
+	b = appendStr(b, "r")
+	b = append(b, 'd')
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
+	b = appendStr(b, "nodes")
+	b = strconv.AppendInt(b, int64(len(nodes)*compactNodeLen), 10)
+	b = append(b, ':')
+	for _, n := range nodes {
+		b = n.AppendCompact(b)
+	}
+	b = append(b, 'e')
+	return responseFooter(b, tid)
 }
 
 // EncodeGetPeers renders a get_peers query for an info-hash.
 func EncodeGetPeers(tid []byte, self, infoHash NodeID) []byte {
-	return mustEncode(map[string]any{
-		"t": tid, "y": "q", "q": MethodGetPeers,
-		"a": map[string]any{"id": self[:], "info_hash": infoHash[:]},
-	})
+	b := make([]byte, 0, 96+len(tid))
+	b = append(b, 'd')
+	b = appendStr(b, "a")
+	b = append(b, 'd')
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
+	b = appendStr(b, "info_hash")
+	b = appendBytes(b, infoHash[:])
+	return queryFooter(b, MethodGetPeers, tid)
 }
 
 // EncodeGetPeersResponse renders a get_peers response carrying known
 // peers (values), fallback contacts (nodes), and a write token.
 func EncodeGetPeersResponse(tid []byte, self NodeID, token []byte, peers []netaddr.Endpoint, nodes []NodeInfo) []byte {
-	r := map[string]any{"id": self[:], "token": token}
+	b := make([]byte, 0, 128+len(tid)+len(token)+len(peers)*compactPeerLen+len(nodes)*compactNodeLen)
+	b = append(b, 'd')
+	b = appendStr(b, "r")
+	b = append(b, 'd')
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
 	if len(peers) > 0 {
-		vals := make([]any, 0, len(peers))
-		for _, v := range EncodeCompactPeers(peers) {
-			vals = append(vals, v)
+		// Key order: id < token < values.
+		b = appendStr(b, "token")
+		b = appendBytes(b, token)
+		b = appendStr(b, "values")
+		b = append(b, 'l')
+		for _, p := range peers {
+			b = append(b, '6', ':')
+			b = p.Addr.AppendBytes(b)
+			b = append(b, byte(p.Port>>8), byte(p.Port))
 		}
-		r["values"] = vals
+		b = append(b, 'e')
 	} else {
-		r["nodes"] = EncodeCompactNodes(nodes)
+		// Key order: id < nodes < token.
+		b = appendStr(b, "nodes")
+		b = strconv.AppendInt(b, int64(len(nodes)*compactNodeLen), 10)
+		b = append(b, ':')
+		for _, n := range nodes {
+			b = n.AppendCompact(b)
+		}
+		b = appendStr(b, "token")
+		b = appendBytes(b, token)
 	}
-	return mustEncode(map[string]any{"t": tid, "y": "r", "r": r})
+	b = append(b, 'e')
+	return responseFooter(b, tid)
 }
 
 // EncodeAnnouncePeer renders an announce_peer query.
 func EncodeAnnouncePeer(tid []byte, self, infoHash NodeID, port uint16, impliedPort bool, token []byte) []byte {
-	implied := 0
+	implied := int64(0)
 	if impliedPort {
 		implied = 1
 	}
-	return mustEncode(map[string]any{
-		"t": tid, "y": "q", "q": MethodAnnouncePeer,
-		"a": map[string]any{
-			"id": self[:], "info_hash": infoHash[:],
-			"port": int64(port), "implied_port": int64(implied), "token": token,
-		},
-	})
+	b := make([]byte, 0, 160+len(tid)+len(token))
+	b = append(b, 'd')
+	b = appendStr(b, "a")
+	b = append(b, 'd')
+	// Key order: id < implied_port < info_hash < port < token.
+	b = appendStr(b, "id")
+	b = appendBytes(b, self[:])
+	b = appendStr(b, "implied_port")
+	b = appendInt(b, implied)
+	b = appendStr(b, "info_hash")
+	b = appendBytes(b, infoHash[:])
+	b = appendStr(b, "port")
+	b = appendInt(b, int64(port))
+	b = appendStr(b, "token")
+	b = appendBytes(b, token)
+	return queryFooter(b, MethodAnnouncePeer, tid)
 }
 
 // EncodeError renders a KRPC error message.
 func EncodeError(tid []byte, code int64, msg string) []byte {
-	return mustEncode(map[string]any{
-		"t": tid, "y": "e",
-		"e": []any{code, msg},
-	})
-}
-
-func mustEncode(v any) []byte {
-	b, err := bencode.Encode(v)
-	if err != nil {
-		// All inputs are built from supported types above.
-		panic(err)
-	}
-	return b
+	b := make([]byte, 0, 64+len(tid)+len(msg))
+	b = append(b, 'd')
+	b = appendStr(b, "e")
+	b = append(b, 'l')
+	b = appendInt(b, code)
+	b = appendStr(b, msg)
+	b = append(b, 'e')
+	b = appendStr(b, "t")
+	b = appendBytes(b, tid)
+	b = appendStr(b, "y")
+	b = appendStr(b, "e")
+	return append(b, 'e')
 }
 
 // Parse decodes one KRPC message from wire bytes.

@@ -1,11 +1,13 @@
 // Package report regenerates every table and figure of the paper's
 // evaluation from a measurement campaign over a generated world. Each
-// experiment has a renderer (E01..E16 — see DESIGN.md for the index);
+// experiment has a renderer (E01..E16 — see README.md for the index);
 // Collect runs the full campaign once and the renderers format its
 // results, so one invocation reproduces the entire evaluation section.
 package report
 
 import (
+	"sync"
+
 	"cgn/internal/crawler"
 	"cgn/internal/detect"
 	"cgn/internal/internet"
@@ -36,31 +38,80 @@ type Bundle struct {
 	STUN     *props.STUNResult
 }
 
-// Collect runs the full measurement campaign and all analyses.
-func Collect(w *internet.World) *Bundle {
+// Collect runs the full measurement campaign and all analyses. The
+// measurement stages execute sequentially — the crawl and the Netalyzr
+// sessions translate through the same CGN devices, so interleaving them
+// would race on NAT binding state and destroy the same-seed determinism
+// the campaign engine depends on — but the analysis stages, which are
+// pure functions over the collected datasets, run concurrently.
+// CollectSequential produces a byte-identical Bundle on one goroutine.
+func Collect(w *internet.World) *Bundle { return collect(w, true) }
+
+// CollectSequential runs the identical campaign with every stage on the
+// calling goroutine. Determinism tests diff its results against
+// Collect's; it is also friendlier to execution tracing.
+func CollectSequential(w *internet.World) *Bundle { return collect(w, false) }
+
+// stages runs the given independent analysis stages, concurrently or not.
+// Each stage writes only its own Bundle fields.
+func stages(parallel bool, fns ...func()) {
+	if !parallel {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+func collect(w *internet.World, parallel bool) *Bundle {
 	b := &Bundle{World: w}
-	b.Survey = survey.AggregateCorpus(survey.Corpus(w.Scenario.Seed))
 
+	// Measurement phase: single-threaded packet-level simulation.
 	b.Crawl = w.RunCrawl(internet.DefaultCrawlOptions())
-	b.BT = detect.AnalyzeBitTorrent(b.Crawl, w.BTDetectConfig())
-
 	b.Sessions = w.RunNetalyzr()
-	b.Cellular = detect.AnalyzeCellular(b.Sessions, w.Net.Global(), detect.NLConfig{})
-	b.NonCell = detect.AnalyzeNonCellular(b.Sessions, w.Net.Global(), detect.NLConfig{})
 
-	b.BTV = detect.BTView(b.BT)
-	b.CellV = detect.CellularView(b.Cellular)
-	b.NonCellV = detect.NonCellularView(b.NonCell)
+	// Detection phase: the survey aggregation, the BitTorrent pipeline
+	// and the two Netalyzr pipelines are independent of one another.
+	stages(parallel,
+		func() { b.Survey = survey.AggregateCorpus(survey.Corpus(w.Scenario.Seed)) },
+		func() {
+			b.BT = detect.AnalyzeBitTorrent(b.Crawl, w.BTDetectConfig())
+			b.BTV = detect.BTView(b.BT)
+		},
+		func() {
+			b.Cellular = detect.AnalyzeCellular(b.Sessions, w.Net.Global(), detect.NLConfig{})
+			b.CellV = detect.CellularView(b.Cellular)
+		},
+		func() {
+			b.NonCell = detect.AnalyzeNonCellular(b.Sessions, w.Net.Global(), detect.NLConfig{})
+			b.NonCellV = detect.NonCellularView(b.NonCell)
+		},
+	)
 	b.UnionV = detect.Union("BitTorrent ∪ Netalyzr", b.BTV, b.NonCellV)
 
+	// Property phase: every §6 analysis conditions on the combined CGN
+	// verdict but is otherwise independent.
 	cgn := b.combinedCGNView()
 	filtered := props.FilterNetworks(b.Sessions, cgn, props.MinSessionsPerNetwork)
-	b.Ports = props.AnalyzePorts(b.Sessions, cgn, props.PortConfig{})
-	b.Space = props.AnalyzeInternalSpace(b.Sessions, b.BT, cgn, w.Net.Global(), b.NonCell.TopCPEBlocks)
-	b.Distance = props.AnalyzeDistance(filtered, cgn)
-	b.Timeouts = props.AnalyzeTimeouts(filtered, cgn)
-	b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions)
-	b.STUN = props.AnalyzeSTUN(filtered, cgn)
+	stages(parallel,
+		func() { b.Ports = props.AnalyzePorts(b.Sessions, cgn, props.PortConfig{}) },
+		func() {
+			b.Space = props.AnalyzeInternalSpace(b.Sessions, b.BT, cgn, w.Net.Global(), b.NonCell.TopCPEBlocks)
+		},
+		func() { b.Distance = props.AnalyzeDistance(filtered, cgn) },
+		func() { b.Timeouts = props.AnalyzeTimeouts(filtered, cgn) },
+		func() { b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions) },
+		func() { b.STUN = props.AnalyzeSTUN(filtered, cgn) },
+	)
 	return b
 }
 

@@ -113,8 +113,16 @@ func (b *Bundle) E03() string {
 // E04 renders Figure 3: isolated vs clustered leak structure, using the
 // most extreme AS of each kind as the exemplars.
 func (b *Bundle) E04() string {
+	// Walk ASes in ASN order: exemplar selection breaks ties by first
+	// match, and map iteration order would make same-seed reports differ.
+	asns := make([]uint32, 0, len(b.BT.PerAS))
+	for asn := range b.BT.PerAS {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 	var isolated, clustered *detect.BTAS
-	for _, as := range b.BT.PerAS {
+	for _, asn := range asns {
+		as := b.BT.PerAS[asn]
 		for _, cs := range as.Clusters {
 			if as.CGN {
 				if clustered == nil || cs.LeakerIPs > maxLeaker(clustered) {

@@ -90,3 +90,19 @@ func TestRenderersNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectMatchesSequential pins the stage-concurrency refactor: the
+// parallel analysis stages must render byte-identically to a fully
+// sequential pass over a fresh world of the same seed.
+func TestCollectMatchesSequential(t *testing.T) {
+	build := func() *internet.World {
+		sc := internet.Small()
+		sc.Seed = 11
+		return internet.Build(sc)
+	}
+	par := Collect(build()).All()
+	seq := CollectSequential(build()).All()
+	if par != seq {
+		t.Error("Collect and CollectSequential render different reports for the same seed")
+	}
+}

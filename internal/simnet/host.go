@@ -114,7 +114,7 @@ func (h *Host) SendTTL(proto netaddr.Proto, srcPort uint16, dst netaddr.Endpoint
 	f := netaddr.FlowOf(proto, netaddr.EndpointOf(h.addr, srcPort), dst)
 	// Leaving the host's own access network costs extraHops.
 	w := &walker{ttl: ttl, net: h.net}
-	if !w.consume(h.extraHops, "router:"+h.name+"-access") {
+	if !w.consume(h.extraHops, "router:", h.name, "-access") {
 		return h.net.dropTTL(w)
 	}
 	r := h.net.send(h, f, w.ttl, payload)
@@ -125,10 +125,12 @@ func (h *Host) SendTTL(proto netaddr.Proto, srcPort uint16, dst netaddr.Endpoint
 // deliver hands a packet to the bound handler, charging the host's access
 // hops first.
 func (h *Host) deliver(f netaddr.Flow, payload []byte, w *walker, n *Network) Result {
-	if !w.consume(h.extraHops, "router:"+h.name+"-access") {
+	if !w.consume(h.extraHops, "router:", h.name, "-access") {
 		return n.dropTTL(w)
 	}
-	w.record("host:" + h.name)
+	if w.trace != nil {
+		w.record("host:" + h.name)
+	}
 	if w.traceOnly {
 		// Diagnostics stop short of the application layer.
 		return Result{Reason: Delivered, Hops: w.hops}

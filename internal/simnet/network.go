@@ -27,6 +27,10 @@ type Network struct {
 	lossRNG  *rand.Rand
 	// Metrics counts forwarding outcomes network-wide.
 	Metrics *metrics.Set
+	// Counters below are hoisted out of Metrics at construction; the
+	// forwarding path increments them per packet and a name lookup per
+	// increment is measurable at campaign scale.
+	cSent, cUnreachable, cNATDropped, cLost, cTTLExpired *metrics.Counter
 }
 
 // New creates an empty network with a public realm.
@@ -36,6 +40,11 @@ func New() *Network {
 		global:  routing.NewGlobal(),
 		Metrics: metrics.NewSet(),
 	}
+	n.cSent = n.Metrics.Counter("pkts_sent")
+	n.cUnreachable = n.Metrics.Counter("pkts_unreachable")
+	n.cNATDropped = n.Metrics.Counter("pkts_nat_dropped")
+	n.cLost = n.Metrics.Counter("pkts_lost")
+	n.cTTLExpired = n.Metrics.Counter("pkts_ttl_expired")
 	n.public = &Realm{name: "public", net: n, attach: make(map[netaddr.Addr]attachment)}
 	return n
 }
@@ -241,12 +250,16 @@ func (w *walker) record(label string) {
 }
 
 // consume spends k router hops; false when the TTL expires or a hop loses
-// the packet (w.lost distinguishes the two).
-func (w *walker) consume(k int, label string) bool {
+// the packet (w.lost distinguishes the two). The trace label is passed in
+// three parts and only concatenated when a trace is being recorded — the
+// forwarding hot path would otherwise allocate a string per hop.
+func (w *walker) consume(k int, prefix, name, suffix string) bool {
 	for i := 0; i < k; i++ {
 		w.ttl--
 		w.hops++
-		w.record(label)
+		if w.trace != nil {
+			w.record(prefix + name + suffix)
+		}
 		if w.ttl <= 0 {
 			return false
 		}
@@ -260,7 +273,7 @@ func (w *walker) consume(k int, label string) bool {
 
 // consumeNAT spends the NAT's own hop with its name in the trace.
 func (w *walker) consumeNAT(name string) bool {
-	return w.consume(1, "nat:"+name)
+	return w.consume(1, "nat:", name, "")
 }
 
 // TracePath walks a probe packet from src toward dst and returns the
@@ -272,7 +285,7 @@ func (n *Network) TracePath(src *Host, proto netaddr.Proto, srcPort uint16, dst 
 	var steps []string
 	f := netaddr.FlowOf(proto, netaddr.EndpointOf(src.addr, srcPort), dst)
 	w := &walker{ttl: DefaultTTL, net: n, trace: &steps, traceOnly: true}
-	if !w.consume(src.extraHops, "router:"+src.name+"-access") {
+	if !w.consume(src.extraHops, "router:", src.name, "-access") {
 		return steps, n.dropTTL(w)
 	}
 	res := n.walk(src, f, w, nil)
@@ -284,7 +297,7 @@ func (n *Network) TracePath(src *Host, proto netaddr.Proto, srcPort uint16, dst 
 // through NATs until the destination's realm is found, then descends
 // through any NATs fronting the destination.
 func (n *Network) send(src *Host, f netaddr.Flow, ttl int, payload []byte) Result {
-	n.Metrics.Counter("pkts_sent").Inc()
+	n.cSent.Inc()
 	w := &walker{ttl: ttl, net: n}
 	return n.walk(src, f, w, payload)
 }
@@ -294,17 +307,17 @@ func (n *Network) walk(src *Host, f netaddr.Flow, w *walker, payload []byte) Res
 	realm := src.realm
 	for {
 		if att, ok := realm.attach[f.Dst.Addr]; ok {
-			if !w.consume(realm.fabricHops, "fabric:"+realm.name) {
+			if !w.consume(realm.fabricHops, "fabric:", realm.name, "") {
 				return n.dropTTL(w)
 			}
 			return n.descend(att, f, w, payload)
 		}
 		dev := realm.up
 		if dev == nil {
-			n.Metrics.Counter("pkts_unreachable").Inc()
+			n.cUnreachable.Inc()
 			return Result{Reason: DropUnreachable, Hops: w.hops}
 		}
-		if !w.consume(dev.innerHops, "router:"+dev.Name+"-inner") {
+		if !w.consume(dev.innerHops, "router:", dev.Name, "-inner") {
 			return n.dropTTL(w)
 		}
 		now := n.clock.Now()
@@ -316,32 +329,32 @@ func (n *Network) walk(src *Host, f netaddr.Flow, w *walker, payload []byte) Res
 			// Hairpin: the packet turns around inside this NAT.
 			res, v := dev.NAT.Hairpin(f, now)
 			if v != nat.Ok {
-				n.Metrics.Counter("pkts_nat_dropped").Inc()
+				n.cNATDropped.Inc()
 				return Result{Reason: DropNAT, NATVerdict: v, Hops: w.hops}
 			}
-			if !w.consumeNAT(dev.Name + " (hairpin)") {
+			if !w.consume(1, "nat:", dev.Name, " (hairpin)") {
 				return n.dropTTL(w)
 			}
-			if !w.consume(dev.innerHops, "router:"+dev.Name+"-inner") {
+			if !w.consume(dev.innerHops, "router:", dev.Name, "-inner") {
 				return n.dropTTL(w)
 			}
 			att, ok := realm.attach[res.Flow.Dst.Addr]
 			if !ok {
-				n.Metrics.Counter("pkts_unreachable").Inc()
+				n.cUnreachable.Inc()
 				return Result{Reason: DropUnreachable, Hops: w.hops}
 			}
 			return n.descend(att, res.Flow, w, payload)
 		}
 		out, v := dev.NAT.TranslateOut(f, now)
 		if v != nat.Ok {
-			n.Metrics.Counter("pkts_nat_dropped").Inc()
+			n.cNATDropped.Inc()
 			return Result{Reason: DropNAT, NATVerdict: v, Hops: w.hops}
 		}
 		f = out
 		if !w.consumeNAT(dev.Name) {
 			return n.dropTTL(w)
 		}
-		if !w.consume(dev.outerHops, "router:"+dev.Name+"-outer") {
+		if !w.consume(dev.outerHops, "router:", dev.Name, "-outer") {
 			return n.dropTTL(w)
 		}
 		realm = dev.outer
@@ -358,26 +371,26 @@ func (n *Network) descend(att attachment, f netaddr.Flow, w *walker, payload []b
 		case *NATDev:
 			// Mirror the outbound path: the routers on the NAT's outer
 			// side come first.
-			if !w.consume(a.outerHops, "router:"+a.Name+"-outer") {
+			if !w.consume(a.outerHops, "router:", a.Name, "-outer") {
 				return n.dropTTL(w)
 			}
 			// As on the outbound path, translation (and any inbound state
 			// refresh) happens before the TTL check.
 			in, v := a.NAT.TranslateIn(f, n.clock.Now())
 			if v != nat.Ok {
-				n.Metrics.Counter("pkts_nat_dropped").Inc()
+				n.cNATDropped.Inc()
 				return Result{Reason: DropNAT, NATVerdict: v, Hops: w.hops}
 			}
 			f = in
 			if !w.consumeNAT(a.Name) {
 				return n.dropTTL(w)
 			}
-			if !w.consume(a.innerHops, "router:"+a.Name+"-inner") {
+			if !w.consume(a.innerHops, "router:", a.Name, "-inner") {
 				return n.dropTTL(w)
 			}
 			next, ok := a.inner.attach[f.Dst.Addr]
 			if !ok {
-				n.Metrics.Counter("pkts_unreachable").Inc()
+				n.cUnreachable.Inc()
 				return Result{Reason: DropUnreachable, Hops: w.hops}
 			}
 			att = next
@@ -391,9 +404,9 @@ func (n *Network) descend(att attachment, f netaddr.Flow, w *walker, payload []b
 // ate the packet, to TTL expiry otherwise.
 func (n *Network) dropTTL(w *walker) Result {
 	if w.lost {
-		n.Metrics.Counter("pkts_lost").Inc()
+		n.cLost.Inc()
 		return Result{Reason: DropLoss, Hops: w.hops}
 	}
-	n.Metrics.Counter("pkts_ttl_expired").Inc()
+	n.cTTLExpired.Inc()
 	return Result{Reason: DropTTLExpired, Hops: w.hops}
 }

@@ -113,6 +113,50 @@ func Mode(sorted []float64) (float64, int) {
 	return best, bestN
 }
 
+// MeanCI is a sample mean with its spread and a normal-approximation 95%
+// confidence interval — the cross-replicate aggregate the campaign
+// engine reports, where each replicate world contributes one observation.
+type MeanCI struct {
+	N    int
+	Mean float64
+	// StdDev is the sample (Bessel-corrected) standard deviation; zero
+	// for fewer than two observations.
+	StdDev float64
+	// Half is the 95% CI half-width, 1.96·StdDev/√N; the interval is
+	// Mean ± Half. Zero for fewer than two observations.
+	Half float64
+}
+
+// MeanConfidence computes the mean, sample standard deviation and 95%
+// confidence half-width of xs. It returns a zero MeanCI for an empty
+// sample.
+func MeanConfidence(xs []float64) MeanCI {
+	if len(xs) == 0 {
+		return MeanCI{}
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	m := MeanCI{N: len(xs), Mean: sum / float64(len(xs))}
+	if len(xs) < 2 {
+		return m
+	}
+	var sq float64
+	for _, v := range xs {
+		d := v - m.Mean
+		sq += d * d
+	}
+	m.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+	m.Half = 1.96 * m.StdDev / math.Sqrt(float64(len(xs)))
+	return m
+}
+
+// String renders "mean ± half" with two decimals.
+func (m MeanCI) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", m.Mean, m.Half)
+}
+
 // Histogram is a fixed-width binned histogram over [Lo, Hi).
 type Histogram struct {
 	Lo, Hi float64

@@ -207,3 +207,29 @@ func TestPercent(t *testing.T) {
 		t.Errorf("Percent = %q", got)
 	}
 }
+
+func TestMeanConfidence(t *testing.T) {
+	// Hand-computed: xs = {1,2,3,4} has mean 2.5, sample stddev
+	// sqrt(5/3) ≈ 1.29099, and 95% half-width 1.96·sd/√4 ≈ 1.26517.
+	m := MeanConfidence([]float64{1, 2, 3, 4})
+	if m.N != 4 || math.Abs(m.Mean-2.5) > 1e-9 {
+		t.Errorf("mean = %v (n=%d), want 2.5 (n=4)", m.Mean, m.N)
+	}
+	wantSD := math.Sqrt(5.0 / 3.0)
+	if math.Abs(m.StdDev-wantSD) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", m.StdDev, wantSD)
+	}
+	if math.Abs(m.Half-1.96*wantSD/2) > 1e-9 {
+		t.Errorf("half = %v, want %v", m.Half, 1.96*wantSD/2)
+	}
+
+	if m := MeanConfidence(nil); m.N != 0 || m.Mean != 0 || m.Half != 0 {
+		t.Errorf("empty sample = %+v, want zero", m)
+	}
+	if m := MeanConfidence([]float64{7}); m.N != 1 || m.Mean != 7 || m.StdDev != 0 || m.Half != 0 {
+		t.Errorf("single sample = %+v, want mean 7 with zero spread", m)
+	}
+	if got := MeanConfidence([]float64{1, 2}).String(); got != "1.50 ± 0.98" {
+		t.Errorf("String() = %q, want \"1.50 ± 0.98\"", got)
+	}
+}
