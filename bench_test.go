@@ -426,6 +426,48 @@ func BenchmarkNATTranslateIn(b *testing.B) {
 	}
 }
 
+// BenchmarkNATPortChurn measures the port-resource engine under the
+// mobile-churn regime: every iteration creates a fresh mapping (sequential
+// allocation against a bitmap that stays ~75% full) while virtual time
+// advances and periodic Sweeps expire old mappings off the deadline heap.
+// Steady state holds ~30k live mappings.
+func BenchmarkNATPortChurn(b *testing.B) {
+	n := nat.New(nat.Config{
+		Type:        nat.Symmetric,
+		PortAlloc:   nat.Sequential,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		UDPTimeout:  30 * time.Second,
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := netaddr.EndpointOf(netaddr.Addr(uint32(0x08000000)+uint32(i)), 53)
+		if _, v := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, src, dst), now); v != nat.Ok {
+			b.Fatal(v)
+		}
+		now = now.Add(time.Millisecond)
+		if i&1023 == 1023 {
+			n.Sweep(now)
+		}
+	}
+}
+
+// BenchmarkE17PortLoad measures the port-pressure analysis over the
+// cached campaign's carrier NATs.
+func BenchmarkE17PortLoad(b *testing.B) {
+	bu := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := report.AnalyzePortLoad(bu.World)
+		if pl.Pressure().Realms == 0 {
+			b.Fatal("no CGN realms")
+		}
+	}
+}
+
 func BenchmarkBencodeDecode(b *testing.B) {
 	var id krpc.NodeID
 	nodes := make([]krpc.NodeInfo, 8)

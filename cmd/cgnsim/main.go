@@ -33,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed (sweep mode: base seed of the replicates)")
 	experiment := flag.String("experiment", "", "render a single experiment (e.g. E08); empty renders all")
 	truth := flag.Bool("truth", false, "also dump per-AS ground truth")
+	portSpan := flag.Int("portspan", 0, "narrow every CGN realm to this many external ports (0 keeps the scenario's setting)")
+	portQuota := flag.Int("portquota", 0, "per-subscriber CGN port quota (0 keeps the scenario's setting)")
 	sweep := flag.Bool("sweep", false, "run a multi-world sweep instead of a single campaign")
 	scenarios := flag.String("scenarios", "small", "sweep mode: comma-separated scenario names")
 	replicates := flag.Int("replicates", 8, "sweep mode: replicate worlds (seeds) per scenario")
@@ -41,7 +43,7 @@ func main() {
 	flag.Parse()
 
 	if *sweep {
-		os.Exit(runSweep(*scenarios, *replicates, *workers, *seed, *verbose))
+		os.Exit(runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *verbose))
 	}
 
 	sc, err := internet.Lookup(*scenario)
@@ -50,6 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	sc.ApplyPortOverrides(*portSpan, *portQuota)
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
 		os.Exit(2)
@@ -83,12 +86,14 @@ func main() {
 }
 
 // runSweep drives the campaign engine and prints the aggregate table.
-func runSweep(scenarioList string, replicates, workers int, baseSeed int64, verbose bool) int {
+func runSweep(scenarioList string, replicates, workers int, baseSeed int64, portSpan, portQuota int, verbose bool) int {
 	cfg := campaign.Config{
 		Scenarios:  strings.Split(scenarioList, ","),
 		Replicates: replicates,
 		BaseSeed:   baseSeed,
 		Workers:    workers,
+		PortSpan:   portSpan,
+		PortQuota:  portQuota,
 	}
 	if verbose {
 		cfg.OnWorld = func(r campaign.WorldResult) {
@@ -114,11 +119,11 @@ func renderOne(b *report.Bundle, name string) (string, error) {
 		"E05": b.E05, "E06": b.E06, "E07": b.E07, "E08": b.E08,
 		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12,
 		"E13": b.E13, "E14": b.E14, "E15": b.E15, "E16": b.E16,
-		"SCORES": b.Scores,
+		"E17": b.E17, "SCORES": b.Scores,
 	}
 	fn, ok := renderers[name]
 	if !ok {
-		return "", fmt.Errorf("unknown experiment %q (E01..E16 or scores)", name)
+		return "", fmt.Errorf("unknown experiment %q (E01..E17 or scores)", name)
 	}
 	return fn(), nil
 }

@@ -29,6 +29,12 @@ type ScenarioAgg struct {
 	ASes    float64
 	TrueCGN float64
 	Methods []MethodAgg
+	// Port pressure (E17) across replicates: mean realm counts, peak
+	// utilization distribution and the global allocation-failure rate.
+	CGNRealms       float64
+	SaturatedRealms float64
+	Utilization     stats.MeanCI
+	AllocFailRate   stats.MeanCI
 }
 
 // Aggregate folds per-world results into per-scenario distributions.
@@ -47,10 +53,17 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 	for _, name := range order {
 		reps := byScenario[name]
 		agg := ScenarioAgg{Scenario: name, Replicates: len(reps)}
+		var utils, fails []float64
 		for _, w := range reps {
 			agg.ASes += float64(w.ASes) / float64(len(reps))
 			agg.TrueCGN += float64(w.TrueCGN) / float64(len(reps))
+			agg.CGNRealms += float64(w.Ports.Realms) / float64(len(reps))
+			agg.SaturatedRealms += float64(w.Ports.Saturated) / float64(len(reps))
+			utils = append(utils, w.Ports.MeanUtilization)
+			fails = append(fails, w.Ports.AllocFailureRate)
 		}
+		agg.Utilization = stats.MeanConfidence(utils)
+		agg.AllocFailRate = stats.MeanConfidence(fails)
 		for _, method := range Methods {
 			ma := MethodAgg{Method: method}
 			var prec, rec []float64
@@ -92,6 +105,8 @@ func Render(aggs []ScenarioAgg) string {
 				m.Method, m.Precision, m.Recall, m.TP, m.FP, m.FN)
 		}
 		w.Flush()
+		sb.WriteString(fmt.Sprintf("E17 port pressure: %.1f CGN realms (%.1f saturated), peak utilization %s, allocation-failure rate %s\n",
+			agg.CGNRealms, agg.SaturatedRealms, agg.Utilization, agg.AllocFailRate))
 	}
 	return sb.String()
 }

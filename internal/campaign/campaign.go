@@ -45,6 +45,11 @@ type Config struct {
 	// Workers is the worker-pool size; 1 runs the sweep fully
 	// sequentially.
 	Workers int
+	// PortSpan and PortQuota, when nonzero, override every scenario's CGN
+	// port provisioning (Scenario.CGNPortSpan / CGNPortQuota) — the sweep
+	// analogue of cgnsim's -portspan/-portquota flags.
+	PortSpan  int
+	PortQuota int
 	// OnWorld, when set, is called after each world completes, from the
 	// worker that ran it. Progress reporting only — results arrive in
 	// deterministic order via Sweep's return regardless.
@@ -67,6 +72,9 @@ type WorldResult struct {
 	// byte-identity witness determinism tests compare across worker
 	// counts.
 	Digest string
+	// Ports is the E17 port-pressure summary over the world's carrier
+	// NATs (utilization and allocation-failure outcomes).
+	Ports report.PortPressure
 	// ASes and TrueCGN describe the world; Elapsed is the campaign wall
 	// time on its worker.
 	ASes    int
@@ -109,6 +117,7 @@ func (cfg Config) validate() error {
 		if err != nil {
 			return err
 		}
+		sc.ApplyPortOverrides(cfg.PortSpan, cfg.PortQuota)
 		if err := sc.Validate(); err != nil {
 			return fmt.Errorf("campaign: scenario %q: %w", name, err)
 		}
@@ -139,7 +148,7 @@ func Run(cfg Config) (*Sweep, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = runWorld(jobs[i])
+				results[i] = runWorld(cfg, jobs[i])
 				if cfg.OnWorld != nil {
 					cfg.OnWorld(results[i])
 				}
@@ -159,7 +168,7 @@ func Run(cfg Config) (*Sweep, error) {
 // world — generator, simulated network, campaign and analyses — is
 // confined to the calling goroutine; report.Collect's internal stage
 // concurrency operates on immutable collected data only.
-func runWorld(job Job) WorldResult {
+func runWorld(cfg Config, job Job) WorldResult {
 	start := time.Now()
 	sc, err := internet.Lookup(job.Scenario)
 	if err != nil {
@@ -167,6 +176,7 @@ func runWorld(job Job) WorldResult {
 		// registry bug, not an input error.
 		panic(err)
 	}
+	sc.ApplyPortOverrides(cfg.PortSpan, cfg.PortQuota)
 	sc.Seed = job.Seed
 	w := internet.Build(sc)
 	b := report.Collect(w)
@@ -178,6 +188,7 @@ func runWorld(job Job) WorldResult {
 		Seed:     job.Seed,
 		Scores:   make(map[string]detect.Score, 4),
 		Digest:   hex.EncodeToString(sum[:]),
+		Ports:    b.Load.Pressure(),
 		ASes:     w.DB.Len(),
 		TrueCGN:  len(truth),
 		Elapsed:  time.Since(start),

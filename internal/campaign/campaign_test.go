@@ -13,7 +13,7 @@ import (
 // per-world reports and identical scores whatever the worker count.
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	cfg := Config{
-		Scenarios:  []string{"small", "sparse-cgn"},
+		Scenarios:  []string{"small", "sparse-cgn", "port-starved"},
 		Replicates: 2,
 		BaseSeed:   3,
 	}

@@ -23,6 +23,10 @@ type World struct {
 	Servers  *netalyzr.Servers
 	// Truth maps ASN to ground truth.
 	Truth map[uint32]*Truth
+	// CGNs lists every carrier NAT device in deterministic build order;
+	// the E17 port-pressure analysis reads their PortStats after the
+	// campaign.
+	CGNs []CGNDevice
 	// CrawlerHost is a public host reserved for the DHT crawler.
 	CrawlerHost *simnet.Host
 
@@ -30,6 +34,16 @@ type World struct {
 	rng     *rand.Rand
 	nextASN uint32
 	next16  uint32
+}
+
+// CGNDevice labels one deployed carrier NAT with its AS context.
+type CGNDevice struct {
+	ASN      uint32
+	Cellular bool
+	// Realm is the realm index within the AS (distributed deployments
+	// run several).
+	Realm int
+	Dev   *simnet.NATDev
 }
 
 // clientSpec is one provisioned Netalyzr vantage point.
@@ -350,6 +364,16 @@ func (w *World) buildCGNRealms(as *asdb.AS, truth *Truth, pubAlloc *addrAllocato
 	truth.Realms = nRealms
 	if chunked {
 		truth.ChunkSize = chunkSizes[w.rng.Intn(len(chunkSizes))]
+		// A chunk wider than half a narrowed port span leaves no aligned
+		// chunk inside [1024, 1024+span): the first base multiple already
+		// overruns the top of the range and every subscriber would get
+		// DropNoPorts before holding a single port. Halving preserves the
+		// power-of-two invariant and keeps the realm allocatable.
+		if span := sc.CGNPortSpan; span > 0 {
+			for truth.ChunkSize > span/2 && truth.ChunkSize > 1 {
+				truth.ChunkSize /= 2
+			}
+		}
 	}
 
 	routable := false
@@ -385,8 +409,14 @@ func (w *World) buildCGNRealms(as *asdb.AS, truth *Truth, pubAlloc *addrAllocato
 			truth.Ranges = append(truth.Ranges, internal.String())
 		}
 
-		// Pool: enough addresses that pooling is visible (>= 6).
-		poolSize := 6 + w.rng.Intn(6)
+		// Pool: enough addresses that pooling is visible (>= 6), unless
+		// the scenario pins the pool size to raise multiplexing pressure.
+		var poolSize int
+		if sc.CGNPoolSize != (Span{}) {
+			poolSize = sc.CGNPoolSize.draw(w.rng)
+		} else {
+			poolSize = 6 + w.rng.Intn(6)
+		}
 		pool := make([]netaddr.Addr, poolSize)
 		for p := range pool {
 			pool[p] = pubAlloc.next()
@@ -406,7 +436,10 @@ func (w *World) buildCGNRealms(as *asdb.AS, truth *Truth, pubAlloc *addrAllocato
 		if w.rng.Float64() < 0.35 {
 			pooling = nat.Arbitrary
 		}
-		timeout := w.drawCGNTimeout(cellular)
+		timeout := sc.CGNUDPTimeout
+		if timeout == 0 {
+			timeout = w.drawCGNTimeout(cellular)
+		}
 		hairpin := w.drawHairpin()
 
 		var distance int
@@ -420,20 +453,26 @@ func (w *World) buildCGNRealms(as *asdb.AS, truth *Truth, pubAlloc *addrAllocato
 
 		realm := w.Net.NewRealm(fmt.Sprintf("as%d-internal-%d", as.ASN, i), 1)
 		cfg := nat.Config{
-			Type:             mapping,
-			PortAlloc:        alloc,
-			ChunkSize:        truth.ChunkSize,
-			Pooling:          pooling,
-			ExternalIPs:      pool,
-			UDPTimeout:       timeout,
-			TCPTimeout:       2 * time.Hour,
-			RefreshOnInbound: true,
-			Hairpin:          hairpin,
-			Seed:             w.rng.Int63(),
+			Type:                   mapping,
+			PortAlloc:              alloc,
+			ChunkSize:              truth.ChunkSize,
+			Pooling:                pooling,
+			ExternalIPs:            pool,
+			UDPTimeout:             timeout,
+			TCPTimeout:             2 * time.Hour,
+			RefreshOnInbound:       true,
+			Hairpin:                hairpin,
+			PortQuotaPerSubscriber: sc.CGNPortQuota,
+			Seed:                   w.rng.Int63(),
+		}
+		if sc.CGNPortSpan > 0 {
+			cfg.PortLo = 1024
+			cfg.PortHi = uint16(1024 + sc.CGNPortSpan - 1)
 		}
 		// innerHops positions the CGN `distance` hops from a bare
 		// subscriber (the NAT itself is one hop).
-		w.Net.AttachNAT(fmt.Sprintf("as%d-cgn%d", as.ASN, i), realm, w.Net.Public(), cfg, distance-1, 1)
+		dev := w.Net.AttachNAT(fmt.Sprintf("as%d-cgn%d", as.ASN, i), realm, w.Net.Public(), cfg, distance-1, 1)
+		w.CGNs = append(w.CGNs, CGNDevice{ASN: as.ASN, Cellular: cellular, Realm: i, Dev: dev})
 
 		truth.PortAllocs = append(truth.PortAllocs, alloc)
 		truth.MappingTypes = append(truth.MappingTypes, mapping)

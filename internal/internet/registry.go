@@ -3,6 +3,7 @@ package internet
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cgn/internal/asdb"
 )
@@ -10,12 +11,15 @@ import (
 // builders maps scenario names to their constructors. Registered at init
 // and read-only afterwards, so concurrent Lookup calls are safe.
 var builders = map[string]func() Scenario{
-	"paper":          Paper,
-	"small":          Small,
-	"large":          Large,
-	"cellular-heavy": CellularHeavy,
-	"nat444-dense":   NAT444Dense,
-	"sparse-cgn":     SparseCGN,
+	"paper":            Paper,
+	"small":            Small,
+	"large":            Large,
+	"cellular-heavy":   CellularHeavy,
+	"nat444-dense":     NAT444Dense,
+	"sparse-cgn":       SparseCGN,
+	"port-starved":     PortStarved,
+	"mobile-churn":     MobileChurn,
+	"enterprise-block": EnterpriseBlock,
 }
 
 // Lookup resolves a scenario by registry name.
@@ -102,6 +106,59 @@ func SparseCGN() Scenario {
 	return sc
 }
 
+// PortStarved returns a world of under-provisioned CGNs: most eyeball
+// ASes deploy CGN, but every realm squeezes its subscribers through one
+// or two external IPs, a few hundred allocatable ports per IP and a tight
+// per-subscriber quota. This is the §6.2 saturation regime — port
+// utilization rides the ceiling and allocation failures (both space and
+// quota exhaustion) become a first-class outcome E17 can plot.
+func PortStarved() Scenario {
+	sc := Small()
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.7
+	}
+	sc.ChunkASFrac = 0 // pure port-space pressure, no block allocators
+	sc.BTPeers = Span{24, 40}
+	sc.CGNPoolSize = Span{1, 2}
+	sc.CGNPortSpan = 512
+	sc.CGNPortQuota = 16
+	return sc
+}
+
+// MobileChurn returns a cellular world tuned for mapping churn: the
+// carrier mix of CellularHeavy with aggressively short CGN idle timeouts
+// and small pools, so mappings expire and ports recycle constantly
+// ("Tracking the Big NAT" measures exactly this regime on real carriers).
+// It stresses the expiry path — heap-based Sweep — and the recycling
+// consistency of the port allocator.
+func MobileChurn() Scenario {
+	sc := CellularHeavy()
+	sc.NLCellSessions = Span{14, 24}
+	sc.CGNUDPTimeout = 15 * time.Second
+	sc.CGNPoolSize = Span{1, 1}
+	sc.CGNPortSpan = 1024
+	sc.CGNPortQuota = 8
+	return sc
+}
+
+// EnterpriseBlock returns a world where block allocation is the rule:
+// every CGN AS assigns fixed per-subscriber chunks (§6.2 / Fig 8c) out of
+// a deliberately narrow port space on a single external IP. Capacity is
+// then quantized — an IP holds only span/chunk subscribers — so late
+// subscribers exhaust the chunk table outright, the provisioning
+// trade-off the paper derives (64 users per IP at 1K chunks).
+func EnterpriseBlock() Scenario {
+	sc := Small()
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.5
+	}
+	sc.ChunkASFrac = 1.0
+	sc.BTPeers = Span{20, 32}
+	sc.CGNPoolSize = Span{1, 1}
+	sc.CGNPortSpan = 16384
+	return sc
+}
+
 // frac01 names one [0,1] fraction field for validation.
 type frac01 struct {
 	name string
@@ -176,6 +233,21 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("internet: span %s = [%d,%d] is not ordered and non-negative",
 				s.name, s.span.Min, s.span.Max)
 		}
+	}
+	// The NAT engine needs at least two allocatable ports (PortLo < PortHi)
+	// and its range tops out at [1024, 65535].
+	if sc.CGNPortSpan != 0 && (sc.CGNPortSpan < 2 || sc.CGNPortSpan > 64512) {
+		return fmt.Errorf("internet: CGNPortSpan = %d, want 0 or within [2, 64512]", sc.CGNPortSpan)
+	}
+	if sc.CGNPortQuota < 0 {
+		return fmt.Errorf("internet: negative CGNPortQuota %d", sc.CGNPortQuota)
+	}
+	if sc.CGNUDPTimeout < 0 {
+		return fmt.Errorf("internet: negative CGNUDPTimeout %v", sc.CGNUDPTimeout)
+	}
+	if ps := sc.CGNPoolSize; ps != (Span{}) && (ps.Min < 1 || ps.Max < ps.Min) {
+		return fmt.Errorf("internet: CGNPoolSize = [%d,%d], want a positive ordered span",
+			ps.Min, ps.Max)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package internet
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"cgn/internal/asdb"
 )
@@ -29,7 +30,10 @@ func TestLookupUnknown(t *testing.T) {
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"paper", "small", "large", "cellular-heavy", "nat444-dense", "sparse-cgn"} {
+	for _, want := range []string{
+		"paper", "small", "large", "cellular-heavy", "nat444-dense", "sparse-cgn",
+		"port-starved", "mobile-churn", "enterprise-block",
+	} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -78,6 +82,13 @@ func TestValidateRejections(t *testing.T) {
 		{"negative span", func(sc *Scenario) {
 			sc.NLSessions = Span{Min: -1, Max: 4}
 		}, "NLSessions"},
+		{"one-port span", func(sc *Scenario) { sc.CGNPortSpan = 1 }, "CGNPortSpan"},
+		{"oversized port span", func(sc *Scenario) { sc.CGNPortSpan = 70000 }, "CGNPortSpan"},
+		{"negative quota", func(sc *Scenario) { sc.CGNPortQuota = -1 }, "CGNPortQuota"},
+		{"negative timeout", func(sc *Scenario) { sc.CGNUDPTimeout = -time.Second }, "CGNUDPTimeout"},
+		{"zero-min pool", func(sc *Scenario) {
+			sc.CGNPoolSize = Span{Min: 0, Max: 3}
+		}, "CGNPoolSize"},
 	}
 	for _, c := range cases {
 		sc := Small()

@@ -107,6 +107,40 @@ type Scenario struct {
 	// BEP-5 validation discipline (the paper measured ~1.3%); the A02
 	// ablation sweeps it to show why the discipline matters.
 	NonValidatingFrac float64
+
+	// Port-provisioning knobs (§6.2 and the E17 port-pressure analysis).
+	// All default to zero, which preserves the historical per-realm draws.
+
+	// CGNPortSpan, when positive, narrows every CGN realm's allocatable
+	// external port range to [1024, 1024+CGNPortSpan-1], modeling
+	// under-provisioned deployments that saturate under load.
+	CGNPortSpan int
+	// CGNPortQuota, when positive, caps the external ports each
+	// subscriber may hold on a CGN realm (per-subscriber block
+	// provisioning; exceeding it yields nat.DropPortQuota).
+	CGNPortQuota int
+	// CGNPoolSize, when non-zero, overrides the external-IP pool size
+	// draw per CGN realm. Small pools push the customers-per-external-IP
+	// ratio up — the multiplexing axis of Figure 8.
+	CGNPoolSize Span
+	// CGNUDPTimeout, when positive, pins every CGN realm's UDP mapping
+	// timeout instead of drawing it, modeling aggressive idle-timeout
+	// configurations ("Tracking the Big NAT" reports timeouts down to
+	// tens of seconds on mobile carriers) that maximize mapping churn.
+	CGNUDPTimeout time.Duration
+}
+
+// ApplyPortOverrides narrows the scenario's CGN port provisioning: a
+// nonzero span or quota replaces the scenario's own setting. Both the
+// cgnsim flags and the campaign sweep config funnel through here so the
+// two modes cannot drift.
+func (s *Scenario) ApplyPortOverrides(span, quota int) {
+	if span != 0 {
+		s.CGNPortSpan = span
+	}
+	if quota != 0 {
+		s.CGNPortQuota = quota
+	}
 }
 
 // Paper returns the default scenario: a scaled-down Internet whose

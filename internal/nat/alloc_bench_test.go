@@ -1,0 +1,111 @@
+package nat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/netaddr"
+)
+
+// benchChurn measures steady-state allocation at a fixed occupancy: the
+// space is pre-filled to `active` live ports, then every iteration frees
+// one pseudo-random port and allocates a replacement under the given
+// policy. This is the CGN regime the paper's §6 provisioning analysis
+// cares about — tens of thousands of live mappings churning — and the
+// regime where the map-based reference degrades to O(range) scans.
+func benchChurn(b *testing.B, s portAllocator, alloc PortAlloc, active int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ops := rand.New(rand.NewSource(2))
+	live := make([]uint16, 0, active+1)
+	for len(live) < active {
+		p, ok := s.takeSequential(extIP, netaddr.UDP)
+		if !ok {
+			b.Fatal("pre-fill exhausted the space")
+		}
+		live = append(live, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := ops.Intn(len(live))
+		s.free(netaddr.EndpointOf(extIP, live[j]), netaddr.UDP)
+		var p uint16
+		var ok bool
+		switch alloc {
+		case Preservation:
+			want := 1024 + uint16(ops.Intn(64512))
+			p, ok = s.takePreferred(extIP, netaddr.UDP, want, rng)
+		case Sequential:
+			p, ok = s.takeSequential(extIP, netaddr.UDP)
+		default:
+			p, ok = s.takeRandom(extIP, netaddr.UDP, rng)
+		}
+		if !ok {
+			b.Fatal("allocation failed with free ports available")
+		}
+		live[j] = p
+	}
+}
+
+// BenchmarkPortAllocator compares the bitmap engine against the map-based
+// reference at 50k active mappings (~78% occupancy of one external IP).
+// The bitmap/map ratio per policy is the allocator speedup; CI uploads
+// this output as the perf baseline.
+func BenchmarkPortAllocator(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() portAllocator
+	}{
+		{"bitmap", func() portAllocator { return newPortSpace(1024, 65535) }},
+		{"map", func() portAllocator { return newMapPortSpace(1024, 65535) }},
+	}
+	for _, impl := range impls {
+		for _, alloc := range []PortAlloc{Sequential, Random, Preservation} {
+			b.Run(impl.name+"/"+alloc.String()+"/active=50k", func(b *testing.B) {
+				benchChurn(b, impl.mk(), alloc, 50000)
+			})
+		}
+	}
+}
+
+// BenchmarkSweep measures heap-based expiry at depth: 50k mappings with
+// staggered deadlines, each iteration sweeping one 1-second slice of
+// expirations (~500 mappings) — the virtual-time jumps the simulator
+// performs.
+func BenchmarkSweep(b *testing.B) {
+	cfg := Config{
+		Type:        Symmetric,
+		PortAlloc:   Sequential,
+		Pooling:     Paired,
+		ExternalIPs: []netaddr.Addr{extIP},
+		UDPTimeout:  100 * time.Second,
+		Seed:        1,
+	}
+	now := t0
+	var n *NAT
+	i := 0
+	refill := func() {
+		n = New(cfg)
+		for j := 0; j < 50000; j++ {
+			dst := netaddr.EndpointOf(netaddr.AddrFrom4(8, byte(j>>16), byte(j>>8), byte(j)), 53)
+			src := netaddr.EndpointOf(netaddr.AddrFrom4(100, 64, byte(j>>8), byte(j)), 4000)
+			if _, v := n.TranslateOut(flowUDP(src, dst), now.Add(time.Duration(j%100)*time.Second)); v != Ok {
+				b.Fatal(v)
+			}
+		}
+	}
+	refill()
+	sweepAt := now.Add(101 * time.Second)
+	b.ResetTimer()
+	for ; i < b.N; i++ {
+		n.Sweep(sweepAt)
+		sweepAt = sweepAt.Add(time.Second)
+		if n.NumMappings() == 0 {
+			b.StopTimer()
+			sweepAt = now.Add(101 * time.Second)
+			refill()
+			b.StartTimer()
+		}
+	}
+}

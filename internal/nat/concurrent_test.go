@@ -1,0 +1,57 @@
+package nat
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cgn/internal/netaddr"
+)
+
+// TestConcurrentNATInstances drives independent NAT instances from
+// parallel goroutines — the campaign engine's usage pattern, where each
+// worker owns one world's NATs. The test exists for the race detector: it
+// fails the -race CI step if any state (package-level tables, shared
+// allocator internals, metrics registries) accidentally leaks across
+// instances.
+func TestConcurrentNATInstances(t *testing.T) {
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, alloc := range []PortAlloc{Preservation, Sequential, Random, RandomChunk} {
+				cfg := baseConfig()
+				cfg.Type = Symmetric
+				cfg.PortAlloc = alloc
+				cfg.ChunkSize = 512
+				cfg.PortLo, cfg.PortHi = 1024, 9215
+				cfg.PortQuotaPerSubscriber = 64
+				cfg.UDPTimeout = 30 * time.Second
+				cfg.Seed = int64(w + 1)
+				n := New(cfg)
+				now := t0
+				for i := 0; i < 1500; i++ {
+					src := netaddr.EndpointOf(netaddr.AddrFrom4(100, 64, byte(w), byte(i%40)), uint16(2000+i%50))
+					dst := netaddr.EndpointOf(netaddr.AddrFrom4(8, 8, byte(i%5), byte(i%250+1)), 53)
+					out, v := n.TranslateOut(flowUDP(src, dst), now)
+					if v == Ok {
+						n.TranslateIn(flowUDP(dst, out.Src), now)
+					}
+					if i%7 == 0 {
+						now = now.Add(3 * time.Second)
+					}
+					if i%100 == 0 {
+						n.Sweep(now)
+					}
+				}
+				st := n.PortStats()
+				if st.InUse != n.NumMappings() {
+					t.Errorf("worker %d %v: InUse=%d, mappings=%d", w, alloc, st.InUse, n.NumMappings())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -4,7 +4,14 @@
 // address restricted, full cone), port allocation strategies (preservation,
 // sequential, random, chunk-based random), external IP pooling (paired and
 // arbitrary), mapping timeouts, hairpinning (with or without source
-// rewriting) and per-subscriber session limits.
+// rewriting), per-subscriber session limits and port quotas.
+//
+// The port-resource engine is built for scale: external ports live in
+// per-(IP, protocol) bitmaps with free counters (O(1) take/free, word-wide
+// collision scans, O(1) failure on exhausted segments), and idle-timeout
+// processing runs off an expiry min-heap so Sweep touches only expired
+// mappings. PortStats exposes utilization high-water marks and exhaustion
+// counts for the port-pressure analyses.
 //
 // A NAT is a pure state machine: it never touches the clock or the network.
 // Callers (the network simulator, or a userspace dataplane) pass the current
@@ -184,6 +191,15 @@ type Config struct {
 	// 0 means unlimited. The survey reports limits as low as 512 (§2).
 	MaxSessionsPerSubscriber int
 
+	// PortQuotaPerSubscriber caps the external ports one internal IP may
+	// hold concurrently; 0 means unlimited. This models the per-subscriber
+	// port-block provisioning of §6.2 (and the quotas "Tracking the Big
+	// NAT" observes): unlike the session limit — an abuse bound on the
+	// translation table — the quota is a resource reservation, and
+	// exceeding it yields the distinct DropPortQuota exhaustion verdict
+	// that the port-pressure reports account separately.
+	PortQuotaPerSubscriber int
+
 	// PortLo and PortHi bound the allocatable external port range,
 	// inclusive. Zero values default to 1024 and 65535. CGNs translating
 	// ports use the whole space, which is the Fig 8(a) signal.
@@ -230,6 +246,9 @@ const (
 	DropSessionLimit
 	// DropHairpin: hairpin traffic with hairpinning disabled.
 	DropHairpin
+	// DropPortQuota: outbound packet rejected because the subscriber
+	// exhausted its per-subscriber port quota.
+	DropPortQuota
 )
 
 // String names the verdict.
@@ -247,6 +266,8 @@ func (v Verdict) String() string {
 		return "drop-session-limit"
 	case DropHairpin:
 		return "drop-hairpin"
+	case DropPortQuota:
+		return "drop-port-quota"
 	default:
 		return fmt.Sprintf("Verdict(%d)", v)
 	}
@@ -267,6 +288,9 @@ type Mapping struct {
 	// Created and LastActive drive expiry.
 	Created    time.Time
 	LastActive time.Time
+	// dead marks a mapping already removed from the tables; the expiry
+	// heap skips its stale entry lazily instead of searching for it.
+	dead bool
 }
 
 // SentTo reports whether the mapping has contacted remote endpoint e.
@@ -312,10 +336,71 @@ type NAT struct {
 	ports  *portSpace
 	chunks *chunkTable
 
-	// sessions counts live mappings per internal IP for the session limit.
+	// exp is the expiry min-heap: one entry per live mapping, keyed on the
+	// deadline recorded when the entry was pushed. Refreshes do not touch
+	// the heap; Sweep re-keys stale entries lazily, so idle-timeout
+	// processing is O(expired·log n) instead of a full-table walk.
+	exp expHeap
+
+	// sessions counts live mappings per internal IP for the session limit
+	// and the port quota; subsSeen records every internal IP ever mapped.
 	sessions map[netaddr.Addr]int
+	subsSeen map[netaddr.Addr]bool
 
 	Metrics *metrics.Set
+}
+
+// expEntry schedules one mapping for expiry at the deadline it had when
+// the entry was pushed. A refresh leaves the entry in place: when it pops,
+// Sweep re-pushes it at the mapping's true deadline.
+type expEntry struct {
+	m  *Mapping
+	at time.Time
+}
+
+// expHeap is a binary min-heap on expEntry.at. It is hand-rolled rather
+// than container/heap so Push/Pop stay inlineable and allocation-free.
+type expHeap []expEntry
+
+func (h *expHeap) push(e expEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].at.Before(s[parent].at) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *expHeap) pop() expEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = expEntry{} // release the *Mapping
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l].at.Before(s[min].at) {
+			min = l
+		}
+		if r < len(s) && s[r].at.Before(s[min].at) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // New builds a NAT from cfg. It panics if the configuration is unusable
@@ -339,6 +424,7 @@ func New(cfg Config) *NAT {
 		byExt:     make(map[extKey]*Mapping),
 		pairedExt: make(map[netaddr.Addr]netaddr.Addr),
 		sessions:  make(map[netaddr.Addr]int),
+		subsSeen:  make(map[netaddr.Addr]bool),
 		Metrics:   metrics.NewSet(),
 	}
 	n.ports = newPortSpace(c.PortLo, c.PortHi)
@@ -386,6 +472,7 @@ func (n *NAT) intKeyFor(f netaddr.Flow) intKey {
 }
 
 func (n *NAT) drop(m *Mapping) {
+	m.dead = true
 	delete(n.byExt, extKey{m.Proto, m.Ext})
 	delete(n.byInt, m.key)
 	n.ports.free(m.Ext, m.Proto)
@@ -412,6 +499,10 @@ func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict
 			n.Metrics.Counter("drop_session_limit").Inc()
 			return netaddr.Flow{}, DropSessionLimit
 		}
+		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && n.sessions[f.Src.Addr] >= q {
+			n.Metrics.Counter("drop_port_quota").Inc()
+			return netaddr.Flow{}, DropPortQuota
+		}
 		ext, ok := n.allocate(f, now)
 		if !ok {
 			n.Metrics.Counter("drop_no_ports").Inc()
@@ -426,6 +517,8 @@ func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict
 		n.byInt[k] = m
 		n.byExt[extKey{f.Proto, ext}] = m
 		n.sessions[f.Src.Addr]++
+		n.subsSeen[f.Src.Addr] = true
+		n.exp.push(expEntry{m: m, at: now.Add(n.timeout(f.Proto))})
 		n.Metrics.Counter("mappings_created").Inc()
 		n.Metrics.Gauge("mappings_live").Set(int64(len(n.byExt)))
 	}
@@ -515,14 +608,11 @@ func (n *NAT) allocate(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
 	ip := n.chooseExternalIP(f.Src.Addr)
 	switch n.cfg.PortAlloc {
 	case Preservation:
-		if port, ok := n.ports.takePreferred(ip, f.Proto, f.Src.Port); ok {
+		if port, ok := n.ports.takePreferred(ip, f.Proto, f.Src.Port, n.rng); ok {
 			return netaddr.EndpointOf(ip, port), true
 		}
 	case Sequential:
-		// A long-running NAT is somewhere mid-cycle; seed the cursor
-		// randomly on the first allocation for each (IP, protocol).
-		n.ports.seedSequential(ip, f.Proto,
-			n.cfg.PortLo+uint16(n.rng.Intn(int(n.cfg.PortHi-n.cfg.PortLo))))
+		seedSequentialMidCycle(n.ports, n.cfg.PortLo, ip, f.Proto, n.rng)
 		if port, ok := n.ports.takeSequential(ip, f.Proto); ok {
 			return netaddr.EndpointOf(ip, port), true
 		}
@@ -562,17 +652,85 @@ func (n *NAT) chooseExternalIP(internal netaddr.Addr) netaddr.Addr {
 
 // Sweep removes all mappings idle past their timeout, returning how many
 // were removed. The simulator calls it when virtual time jumps.
+//
+// Cost is O(expired · log n): only heap entries whose recorded deadline
+// has passed are touched. An entry's deadline can lag its mapping's (a
+// refresh bumps LastActive without re-keying the heap), never lead it, so
+// a mapping popped before its true deadline is simply re-pushed at the
+// deadline its refreshes earned it.
 func (n *NAT) Sweep(now time.Time) int {
-	var victims []*Mapping
-	for _, m := range n.byExt {
-		if n.expired(m, now) {
-			victims = append(victims, m)
+	removed := 0
+	for len(n.exp) > 0 && n.exp[0].at.Before(now) {
+		e := n.exp.pop()
+		if e.m.dead {
+			continue
 		}
+		deadline := e.m.LastActive.Add(n.timeout(e.m.Proto))
+		if now.After(deadline) {
+			n.drop(e.m)
+			removed++
+			continue
+		}
+		n.exp.push(expEntry{m: e.m, at: deadline})
 	}
-	for _, m := range victims {
-		n.drop(m)
+	return removed
+}
+
+// PortStats is a point-in-time snapshot of the port-resource engine; the
+// port-pressure reports (E17) and sweep aggregates consume it.
+type PortStats struct {
+	// ExternalIPs is the pool size; Capacity is the allocatable (protocol,
+	// port) slots across the whole pool — UDP and TCP each contribute a
+	// full port range per external IP, matching how InUse/Peak count.
+	ExternalIPs int
+	Capacity    int
+	// InUse and Peak count taken ports across every (IP, protocol)
+	// segment; Peak is the campaign's high-water mark.
+	InUse int
+	Peak  int
+	// Subscribers counts distinct internal IPs that ever held a mapping.
+	Subscribers int
+	// Allocs is successful mapping creations; NoPorts and QuotaDrops are
+	// the two exhaustion outcomes.
+	Allocs     uint64
+	NoPorts    uint64
+	QuotaDrops uint64
+}
+
+// Failures returns all allocation failures (space plus quota exhaustion).
+func (s PortStats) Failures() uint64 { return s.NoPorts + s.QuotaDrops }
+
+// FailureRate returns failed / attempted allocations, 0 when idle.
+func (s PortStats) FailureRate() float64 {
+	total := s.Allocs + s.Failures()
+	if total == 0 {
+		return 0
 	}
-	return len(victims)
+	return float64(s.Failures()) / float64(total)
+}
+
+// Utilization returns the peak share of the port space ever in use.
+func (s PortStats) Utilization() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.Peak) / float64(s.Capacity)
+}
+
+// PortStats snapshots the NAT's port-resource state.
+func (n *NAT) PortStats() PortStats {
+	return PortStats{
+		ExternalIPs: len(n.cfg.ExternalIPs),
+		// Two transport protocols (UDP, TCP) each carry a full port range
+		// per external IP; InUse/Peak sum across every (IP, proto) segment.
+		Capacity:    2 * n.ports.size() * len(n.cfg.ExternalIPs),
+		InUse:       n.ports.inUse,
+		Peak:        n.ports.peak,
+		Subscribers: len(n.subsSeen),
+		Allocs:      n.Metrics.Counter("mappings_created").Value(),
+		NoPorts:     n.Metrics.Counter("drop_no_ports").Value(),
+		QuotaDrops:  n.Metrics.Counter("drop_port_quota").Value(),
+	}
 }
 
 // LookupByExternal returns the live mapping behind an external endpoint.

@@ -1,24 +1,57 @@
 package nat
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"cgn/internal/netaddr"
 )
 
-// portSpace tracks allocated external ports per (external IP, protocol) and
-// implements the search policies behind the allocation strategies.
-type portSpace struct {
-	lo, hi uint16
-	used   map[portKey]bool
-	// seqNext holds the next candidate port for Sequential allocation.
-	seqNext map[seqKey]uint16
+// portAllocator is the contract between the NAT engine and a port-space
+// implementation. Two implementations exist: the bitmap-based portSpace
+// (the production engine) and mapPortSpace, the original map-of-used-ports
+// reference that the differential tests and the speedup benchmarks compare
+// against.
+type portAllocator interface {
+	size() int
+	isFree(ip netaddr.Addr, p netaddr.Proto, port uint16) bool
+	take(ip netaddr.Addr, p netaddr.Proto, port uint16)
+	free(e netaddr.Endpoint, p netaddr.Proto)
+	takePreferred(ip netaddr.Addr, p netaddr.Proto, want uint16, rng *rand.Rand) (uint16, bool)
+	takeSequential(ip netaddr.Addr, p netaddr.Proto) (uint16, bool)
+	takeRandom(ip netaddr.Addr, p netaddr.Proto, rng *rand.Rand) (uint16, bool)
+	takeRandomIn(ip netaddr.Addr, p netaddr.Proto, lo, hi uint16, rng *rand.Rand) (uint16, bool)
+	seedSequential(ip netaddr.Addr, p netaddr.Proto, start uint16)
+	sequentialSeeded(ip netaddr.Addr, p netaddr.Proto) bool
 }
 
-type portKey struct {
-	ip    netaddr.Addr
-	proto netaddr.Proto
-	port  uint16
+// portSpace tracks allocated external ports per (external IP, protocol) as
+// bitmaps with free-counters. Every policy bottoms out in word-wide scans
+// (64 ports per probe) instead of per-port map lookups, so allocation cost
+// stays flat as the pool fills: take/free are O(1), the collision scans are
+// O(range/64) worst case, and a fully exhausted segment fails in O(1) via
+// its free counter.
+type portSpace struct {
+	lo, hi uint16
+	segs   map[seqKey]*portSeg
+
+	// inUse / peak count taken ports across all segments; peak is the
+	// high-water mark the utilization reports use.
+	inUse, peak int
+}
+
+// portSeg is one (external IP, protocol) bit-space. Bit i covers port
+// lo+i; a set bit means taken.
+type portSeg struct {
+	words []uint64
+	// free counts clear bits, for O(1) exhaustion verdicts on full-range
+	// allocations.
+	free int
+	// seq is the Sequential cursor (a bit index); seeded marks whether the
+	// engine has positioned it. A long-running NAT allocates mid-cycle,
+	// not from the bottom of the range.
+	seq    int
+	seeded bool
 }
 
 type seqKey struct {
@@ -27,88 +60,183 @@ type seqKey struct {
 }
 
 func newPortSpace(lo, hi uint16) *portSpace {
-	return &portSpace{
-		lo: lo, hi: hi,
-		used:    make(map[portKey]bool),
-		seqNext: make(map[seqKey]uint16),
+	return &portSpace{lo: lo, hi: hi, segs: make(map[seqKey]*portSeg)}
+}
+
+// seedSequentialMidCycle positions the (ip, proto) sequential cursor
+// uniformly in the allocatable range if it has none yet — a long-running
+// NAT allocates mid-cycle, not from the bottom of the range. Both the
+// Sequential policy and the Preservation out-of-range fallback seed
+// through here, on either allocator implementation, so the draw cannot
+// drift between the paths.
+func seedSequentialMidCycle(a portAllocator, lo uint16, ip netaddr.Addr, p netaddr.Proto, rng *rand.Rand) {
+	if !a.sequentialSeeded(ip, p) {
+		a.seedSequential(ip, p, lo+uint16(rng.Intn(a.size())))
 	}
 }
 
 func (s *portSpace) size() int { return int(s.hi) - int(s.lo) + 1 }
 
+// seg returns the (ip, proto) segment, creating it on first use.
+func (s *portSpace) seg(ip netaddr.Addr, p netaddr.Proto) *portSeg {
+	k := seqKey{ip, p}
+	g, ok := s.segs[k]
+	if !ok {
+		n := s.size()
+		g = &portSeg{words: make([]uint64, (n+63)/64), free: n}
+		s.segs[k] = g
+	}
+	return g
+}
+
 func (s *portSpace) isFree(ip netaddr.Addr, p netaddr.Proto, port uint16) bool {
-	return !s.used[portKey{ip, p, port}]
+	g, ok := s.segs[seqKey{ip, p}]
+	if !ok {
+		return true
+	}
+	idx := int(port) - int(s.lo)
+	if idx < 0 || idx >= s.size() {
+		return true // out-of-range ports are never tracked, matching mapPortSpace
+	}
+	return g.words[idx>>6]&(1<<(uint(idx)&63)) == 0
 }
 
 func (s *portSpace) take(ip netaddr.Addr, p netaddr.Proto, port uint16) {
-	s.used[portKey{ip, p, port}] = true
+	g := s.seg(ip, p)
+	idx := int(port) - int(s.lo)
+	if idx < 0 || idx >= s.size() {
+		return
+	}
+	if g.words[idx>>6]&(1<<(uint(idx)&63)) != 0 {
+		return // already taken; keep the free counter honest
+	}
+	s.takeAt(g, idx)
 }
 
 func (s *portSpace) free(e netaddr.Endpoint, p netaddr.Proto) {
-	delete(s.used, portKey{e.Addr, p, e.Port})
+	g, ok := s.segs[seqKey{e.Addr, p}]
+	if !ok {
+		return
+	}
+	idx := int(e.Port) - int(s.lo)
+	if idx < 0 || idx >= s.size() {
+		return
+	}
+	w, bit := idx>>6, uint64(1)<<(uint(idx)&63)
+	if g.words[w]&bit == 0 {
+		return
+	}
+	g.words[w] &^= bit
+	g.free++
+	s.inUse--
 }
 
-// takePreferred implements port preservation: use want if free; otherwise
-// scan upward (wrapping) for the nearest free port, which yields the
-// near-sequential fallback pattern real NATs exhibit under collision.
-func (s *portSpace) takePreferred(ip netaddr.Addr, p netaddr.Proto, want uint16) (uint16, bool) {
-	if want < s.lo || want > s.hi {
-		// The internal source port is outside the NAT's allocatable range;
-		// fall back to a sequential pick.
-		return s.takeSequential(ip, p)
+// scan returns the first clear bit index in [from, to], or ok=false.
+func (g *portSeg) scan(from, to int) (int, bool) {
+	w, last := from>>6, to>>6
+	word := ^g.words[w] &^ ((1 << (uint(from) & 63)) - 1)
+	for {
+		if w == last {
+			if k := uint(to) & 63; k != 63 {
+				word &= (uint64(1) << (k + 1)) - 1
+			}
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+		if w == last {
+			return 0, false
+		}
+		w++
+		word = ^g.words[w]
 	}
-	port := want
-	for i := 0; i < s.size(); i++ {
-		if s.isFree(ip, p, port) {
-			s.take(ip, p, port)
-			return port, true
-		}
-		if port == s.hi {
-			port = s.lo
-		} else {
-			port++
-		}
+}
+
+// nextFree returns the first clear bit at or after from within [lo, hi],
+// wrapping to lo when the upper part is full.
+func (g *portSeg) nextFree(from, lo, hi int) (int, bool) {
+	if idx, ok := g.scan(from, hi); ok {
+		return idx, true
+	}
+	if lo < from {
+		return g.scan(lo, from-1)
 	}
 	return 0, false
 }
 
-// seedSequential positions the sequential cursor for (ip, proto) if it
-// has no position yet. The NAT engine seeds a random start so a freshly
-// constructed NAT behaves like the long-running device it models — mid-
-// cycle, not at the bottom of the port range.
-func (s *portSpace) seedSequential(ip netaddr.Addr, p netaddr.Proto, start uint16) {
-	k := seqKey{ip, p}
-	if _, ok := s.seqNext[k]; !ok && start >= s.lo && start <= s.hi {
-		s.seqNext[k] = start
+// takeAt marks bit idx taken and maintains the counters.
+func (s *portSpace) takeAt(g *portSeg, idx int) uint16 {
+	g.words[idx>>6] |= 1 << (uint(idx) & 63)
+	g.free--
+	s.inUse++
+	if s.inUse > s.peak {
+		s.peak = s.inUse
 	}
+	return s.lo + uint16(idx)
+}
+
+// takePreferred implements port preservation: use want if free; otherwise
+// scan upward (wrapping) for the nearest free port, which yields the
+// near-sequential fallback pattern real NATs exhibit under collision. A
+// want outside the allocatable range falls back to the sequential policy,
+// seeding its cursor mid-cycle first (a long-running NAT is not at the
+// bottom of its range).
+func (s *portSpace) takePreferred(ip netaddr.Addr, p netaddr.Proto, want uint16, rng *rand.Rand) (uint16, bool) {
+	if want < s.lo || want > s.hi {
+		seedSequentialMidCycle(s, s.lo, ip, p, rng)
+		return s.takeSequential(ip, p)
+	}
+	g := s.seg(ip, p)
+	if g.free == 0 {
+		return 0, false
+	}
+	idx, ok := g.nextFree(int(want)-int(s.lo), 0, s.size()-1)
+	if !ok {
+		return 0, false
+	}
+	return s.takeAt(g, idx), true
+}
+
+// seedSequential positions the sequential cursor for (ip, proto) if it has
+// no position yet.
+func (s *portSpace) seedSequential(ip netaddr.Addr, p netaddr.Proto, start uint16) {
+	if start < s.lo || start > s.hi {
+		return
+	}
+	g := s.seg(ip, p)
+	if !g.seeded {
+		g.seq = int(start) - int(s.lo)
+		g.seeded = true
+	}
+}
+
+// sequentialSeeded reports whether the (ip, proto) cursor has a position.
+func (s *portSpace) sequentialSeeded(ip netaddr.Addr, p netaddr.Proto) bool {
+	g, ok := s.segs[seqKey{ip, p}]
+	return ok && g.seeded
 }
 
 // takeSequential hands out ports in increasing order per (ip, proto),
 // skipping ports still held by live mappings and wrapping at the top.
 func (s *portSpace) takeSequential(ip netaddr.Addr, p netaddr.Proto) (uint16, bool) {
-	k := seqKey{ip, p}
-	start, ok := s.seqNext[k]
-	if !ok || start < s.lo || start > s.hi {
-		start = s.lo
+	g := s.seg(ip, p)
+	if g.free == 0 {
+		return 0, false
 	}
-	port := start
-	for i := 0; i < s.size(); i++ {
-		if s.isFree(ip, p, port) {
-			s.take(ip, p, port)
-			next := port + 1
-			if next > s.hi || next < s.lo {
-				next = s.lo
-			}
-			s.seqNext[k] = next
-			return port, true
-		}
-		if port == s.hi {
-			port = s.lo
-		} else {
-			port++
-		}
+	from := 0
+	if g.seeded {
+		from = g.seq
 	}
-	return 0, false
+	idx, ok := g.nextFree(from, 0, s.size()-1)
+	if !ok {
+		return 0, false
+	}
+	g.seq = idx + 1
+	if g.seq >= s.size() {
+		g.seq = 0
+	}
+	g.seeded = true
+	return s.takeAt(g, idx), true
 }
 
 // takeRandom picks a uniformly random free port in the full range.
@@ -117,8 +245,10 @@ func (s *portSpace) takeRandom(ip netaddr.Addr, p netaddr.Proto, rng *rand.Rand)
 }
 
 // takeRandomIn picks a uniformly random free port in [lo, hi]. It tries
-// random probes first and degrades to a linear scan from a random offset so
-// allocation stays correct even when the range is nearly full.
+// random probes first and degrades to a scan from a random offset so
+// allocation stays correct even when the range is nearly full. The probe
+// schedule consumes the RNG exactly like the reference implementation, so
+// both allocators stay draw-for-draw comparable under one seed.
 func (s *portSpace) takeRandomIn(ip netaddr.Addr, p netaddr.Proto, lo, hi uint16, rng *rand.Rand) (uint16, bool) {
 	if lo < s.lo {
 		lo = s.lo
@@ -129,23 +259,24 @@ func (s *portSpace) takeRandomIn(ip netaddr.Addr, p netaddr.Proto, lo, hi uint16
 	if lo > hi {
 		return 0, false
 	}
+	g := s.seg(ip, p)
+	if lo == s.lo && hi == s.hi && g.free == 0 {
+		return 0, false
+	}
 	span := int(hi) - int(lo) + 1
+	base := int(lo) - int(s.lo)
 	for i := 0; i < 32; i++ {
-		port := lo + uint16(rng.Intn(span))
-		if s.isFree(ip, p, port) {
-			s.take(ip, p, port)
-			return port, true
+		idx := base + rng.Intn(span)
+		if g.words[idx>>6]&(1<<(uint(idx)&63)) == 0 {
+			return s.takeAt(g, idx), true
 		}
 	}
 	offset := rng.Intn(span)
-	for i := 0; i < span; i++ {
-		port := lo + uint16((offset+i)%span)
-		if s.isFree(ip, p, port) {
-			s.take(ip, p, port)
-			return port, true
-		}
+	idx, ok := g.nextFree(base+offset, base, base+span-1)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return s.takeAt(g, idx), true
 }
 
 // chunkTable assigns each subscriber (internal IP) a fixed, contiguous

@@ -249,17 +249,19 @@ func TestPortExhaustionVerdict(t *testing.T) {
 
 func TestPreservationFullSpace(t *testing.T) {
 	s := newPortSpace(100, 101)
+	rng := rand.New(rand.NewSource(1))
 	s.take(extIP, netaddr.UDP, 100)
 	s.take(extIP, netaddr.UDP, 101)
-	if _, ok := s.takePreferred(extIP, netaddr.UDP, 100); ok {
+	if _, ok := s.takePreferred(extIP, netaddr.UDP, 100, rng); ok {
 		t.Error("full space should fail")
 	}
 }
 
 func TestPortSpacesPerIPIndependent(t *testing.T) {
 	s := newPortSpace(1024, 65535)
-	p1, _ := s.takePreferred(extIP, netaddr.UDP, 5000)
-	p2, ok := s.takePreferred(extIP2, netaddr.UDP, 5000)
+	rng := rand.New(rand.NewSource(1))
+	p1, _ := s.takePreferred(extIP, netaddr.UDP, 5000, rng)
+	p2, ok := s.takePreferred(extIP2, netaddr.UDP, 5000, rng)
 	if !ok || p1 != 5000 || p2 != 5000 {
 		t.Errorf("same port on different IPs should both preserve: %d, %d", p1, p2)
 	}

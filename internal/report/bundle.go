@@ -36,6 +36,9 @@ type Bundle struct {
 	Timeouts *props.TimeoutResult
 	TTLQuad  props.TTLQuadrants
 	STUN     *props.STUNResult
+
+	// Load is the E17 port-pressure snapshot of every carrier NAT.
+	Load *PortLoad
 }
 
 // Collect runs the full measurement campaign and all analyses. The
@@ -111,6 +114,7 @@ func collect(w *internet.World, parallel bool) *Bundle {
 		func() { b.Timeouts = props.AnalyzeTimeouts(filtered, cgn) },
 		func() { b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions) },
 		func() { b.STUN = props.AnalyzeSTUN(filtered, cgn) },
+		func() { b.Load = AnalyzePortLoad(w) },
 	)
 	return b
 }

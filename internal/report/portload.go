@@ -1,0 +1,178 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"cgn/internal/internet"
+	"cgn/internal/nat"
+	"cgn/internal/stats"
+)
+
+// PortLoadRow is one CGN realm's port-resource outcome after the campaign.
+type PortLoadRow struct {
+	ASN      uint32
+	Cellular bool
+	Realm    int
+	Stats    nat.PortStats
+	// CustomersPerIP is the realm's subscriber-to-external-IP ratio, the
+	// multiplexing axis of §6.2.
+	CustomersPerIP float64
+}
+
+// PortLoadBucket aggregates realms whose customers-per-external-IP ratio
+// falls in (previous bound, UpTo].
+type PortLoadBucket struct {
+	UpTo            int
+	Realms          int
+	MeanUtilization float64
+	MeanFailRate    float64
+	Failures        uint64
+}
+
+// PortLoad is the E17 dataset: per-realm rows plus the bucketed
+// utilization/failure curves versus customers per external IP.
+type PortLoad struct {
+	Rows    []PortLoadRow
+	Buckets []PortLoadBucket
+}
+
+// portLoadBounds are the inclusive customers-per-IP bucket upper bounds;
+// the last bucket is open-ended.
+var portLoadBounds = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 1 << 30}
+
+// AnalyzePortLoad snapshots every carrier NAT's port-resource state. It
+// walks w.CGNs in build order, so output is deterministic for a seed.
+func AnalyzePortLoad(w *internet.World) *PortLoad {
+	pl := &PortLoad{}
+	type acc struct {
+		realms   int
+		util     float64
+		failRate float64
+		failures uint64
+	}
+	accs := make([]acc, len(portLoadBounds))
+	for _, d := range w.CGNs {
+		st := d.Dev.NAT.PortStats()
+		row := PortLoadRow{ASN: d.ASN, Cellular: d.Cellular, Realm: d.Realm, Stats: st}
+		if st.ExternalIPs > 0 {
+			row.CustomersPerIP = float64(st.Subscribers) / float64(st.ExternalIPs)
+		}
+		pl.Rows = append(pl.Rows, row)
+		for i, bound := range portLoadBounds {
+			if row.CustomersPerIP <= float64(bound) {
+				accs[i].realms++
+				accs[i].util += st.Utilization()
+				accs[i].failRate += st.FailureRate()
+				accs[i].failures += st.Failures()
+				break
+			}
+		}
+	}
+	for i, a := range accs {
+		if a.realms == 0 {
+			continue
+		}
+		pl.Buckets = append(pl.Buckets, PortLoadBucket{
+			UpTo:            portLoadBounds[i],
+			Realms:          a.realms,
+			MeanUtilization: a.util / float64(a.realms),
+			MeanFailRate:    a.failRate / float64(a.realms),
+			Failures:        a.failures,
+		})
+	}
+	return pl
+}
+
+// PortPressure is the scalar summary sweep aggregation carries per world.
+type PortPressure struct {
+	// Realms is the carrier NAT count; Saturated counts realms with at
+	// least one allocation failure.
+	Realms    int
+	Saturated int
+	// MeanUtilization averages peak port-space utilization over realms.
+	MeanUtilization float64
+	// AllocFailureRate is global: all failures over all attempts.
+	AllocFailureRate float64
+}
+
+// Pressure folds the per-realm rows into the sweep summary.
+func (pl *PortLoad) Pressure() PortPressure {
+	var p PortPressure
+	var util float64
+	var allocs, failures uint64
+	for _, r := range pl.Rows {
+		p.Realms++
+		util += r.Stats.Utilization()
+		allocs += r.Stats.Allocs
+		failures += r.Stats.Failures()
+		if r.Stats.Failures() > 0 {
+			p.Saturated++
+		}
+	}
+	if p.Realms > 0 {
+		p.MeanUtilization = util / float64(p.Realms)
+	}
+	if total := allocs + failures; total > 0 {
+		p.AllocFailureRate = float64(failures) / float64(total)
+	}
+	return p
+}
+
+// E17 renders the port-pressure analysis: utilization and
+// allocation-failure curves versus customers per external IP. The paper
+// derives this trade-off analytically (§6.2: users per IP versus chunk
+// size); the simulator measures it, including the exhaustion regime no
+// vantage point could ethically probe on a production CGN.
+func (b *Bundle) E17() string {
+	pl := b.Load
+	var sb strings.Builder
+	sb.WriteString("E17 / beyond the paper — port pressure vs customers per external IP\n")
+	if len(pl.Rows) == 0 {
+		sb.WriteString("  (no CGN realms in this world)\n")
+		return sb.String()
+	}
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "cust/IP\trealms\tpeak util\t\tfail rate\t\tfailures")
+		for _, bk := range pl.Buckets {
+			label := fmt.Sprintf("<=%d", bk.UpTo)
+			if bk.UpTo >= 1<<30 {
+				label = ">256"
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%s\t%.1f%%\t%s\t%d\n",
+				label, bk.Realms,
+				100*bk.MeanUtilization, stats.Bar(bk.MeanUtilization, 20),
+				100*bk.MeanFailRate, stats.Bar(bk.MeanFailRate, 20),
+				bk.Failures)
+		}
+	}))
+
+	p := pl.Pressure()
+	sb.WriteString(fmt.Sprintf("  realms: %d (%d saturated)  mean peak utilization: %.1f%%  allocation-failure rate: %.2f%%\n",
+		p.Realms, p.Saturated, 100*p.MeanUtilization, 100*p.AllocFailureRate))
+
+	// The most saturated realms, for the exhaustion narrative.
+	worst := make([]PortLoadRow, len(pl.Rows))
+	copy(worst, pl.Rows)
+	sort.SliceStable(worst, func(i, j int) bool {
+		return worst[i].Stats.FailureRate() > worst[j].Stats.FailureRate()
+	})
+	shown := 0
+	for _, r := range worst {
+		if r.Stats.Failures() == 0 || shown == 3 {
+			break
+		}
+		kind := "eyeball"
+		if r.Cellular {
+			kind = "cellular"
+		}
+		sb.WriteString(fmt.Sprintf("  worst: AS%d realm %d (%s): %d subs on %d IPs, util %.1f%%, %d no-port + %d quota drops (fail rate %.1f%%)\n",
+			r.ASN, r.Realm, kind, r.Stats.Subscribers, r.Stats.ExternalIPs,
+			100*r.Stats.Utilization(), r.Stats.NoPorts, r.Stats.QuotaDrops,
+			100*r.Stats.FailureRate()))
+		shown++
+	}
+	return sb.String()
+}

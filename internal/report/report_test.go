@@ -26,7 +26,7 @@ func TestAllRendersEveryExperiment(t *testing.T) {
 		"E05 / Figure 4", "E06 / Table 4", "E07 / Figure 5", "E08 / Table 5",
 		"E09 / Figure 6", "E10 / Figure 7", "E11 / Figure 8", "E12 / Figure 9",
 		"E13 / Table 7", "E14 / Figure 11", "E15 / Figure 12", "E16 / Figure 13",
-		"Ground truth scoring",
+		"E17 / beyond the paper", "Ground truth scoring",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("All() output missing %q", want)
@@ -83,11 +83,44 @@ func TestRenderersNonEmpty(t *testing.T) {
 	for name, fn := range map[string]func() string{
 		"E03": b.E03, "E04": b.E04, "E05": b.E05, "E06": b.E06, "E07": b.E07,
 		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12, "E13": b.E13,
-		"E14": b.E14, "E15": b.E15, "E16": b.E16,
+		"E14": b.E14, "E15": b.E15, "E16": b.E16, "E17": b.E17,
 	} {
 		if out := fn(); len(out) < 20 {
 			t.Errorf("%s output suspiciously short: %q", name, out)
 		}
+	}
+}
+
+// TestE17PortPressure checks both regimes: the default Small world is
+// provisioned generously (no allocation failures, low utilization), while
+// the port-starved scenario must saturate — nonzero failures and realms
+// riding their port-space ceiling.
+func TestE17PortPressure(t *testing.T) {
+	b := bundle(t)
+	p := b.Load.Pressure()
+	if p.Realms == 0 {
+		t.Fatal("no CGN realms analyzed")
+	}
+	if p.AllocFailureRate != 0 {
+		t.Errorf("well-provisioned world has failure rate %v", p.AllocFailureRate)
+	}
+
+	sc, err := internet.Lookup("port-starved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 2
+	starved := Collect(internet.Build(sc))
+	sp := starved.Load.Pressure()
+	if sp.AllocFailureRate == 0 || sp.Saturated == 0 {
+		t.Errorf("port-starved world shows no exhaustion: %+v", sp)
+	}
+	if sp.MeanUtilization <= p.MeanUtilization {
+		t.Errorf("starved utilization %.3f not above default %.3f", sp.MeanUtilization, p.MeanUtilization)
+	}
+	out := starved.E17()
+	if !strings.Contains(out, "worst: AS") {
+		t.Errorf("E17 missing saturated-realm rows:\n%s", out)
 	}
 }
 
