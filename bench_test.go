@@ -16,7 +16,6 @@ import (
 	"testing"
 	"time"
 
-	"cgn/internal/bencode"
 	"cgn/internal/campaign"
 	"cgn/internal/crawler"
 	"cgn/internal/detect"
@@ -26,11 +25,10 @@ import (
 	"cgn/internal/krpc"
 	"cgn/internal/nat"
 	"cgn/internal/netaddr"
+	"cgn/internal/perf"
 	"cgn/internal/props"
 	"cgn/internal/report"
-	"cgn/internal/routing"
 	"cgn/internal/simnet"
-	"cgn/internal/stun"
 	"cgn/internal/survey"
 )
 
@@ -383,77 +381,25 @@ func itoa(v int) string {
 }
 
 // ---- Micro benches: hot paths ----
+//
+// Bodies live in internal/perf so cmd/benchjson can run the identical
+// code via testing.Benchmark and emit the BENCH_<n>.json trajectory.
 
-func BenchmarkNATTranslateOut(b *testing.B) {
-	n := nat.New(nat.Config{
-		Type:        nat.PortRestricted,
-		PortAlloc:   nat.Random,
-		Pooling:     nat.Paired,
-		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
-		Seed:        1,
-	})
-	now := time.Unix(0, 0)
-	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
-	dst := netaddr.MustParseEndpoint("8.8.8.8:53")
-	f := netaddr.FlowOf(netaddr.UDP, src, dst)
-	n.TranslateOut(f, now) // create once; the loop measures the hot path
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, v := n.TranslateOut(f, now); v != nat.Ok {
-			b.Fatal(v)
-		}
-	}
+// BenchmarkForwardSteady measures steady-state packet forwarding over a
+// built Small world: the compiled-path engine ("fast") against the
+// reference walk kept as the slow path ("slow"). The fast/slow ratio is
+// the forwarding engine's speedup; the fast sub-bench must report
+// 0 allocs/op.
+func BenchmarkForwardSteady(b *testing.B) {
+	b.Run("fast", perf.ForwardSteadyFast)
+	b.Run("slow", perf.ForwardSteadySlow)
 }
 
-func BenchmarkNATTranslateIn(b *testing.B) {
-	n := nat.New(nat.Config{
-		Type:        nat.FullCone,
-		PortAlloc:   nat.Random,
-		Pooling:     nat.Paired,
-		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
-		Seed:        1,
-	})
-	now := time.Unix(0, 0)
-	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
-	dst := netaddr.MustParseEndpoint("8.8.8.8:53")
-	out, _ := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, src, dst), now)
-	in := netaddr.FlowOf(netaddr.UDP, dst, out.Src)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, v := n.TranslateIn(in, now); v != nat.Ok {
-			b.Fatal(v)
-		}
-	}
-}
+func BenchmarkNATTranslateOut(b *testing.B) { perf.NATTranslateOut(b) }
 
-// BenchmarkNATPortChurn measures the port-resource engine under the
-// mobile-churn regime: every iteration creates a fresh mapping (sequential
-// allocation against a bitmap that stays ~75% full) while virtual time
-// advances and periodic Sweeps expire old mappings off the deadline heap.
-// Steady state holds ~30k live mappings.
-func BenchmarkNATPortChurn(b *testing.B) {
-	n := nat.New(nat.Config{
-		Type:        nat.Symmetric,
-		PortAlloc:   nat.Sequential,
-		Pooling:     nat.Paired,
-		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
-		UDPTimeout:  30 * time.Second,
-		Seed:        1,
-	})
-	now := time.Unix(0, 0)
-	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dst := netaddr.EndpointOf(netaddr.Addr(uint32(0x08000000)+uint32(i)), 53)
-		if _, v := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, src, dst), now); v != nat.Ok {
-			b.Fatal(v)
-		}
-		now = now.Add(time.Millisecond)
-		if i&1023 == 1023 {
-			n.Sweep(now)
-		}
-	}
-}
+func BenchmarkNATTranslateIn(b *testing.B) { perf.NATTranslateIn(b) }
+
+func BenchmarkNATPortChurn(b *testing.B) { perf.NATPortChurn(b) }
 
 // BenchmarkE17PortLoad measures the port-pressure analysis over the
 // cached campaign's carrier NATs.
@@ -468,70 +414,13 @@ func BenchmarkE17PortLoad(b *testing.B) {
 	}
 }
 
-func BenchmarkBencodeDecode(b *testing.B) {
-	var id krpc.NodeID
-	nodes := make([]krpc.NodeInfo, 8)
-	wire := krpc.EncodeFindNodeResponse([]byte("aa"), id, nodes)
-	b.SetBytes(int64(len(wire)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := bencode.Decode(wire); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkBencodeDecode(b *testing.B) { perf.BencodeDecode(b) }
 
-func BenchmarkKRPCParseFindNodeResponse(b *testing.B) {
-	var id krpc.NodeID
-	rng := rand.New(rand.NewSource(1))
-	nodes := make([]krpc.NodeInfo, 8)
-	for i := range nodes {
-		rng.Read(nodes[i].ID[:])
-		nodes[i].EP = netaddr.EndpointOf(netaddr.Addr(rng.Uint32()), 6881)
-	}
-	wire := krpc.EncodeFindNodeResponse([]byte("aa"), id, nodes)
-	b.SetBytes(int64(len(wire)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := krpc.Parse(wire); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkKRPCParseFindNodeResponse(b *testing.B) { perf.KRPCParseFindNodeResponse(b) }
 
-func BenchmarkSTUNParse(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	m := &stun.Message{
-		Type:    stun.TypeBindingResponse,
-		TID:     stun.NewTID(rng),
-		Mapped:  netaddr.MustParseEndpoint("203.0.113.9:54321"),
-		Changed: netaddr.MustParseEndpoint("203.0.113.2:3479"),
-	}
-	wire := stun.Encode(m)
-	b.SetBytes(int64(len(wire)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := stun.Parse(wire); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkSTUNParse(b *testing.B) { perf.STUNParse(b) }
 
-func BenchmarkLPMLookup(b *testing.B) {
-	t := routing.NewTable[int]()
-	rng := rand.New(rand.NewSource(1))
-	for i := 0; i < 5000; i++ {
-		t.Insert(netaddr.PrefixFrom(netaddr.Addr(rng.Uint32()), 8+rng.Intn(17)), i)
-	}
-	addrs := make([]netaddr.Addr, 1024)
-	for i := range addrs {
-		addrs[i] = netaddr.Addr(rng.Uint32())
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t.Lookup(addrs[i&1023])
-	}
-}
+func BenchmarkLPMLookup(b *testing.B) { perf.LPMLookup(b) }
 
 func BenchmarkGraphComponents(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
@@ -552,32 +441,7 @@ func BenchmarkGraphComponents(b *testing.B) {
 	}
 }
 
-func BenchmarkSimnetNAT444Walk(b *testing.B) {
-	net := simnet.New()
-	rng := rand.New(rand.NewSource(1))
-	server := net.NewHost("server", net.Public(), netaddr.MustParseAddr("203.0.113.10"), 2, rng)
-	server.Bind(netaddr.UDP, 7, func(_, _ netaddr.Endpoint, _ netaddr.Proto, _ []byte) {})
-	isp := net.NewRealm("isp", 1)
-	net.AttachNAT("cgn", isp, net.Public(), nat.Config{
-		Type: nat.PortRestricted, PortAlloc: nat.Random, Pooling: nat.Paired,
-		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
-		Seed:        1,
-	}, 2, 1)
-	lan := net.NewRealm("lan", 0)
-	net.AttachNAT("cpe", lan, isp, nat.Config{
-		Type: nat.PortRestricted, PortAlloc: nat.Preservation, Pooling: nat.Paired,
-		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("10.0.0.2")},
-		Seed:        2,
-	}, 0, 0)
-	dev := net.NewHost("dev", lan, netaddr.MustParseAddr("192.168.1.2"), 0, rng)
-	dst := netaddr.EndpointOf(server.Addr(), 7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if res := dev.Send(netaddr.UDP, 4000, dst, nil); !res.Delivered() {
-			b.Fatal(res)
-		}
-	}
-}
+func BenchmarkSimnetNAT444Walk(b *testing.B) { perf.SimnetNAT444Walk(b) }
 
 func BenchmarkDHTFindNodeHandling(b *testing.B) {
 	node := dht.NewNode(dht.Config{ID: krpc.NodeID{1}, Seed: 1},

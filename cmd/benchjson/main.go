@@ -1,0 +1,125 @@
+// Command benchjson runs the repository's hot-path micro-benchmarks
+// (internal/perf — the same bodies `go test -bench` runs) through
+// testing.Benchmark and writes the results as machine-readable JSON.
+//
+// Each emitted file is one point of the repository's perf trajectory:
+// BENCH_1.json, BENCH_2.json, ... are committed alongside the changes
+// they measure, so "how fast was forwarding three PRs ago" is a question
+// answerable from the tree itself, and CI can benchstat any two points.
+//
+// Usage:
+//
+//	benchjson [-o FILE] [-bench REGEX] [-note TEXT]
+//
+// With no -o the next free BENCH_<n>.json in the current directory is
+// chosen.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"cgn/internal/perf"
+)
+
+// result is one benchmark measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// document is the emitted file layout.
+type document struct {
+	// Schema versions the layout for future tooling.
+	Schema    int    `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Note carries free-form provenance (e.g. the commit measured).
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default: next free BENCH_<n>.json)")
+	pattern := flag.String("bench", ".", "regexp selecting benchmarks by name")
+	note := flag.String("note", "", "free-form provenance note stored in the file")
+	flag.Parse()
+
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -bench regexp: %v\n", err)
+		os.Exit(2)
+	}
+
+	doc := document{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note:      *note,
+	}
+	for _, bm := range perf.All() {
+		if !re.MatchString(bm.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bm.Name)
+		r := testing.Benchmark(bm.F)
+		res := result{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "benchjson:   %.1f ns/op, %d allocs/op (%d iterations)\n",
+			res.NsPerOp, res.AllocsPerOp, res.Iterations)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks match %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextFree()
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}
+
+// nextFree picks the first unused BENCH_<n>.json in the current
+// directory, so successive runs extend the trajectory.
+func nextFree() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

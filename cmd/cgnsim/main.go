@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cgn/internal/campaign"
@@ -40,21 +41,59 @@ func main() {
 	replicates := flag.Int("replicates", 8, "sweep mode: replicate worlds (seeds) per scenario")
 	workers := flag.Int("workers", runtime.NumCPU(), "sweep mode: concurrent worlds")
 	verbose := flag.Bool("v", false, "sweep mode: print per-world results as they finish")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 
-	if *sweep {
-		os.Exit(runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *verbose))
+	// Profiles must be flushed on every exit path (including the
+	// os.Exit below), so stopping is explicit rather than deferred.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgnsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cgnsim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
 	}
+	stopProfiles := func() {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgnsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cgnsim: -memprofile: %v\n", err)
+			}
+		}
+	}
+
+	if *sweep {
+		code := runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *verbose)
+		stopProfiles()
+		os.Exit(code)
+	}
+	defer stopProfiles()
 
 	sc, err := internet.Lookup(*scenario)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
+		stopProfiles()
 		os.Exit(2)
 	}
 	sc.Seed = *seed
 	sc.ApplyPortOverrides(*portSpan, *portQuota)
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
+		stopProfiles()
 		os.Exit(2)
 	}
 
@@ -69,6 +108,7 @@ func main() {
 		out, err := renderOne(b, strings.ToUpper(*experiment))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
+			stopProfiles()
 			os.Exit(2)
 		}
 		fmt.Println(out)

@@ -12,8 +12,11 @@ import (
 // guarantee: the same (scenario, seed) grid produces byte-identical
 // per-world reports and identical scores whatever the worker count.
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	// p2p-dense rides along so the compiled-path forwarding engine's
+	// determinism is witnessed under worker-pool parallelism on its most
+	// forwarding-heavy workload.
 	cfg := Config{
-		Scenarios:  []string{"small", "sparse-cgn", "port-starved"},
+		Scenarios:  []string{"small", "sparse-cgn", "port-starved", "p2p-dense"},
 		Replicates: 2,
 		BaseSeed:   3,
 	}

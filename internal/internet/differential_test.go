@@ -1,0 +1,132 @@
+package internet_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cgn/internal/internet"
+	"cgn/internal/netaddr"
+	"cgn/internal/simnet"
+)
+
+// campaignDigest runs the full measurement campaign (DHT crawl plus
+// Netalyzr sessions — every packet type the reproduction sends) over a
+// world and digests everything the forwarding engine influences: the
+// crawl dataset, the sessions, the network-wide metric counters and the
+// complete NAT state of every device. The downstream analyses are pure
+// functions of these inputs, so two worlds with equal digests produce
+// byte-identical reports.
+func campaignDigest(w *internet.World) string {
+	ds := w.RunCrawl(internet.DefaultCrawlOptions())
+	sessions := w.RunNetalyzr()
+
+	h := sha256.New()
+	// %+v prints maps in sorted key order and every type below is a
+	// value type, so the rendering is deterministic.
+	fmt.Fprintf(h, "crawl %+v\n", *ds)
+	fmt.Fprintf(h, "sessions %+v\n", sessions)
+	stateDigestInto(h, w)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// probeDigest exercises the forwarding engine directly, without the
+// (expensive) full campaign: from a deterministic sample of hosts across
+// every realm it sends full-TTL packets, sweeps TTLs across the NAT
+// boundaries, and records traces toward the echo server, then digests
+// every Result, every trace and the complete network and NAT state.
+func probeDigest(w *internet.World) string {
+	srv := w.Servers.Config
+	echo := netaddr.EndpointOf(srv.EchoAddr, 7)
+
+	h := sha256.New()
+	probe := func(host *simnet.Host) {
+		if host == nil {
+			return
+		}
+		res := host.Send(netaddr.UDP, 41000, echo, nil)
+		fmt.Fprintf(h, "send %s %+v\n", host.Name(), res)
+		for _, ttl := range []int{1, 3, 5, 9} {
+			res := host.SendTTL(netaddr.UDP, 41001, echo, ttl, nil)
+			fmt.Fprintf(h, "ttl %s %d %+v\n", host.Name(), ttl, res)
+		}
+		steps, res := host.Network().TracePath(host, netaddr.UDP, 41002, echo)
+		fmt.Fprintf(h, "trace %s %v %+v\n", host.Name(), steps, res)
+	}
+	realms := w.Net.Realms()
+	for i, r := range realms {
+		// Sample at most ~128 realms evenly so heavy worlds stay cheap.
+		if len(realms) > 128 && i%(len(realms)/128+1) != 0 {
+			continue
+		}
+		if hosts := r.Hosts(); len(hosts) > 0 {
+			probe(hosts[len(hosts)-1])
+		}
+	}
+	probe(w.CrawlerHost)
+	stateDigestInto(h, w)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// stateDigestInto writes the network metrics and every NAT's state
+// digest into h.
+func stateDigestInto(h interface{ Write([]byte) (int, error) }, w *internet.World) {
+	fmt.Fprintf(h, "netmetrics %+v\n", w.Net.Metrics.Snapshot())
+	for _, d := range w.Net.Devices() {
+		fmt.Fprintf(h, "dev %s %s %+v\n", d.Name, d.NAT.StateDigest(), d.NAT.Metrics.Snapshot())
+	}
+}
+
+// TestFastSlowDifferentialAllScenarios pins the compiled-path forwarding
+// engine to the reference walk across every registry scenario: the same
+// seed must produce identical Results, traces, metrics and NAT state
+// whether packets replay cached routes or walk the topology per hop.
+// The small-class scenarios compare digests of the complete measurement
+// campaign; the heavy worlds (paper, large) compare a deterministic
+// forwarding probe matrix instead, which covers the same packet classes
+// at a fraction of the cost. large additionally sits behind -short.
+func TestFastSlowDifferentialAllScenarios(t *testing.T) {
+	probeOnly := map[string]bool{"paper": true, "large": true}
+	for _, name := range internet.Names() {
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && name == "large" {
+				t.Skip("skipping the large world in -short mode")
+			}
+			t.Parallel()
+			sc, err := internet.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Seed = 7
+
+			fast := internet.Build(sc)
+			if !fast.Net.FastPathEnabled() {
+				t.Fatal("fast path should be on by default")
+			}
+			slow := internet.Build(sc)
+			slow.Net.SetFastPath(false)
+
+			digest := campaignDigest
+			if probeOnly[name] {
+				digest = probeDigest
+			}
+			fd, sd := digest(fast), digest(slow)
+			if fd != sd {
+				t.Errorf("scenario %s: digests diverge between engines\n fast: %s\n slow: %s",
+					name, fd, sd)
+			}
+			// The two worlds must be structurally identical too —
+			// otherwise the digests compare different topologies and a
+			// forwarding bug could hide behind a build difference.
+			if f, s := fast.Net.Metrics.Snapshot(), slow.Net.Metrics.Snapshot(); !reflect.DeepEqual(f, s) {
+				t.Errorf("scenario %s: network metrics diverge:\n fast: %v\n slow: %v", name, f, s)
+			}
+			if len(fast.Net.Devices()) != len(slow.Net.Devices()) {
+				t.Errorf("scenario %s: device counts differ: %d vs %d",
+					name, len(fast.Net.Devices()), len(slow.Net.Devices()))
+			}
+		})
+	}
+}

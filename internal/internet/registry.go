@@ -20,6 +20,7 @@ var builders = map[string]func() Scenario{
 	"port-starved":     PortStarved,
 	"mobile-churn":     MobileChurn,
 	"enterprise-block": EnterpriseBlock,
+	"p2p-dense":        P2PDense,
 }
 
 // Lookup resolves a scenario by registry name.
@@ -156,6 +157,37 @@ func EnterpriseBlock() Scenario {
 	sc.BTPeers = Span{20, 32}
 	sc.CGNPoolSize = Span{1, 1}
 	sc.CGNPortSpan = 16384
+	return sc
+}
+
+// P2PDense returns a forwarding-heavy world: most eyeball ASes deploy
+// CGN, swarms are large and concentrated behind carrier NATs (many bare
+// peers, frequent two-client homes) and source-preserving hairpinning is
+// near-universal, so the campaign is dominated by peer-to-peer packet
+// forwarding — long ascents through deep CGNs, hairpin turns, intra-realm
+// chatter — rather than by analysis. It exists to stress the
+// compiled-path forwarding engine; the sweep smoke and the cross-worker
+// digest test include it so cached-path determinism is witnessed under
+// parallelism.
+func P2PDense() Scenario {
+	sc := Small()
+	sc.Regions = map[asdb.RIR]RegionMix{
+		asdb.AFRINIC: {Eyeball: 2, Cellular: 1},
+		asdb.APNIC:   {Eyeball: 4, Cellular: 1},
+		asdb.ARIN:    {Eyeball: 3, Cellular: 1},
+		asdb.LACNIC:  {Eyeball: 2, Cellular: 1},
+		asdb.RIPE:    {Eyeball: 4, Cellular: 1},
+	}
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.8
+	}
+	sc.LowVantageFrac = 0.1
+	sc.BTPeers = Span{40, 64}
+	sc.BareFrac = 0.60
+	sc.HomePeerPairFrac = 0.50
+	sc.HairpinPreserveFrac = 0.85
+	sc.HairpinTranslateFrac = 0.10
+	sc.MixedRealmFrac = 0.50
 	return sc
 }
 

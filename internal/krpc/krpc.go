@@ -377,8 +377,11 @@ func EncodeError(tid []byte, code int64, msg string) []byte {
 	return append(b, 'e')
 }
 
-// Parse decodes one KRPC message from wire bytes.
-func Parse(data []byte) (*Message, error) {
+// parseGeneric decodes one KRPC message through the generic bencode
+// decoder. It is the reference implementation for Parse (parse.go),
+// which scans the wire directly: FuzzParseMatchesGeneric pins the two
+// to identical accept/reject decisions and identical Messages.
+func parseGeneric(data []byte) (*Message, error) {
 	v, err := bencode.Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)

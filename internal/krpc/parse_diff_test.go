@@ -1,0 +1,86 @@
+package krpc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cgn/internal/netaddr"
+)
+
+// corpusMessages builds one wire message of every kind the encoders can
+// produce.
+func corpusMessages() [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	var id, target NodeID
+	rng.Read(id[:])
+	rng.Read(target[:])
+	nodes := make([]NodeInfo, 8)
+	for i := range nodes {
+		rng.Read(nodes[i].ID[:])
+		nodes[i].EP = netaddr.EndpointOf(netaddr.Addr(rng.Uint32()), uint16(1024+i))
+	}
+	return [][]byte{
+		EncodePing([]byte("aa"), id),
+		EncodePingResponse([]byte("aa"), id),
+		EncodeFindNode([]byte("ab"), id, target),
+		EncodeFindNodeResponse([]byte("ab"), id, nodes),
+		EncodeGetPeers([]byte("ac"), id, target),
+		EncodeGetPeersResponse([]byte("ac"), id, []byte("tok"), nil, nodes),
+		EncodeGetPeersResponse([]byte("ac"), id, []byte("tok"),
+			[]netaddr.Endpoint{netaddr.MustParseEndpoint("1.2.3.4:80"), netaddr.MustParseEndpoint("10.0.0.9:6881")}, nil),
+		EncodeAnnouncePeer([]byte("ad"), id, target, 6881, true, []byte("tok")),
+		EncodeError([]byte("ae"), 201, "Generic Error"),
+		// Hand-built edge cases.
+		[]byte("d1:t2:aa1:y1:qe"),                      // query without method
+		[]byte("d1:ad2:id3:xyze1:q4:ping1:t0:1:y1:qe"), // bad id length
+		[]byte("d1:t2:aa1:y1:re"),                      // response without body
+		[]byte("d1:eli201e5:oops!e1:t2:aa1:y1:ee"),     // error message
+		[]byte("d1:eli201ee1:t2:aa1:y1:ee"),            // short error body
+		[]byte("d1:t2:aa1:y1:xe"),                      // unknown type
+		[]byte("d1:y1:qe"),                             // missing tid
+		[]byte("de"),                                   // empty dict
+		[]byte("le"),                                   // not a dict
+		[]byte("i42e"),                                 // not a dict
+		[]byte(""),                                     // empty
+		[]byte("d1:t2:aa1:y1:qeX"),                     // trailing garbage
+		[]byte("d1:ti5e1:y1:qe"),                       // tid wrong type
+		[]byte("d1:al1:xe1:q4:ping1:t2:aa1:y1:qe"),     // args wrong type
+		[]byte("d1:rd2:id20:aaaaaaaaaaaaaaaaaaaa6:valuesl6:abcdefi5eee1:t2:aa1:y1:re"), // non-string peer value
+	}
+}
+
+// TestParseMatchesGenericCorpus pins the direct parser to the generic
+// reference over every encoder output and the edge-case corpus.
+func TestParseMatchesGenericCorpus(t *testing.T) {
+	for i, wire := range corpusMessages() {
+		got, gotErr := Parse(wire)
+		want, wantErr := parseGeneric(wire)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("case %d (%q): accept/reject mismatch: direct err=%v, generic err=%v",
+				i, wire, gotErr, wantErr)
+			continue
+		}
+		if gotErr == nil && !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d (%q): messages differ:\n direct:  %+v\n generic: %+v", i, wire, got, want)
+		}
+	}
+}
+
+// FuzzParseMatchesGeneric fuzzes the equivalence: both parsers must make
+// the same accept/reject decision and produce identical Messages.
+func FuzzParseMatchesGeneric(f *testing.F) {
+	for _, wire := range corpusMessages() {
+		f.Add(wire)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gotErr := Parse(data)
+		want, wantErr := parseGeneric(data)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("accept/reject mismatch on %q: direct err=%v, generic err=%v", data, gotErr, wantErr)
+		}
+		if gotErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("messages differ on %q:\n direct:  %+v\n generic: %+v", data, got, want)
+		}
+	})
+}

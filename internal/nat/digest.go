@@ -1,0 +1,42 @@
+package nat
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StateDigest returns a deterministic SHA-256 over the NAT's complete
+// translation state: every live mapping (internal and external endpoint,
+// creation and last-activity times, the destination set the filtering
+// policies consult) plus the per-subscriber session counts and the
+// port-space occupancy. Two NATs that translated the same packet
+// sequence digest identically; the forwarding engine's differential
+// tests rely on exactly that to pin the compiled fast path to the
+// reference walk.
+func (n *NAT) StateDigest() string {
+	lines := make([]string, 0, len(n.byExt)+len(n.sessions))
+	for _, m := range n.byExt {
+		dsts := make([]string, 0, len(m.dsts))
+		for d := range m.dsts {
+			dsts = append(dsts, d.String())
+		}
+		sort.Strings(dsts)
+		lines = append(lines, fmt.Sprintf("map %v %v->%v created=%d active=%d dsts=%s",
+			m.Proto, m.Int, m.Ext, m.Created.UnixNano(), m.LastActive.UnixNano(),
+			strings.Join(dsts, ",")))
+	}
+	for addr, c := range n.sessions {
+		lines = append(lines, fmt.Sprintf("sessions %v=%d", addr, c))
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	fmt.Fprintf(h, "ports inuse=%d peak=%d subscribers=%d\n", n.ports.inUse, n.ports.peak, len(n.subsSeen))
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -283,6 +283,10 @@ type Mapping struct {
 	// dsts records remote endpoints this mapping has sent to, for the
 	// restricted filtering policies. Symmetric mappings have exactly one.
 	dsts map[netaddr.Endpoint]bool
+	// lastDst memoizes the most recent destination: steady flows revisit
+	// one destination, and an Endpoint compare is far cheaper than the
+	// dsts map probe on every packet.
+	lastDst netaddr.Endpoint
 	// key is the byInt index this mapping lives under.
 	key intKey
 	// Created and LastActive drive expiry.
@@ -347,7 +351,24 @@ type NAT struct {
 	sessions map[netaddr.Addr]int
 	subsSeen map[netaddr.Addr]bool
 
+	// lastOut and lastIn memoize the most recently translated mapping in
+	// each direction: consecutive packets of one flow (an exchange, a
+	// burst) skip the table probe. Entries invalidate through the dead
+	// flag plus a key compare, so the memos never change behavior.
+	lastOut *Mapping
+	lastIn  *Mapping
+
 	Metrics *metrics.Set
+	// Counters below are hoisted out of Metrics at construction: the
+	// translation hot path increments one or two per packet, and the
+	// by-name lookup (a mutex plus a string-map access) costs more than
+	// the translation itself at forwarding-engine speeds.
+	cPktsOut, cPktsIn, cHairpin            *metrics.Counter
+	cMapCreated, cMapExpired               *metrics.Counter
+	cDropSession, cDropQuota, cDropNoPorts *metrics.Counter
+	cDropNoMapping, cDropFiltered          *metrics.Counter
+	cDropHairpin                           *metrics.Counter
+	gLive                                  *metrics.Gauge
 }
 
 // expEntry schedules one mapping for expiry at the deadline it had when
@@ -427,6 +448,18 @@ func New(cfg Config) *NAT {
 		subsSeen:  make(map[netaddr.Addr]bool),
 		Metrics:   metrics.NewSet(),
 	}
+	n.cPktsOut = n.Metrics.Counter("pkts_out")
+	n.cPktsIn = n.Metrics.Counter("pkts_in")
+	n.cHairpin = n.Metrics.Counter("pkts_hairpin")
+	n.cMapCreated = n.Metrics.Counter("mappings_created")
+	n.cMapExpired = n.Metrics.Counter("mappings_expired")
+	n.cDropSession = n.Metrics.Counter("drop_session_limit")
+	n.cDropQuota = n.Metrics.Counter("drop_port_quota")
+	n.cDropNoPorts = n.Metrics.Counter("drop_no_ports")
+	n.cDropNoMapping = n.Metrics.Counter("drop_no_mapping")
+	n.cDropFiltered = n.Metrics.Counter("drop_filtered")
+	n.cDropHairpin = n.Metrics.Counter("drop_hairpin")
+	n.gLive = n.Metrics.Gauge("mappings_live")
 	n.ports = newPortSpace(c.PortLo, c.PortHi)
 	if c.PortAlloc == RandomChunk {
 		n.chunks = newChunkTable(c.PortLo, c.PortHi, uint16(c.ChunkSize))
@@ -480,8 +513,8 @@ func (n *NAT) drop(m *Mapping) {
 	if n.sessions[m.Int.Addr] <= 0 {
 		delete(n.sessions, m.Int.Addr)
 	}
-	n.Metrics.Counter("mappings_expired").Inc()
-	n.Metrics.Gauge("mappings_live").Set(int64(len(n.byExt)))
+	n.cMapExpired.Inc()
+	n.gLive.Set(int64(len(n.byExt)))
 }
 
 // TranslateOut translates an inside-to-outside packet flow. On Ok the
@@ -489,28 +522,35 @@ func (n *NAT) drop(m *Mapping) {
 // destination.
 func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
 	k := n.intKeyFor(f)
-	m := n.byInt[k]
+	// One-entry memo: consecutive packets of one flow skip the byInt
+	// probe. The dead flag (set by drop) and the full key compare keep
+	// the shortcut exact.
+	m := n.lastOut
+	if m == nil || m.dead || m.key != k {
+		m = n.byInt[k]
+	}
 	if m != nil && n.expired(m, now) {
 		n.drop(m)
 		m = nil
 	}
 	if m == nil {
 		if lim := n.cfg.MaxSessionsPerSubscriber; lim > 0 && n.sessions[f.Src.Addr] >= lim {
-			n.Metrics.Counter("drop_session_limit").Inc()
+			n.cDropSession.Inc()
 			return netaddr.Flow{}, DropSessionLimit
 		}
 		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && n.sessions[f.Src.Addr] >= q {
-			n.Metrics.Counter("drop_port_quota").Inc()
+			n.cDropQuota.Inc()
 			return netaddr.Flow{}, DropPortQuota
 		}
 		ext, ok := n.allocate(f, now)
 		if !ok {
-			n.Metrics.Counter("drop_no_ports").Inc()
+			n.cDropNoPorts.Inc()
 			return netaddr.Flow{}, DropNoPorts
 		}
 		m = &Mapping{
 			Proto: f.Proto, Int: f.Src, Ext: ext,
-			dsts:    make(map[netaddr.Endpoint]bool, 1),
+			dsts:    map[netaddr.Endpoint]bool{f.Dst: true},
+			lastDst: f.Dst,
 			key:     k,
 			Created: now,
 		}
@@ -519,12 +559,21 @@ func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict
 		n.sessions[f.Src.Addr]++
 		n.subsSeen[f.Src.Addr] = true
 		n.exp.push(expEntry{m: m, at: now.Add(n.timeout(f.Proto))})
-		n.Metrics.Counter("mappings_created").Inc()
-		n.Metrics.Gauge("mappings_live").Set(int64(len(n.byExt)))
+		n.cMapCreated.Inc()
+		n.gLive.Set(int64(len(n.byExt)))
 	}
-	m.dsts[f.Dst] = true
+	// Steady flows revisit one destination; only touch the dsts map when
+	// the destination actually changed (and then read before write — a
+	// probe costs less than an assign).
+	if f.Dst != m.lastDst {
+		if !m.dsts[f.Dst] {
+			m.dsts[f.Dst] = true
+		}
+		m.lastDst = f.Dst
+	}
 	m.LastActive = now
-	n.Metrics.Counter("pkts_out").Inc()
+	n.lastOut = m
+	n.cPktsOut.Inc()
 	return netaddr.Flow{Proto: f.Proto, Src: m.Ext, Dst: f.Dst}, Ok
 }
 
@@ -532,23 +581,29 @@ func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict
 // of the NAT's external endpoints. On Ok the returned flow carries the
 // original source and the internal destination endpoint.
 func (n *NAT) TranslateIn(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
-	m := n.byExt[extKey{f.Proto, f.Dst}]
+	k := extKey{f.Proto, f.Dst}
+	// One-entry memo, mirroring TranslateOut's.
+	m := n.lastIn
+	if m == nil || m.dead || m.Proto != k.proto || m.Ext != k.ext {
+		m = n.byExt[k]
+	}
 	if m != nil && n.expired(m, now) {
 		n.drop(m)
 		m = nil
 	}
 	if m == nil {
-		n.Metrics.Counter("drop_no_mapping").Inc()
+		n.cDropNoMapping.Inc()
 		return netaddr.Flow{}, DropNoMapping
 	}
 	if !n.allowInbound(m, f.Src) {
-		n.Metrics.Counter("drop_filtered").Inc()
+		n.cDropFiltered.Inc()
 		return netaddr.Flow{}, DropFiltered
 	}
 	if n.cfg.RefreshOnInbound {
 		m.LastActive = now
 	}
-	n.Metrics.Counter("pkts_in").Inc()
+	n.lastIn = m
+	n.cPktsIn.Inc()
 	return netaddr.Flow{Proto: f.Proto, Src: f.Src, Dst: m.Int}, Ok
 }
 
@@ -582,7 +637,7 @@ type HairpinResult struct {
 // internal destination, applying the configured hairpin source behavior.
 func (n *NAT) Hairpin(f netaddr.Flow, now time.Time) (HairpinResult, Verdict) {
 	if n.cfg.Hairpin == HairpinOff {
-		n.Metrics.Counter("drop_hairpin").Inc()
+		n.cDropHairpin.Inc()
 		return HairpinResult{}, DropHairpin
 	}
 	out, v := n.TranslateOut(f, now)
@@ -599,7 +654,7 @@ func (n *NAT) Hairpin(f netaddr.Flow, now time.Time) (HairpinResult, Verdict) {
 		res.Flow.Src = f.Src
 		res.SourcePreserved = true
 	}
-	n.Metrics.Counter("pkts_hairpin").Inc()
+	n.cHairpin.Inc()
 	return res, Ok
 }
 

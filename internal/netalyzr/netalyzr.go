@@ -91,6 +91,9 @@ type Servers struct {
 	EchoHost *simnet.Host
 	STUN     *stun.Server
 	Probe    *ttlprobe.Server
+	// Config echoes the deployment configuration (server addresses),
+	// so world builders can enumerate the fleet's destinations.
+	Config ServersConfig
 	// EchoTCPCount counts flows served, for sanity checks.
 	EchoTCPCount int
 }
@@ -120,7 +123,7 @@ func DefaultServersConfig() ServersConfig {
 // DeployServers attaches the measurement fleet to the network's public
 // realm.
 func DeployServers(n *simnet.Network, cfg ServersConfig, rng *rand.Rand) *Servers {
-	s := &Servers{}
+	s := &Servers{Config: cfg}
 	s.EchoHost = n.NewHost("echo", n.Public(), cfg.EchoAddr, cfg.AccessHops, rng)
 	echo := func(from, to netaddr.Endpoint, proto netaddr.Proto, payload []byte) {
 		if proto == netaddr.TCP {

@@ -1,0 +1,294 @@
+// Package perf defines the repository's hot-path micro-benchmarks as
+// plain functions over *testing.B. The same bodies back both the `go
+// test -bench` entry points (bench_test.go at the repository root) and
+// cmd/benchjson, which runs them via testing.Benchmark and emits the
+// machine-readable BENCH_<n>.json trajectory. Keeping one set of bodies
+// means the JSON baseline and the CI bench job can never measure
+// different code.
+package perf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/bencode"
+	"cgn/internal/internet"
+	"cgn/internal/krpc"
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/routing"
+	"cgn/internal/simnet"
+	"cgn/internal/stun"
+)
+
+// Bench names one registered hot-path benchmark.
+type Bench struct {
+	Name string
+	F    func(*testing.B)
+}
+
+// All returns the registered hot-path benchmarks in report order.
+func All() []Bench {
+	return []Bench{
+		{"ForwardSteady/fast", ForwardSteadyFast},
+		{"ForwardSteady/slow", ForwardSteadySlow},
+		{"SimnetNAT444Walk", SimnetNAT444Walk},
+		{"NATTranslateOut", NATTranslateOut},
+		{"NATTranslateIn", NATTranslateIn},
+		{"NATPortChurn", NATPortChurn},
+		{"BencodeDecode", BencodeDecode},
+		{"KRPCParseFindNodeResponse", KRPCParseFindNodeResponse},
+		{"STUNParse", STUNParse},
+		{"LPMLookup", LPMLookup},
+	}
+}
+
+// ForwardSteadyFast measures steady-state packet forwarding over a built
+// Small world on the compiled-path engine: repeated sends from a rotating
+// set of subscribers (bare CGN, NAT444 home devices, a public host)
+// toward a public sink, every route and NAT mapping warm. The cached path
+// must not allocate.
+func ForwardSteadyFast(b *testing.B) { forwardSteady(b, true) }
+
+// ForwardSteadySlow is the same workload on the reference walk — the
+// pre-compiled-path forwarding engine kept as the slow path. The ratio
+// between the two is the engine's speedup.
+func ForwardSteadySlow(b *testing.B) { forwardSteady(b, false) }
+
+func forwardSteady(b *testing.B, fast bool) {
+	w := internet.Build(internet.Small())
+	w.Net.SetFastPath(fast)
+	rng := rand.New(rand.NewSource(99))
+	sink := w.Net.NewHost("bench-sink", w.Net.Public(), netaddr.MustParseAddr("203.0.113.200"), 1, rng)
+	sink.Bind(netaddr.UDP, 7, func(netaddr.Endpoint, netaddr.Endpoint, netaddr.Proto, []byte) {})
+	dst := netaddr.EndpointOf(sink.Addr(), 7)
+
+	// Senders picked structurally for a forwarding-heavy mix: bare
+	// subscribers inside carrier realms (the CGN sits several router hops
+	// out, so these paths are long) and NAT444 home devices (two
+	// translations on path). Plain one-hop NAT44 homes are deliberately
+	// excluded — they barely forward.
+	var senders []*simnet.Host
+	bare, nat444 := 0, 0
+	for _, r := range w.Net.Realms() {
+		up := r.Up()
+		if up == nil || len(r.Hosts()) == 0 {
+			continue
+		}
+		hs := r.Hosts()
+		switch {
+		case up.Outer().Up() == nil && up.InnerHops() > 0 && bare < 8:
+			// A realm whose NAT sits deep on the path is a carrier realm;
+			// its directly attached hosts are bare subscribers.
+			senders = append(senders, hs[0])
+			bare++
+		case up.Outer().Up() != nil && nat444 < 8:
+			senders = append(senders, hs[len(hs)-1])
+			nat444++
+		}
+	}
+	if len(senders) == 0 {
+		b.Fatal("no forwarding-heavy senders found in the Small world")
+	}
+	// Warm every route and NAT mapping; the loop below measures the
+	// steady state only. Two packets per sender: the engine defers route
+	// compilation to the second packet of a (realm, dst) pair.
+	for _, h := range senders {
+		for i := 0; i < 2; i++ {
+			if res := h.Send(netaddr.UDP, 40000, dst, nil); !res.Delivered() {
+				b.Fatalf("warmup send from %s: %+v", h.Name(), res)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := senders[i%len(senders)]
+		if res := h.Send(netaddr.UDP, 40000, dst, nil); !res.Delivered() {
+			b.Fatal(res)
+		}
+	}
+}
+
+// SimnetNAT444Walk measures one NAT444 delivery (CPE + CGN on path) on a
+// minimal hand-built topology.
+func SimnetNAT444Walk(b *testing.B) {
+	net := simnet.New()
+	rng := rand.New(rand.NewSource(1))
+	server := net.NewHost("server", net.Public(), netaddr.MustParseAddr("203.0.113.10"), 2, rng)
+	server.Bind(netaddr.UDP, 7, func(_, _ netaddr.Endpoint, _ netaddr.Proto, _ []byte) {})
+	isp := net.NewRealm("isp", 1)
+	net.AttachNAT("cgn", isp, net.Public(), nat.Config{
+		Type: nat.PortRestricted, PortAlloc: nat.Random, Pooling: nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	}, 2, 1)
+	lan := net.NewRealm("lan", 0)
+	net.AttachNAT("cpe", lan, isp, nat.Config{
+		Type: nat.PortRestricted, PortAlloc: nat.Preservation, Pooling: nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("10.0.0.2")},
+		Seed:        2,
+	}, 0, 0)
+	dev := net.NewHost("dev", lan, netaddr.MustParseAddr("192.168.1.2"), 0, rng)
+	dst := netaddr.EndpointOf(server.Addr(), 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := dev.Send(netaddr.UDP, 4000, dst, nil); !res.Delivered() {
+			b.Fatal(res)
+		}
+	}
+}
+
+// NATTranslateOut measures the outbound translation hot path (mapping
+// exists, no allocation).
+func NATTranslateOut(b *testing.B) {
+	n := nat.New(nat.Config{
+		Type:        nat.PortRestricted,
+		PortAlloc:   nat.Random,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
+	dst := netaddr.MustParseEndpoint("8.8.8.8:53")
+	f := netaddr.FlowOf(netaddr.UDP, src, dst)
+	n.TranslateOut(f, now) // create once; the loop measures the hot path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, v := n.TranslateOut(f, now); v != nat.Ok {
+			b.Fatal(v)
+		}
+	}
+}
+
+// NATTranslateIn measures the inbound translation hot path.
+func NATTranslateIn(b *testing.B) {
+	n := nat.New(nat.Config{
+		Type:        nat.FullCone,
+		PortAlloc:   nat.Random,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
+	dst := netaddr.MustParseEndpoint("8.8.8.8:53")
+	out, _ := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, src, dst), now)
+	in := netaddr.FlowOf(netaddr.UDP, dst, out.Src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, v := n.TranslateIn(in, now); v != nat.Ok {
+			b.Fatal(v)
+		}
+	}
+}
+
+// NATPortChurn measures the port-resource engine under the mobile-churn
+// regime: every iteration creates a fresh mapping (sequential allocation
+// against a bitmap that stays ~75% full) while virtual time advances and
+// periodic Sweeps expire old mappings off the deadline heap. Steady
+// state holds ~30k live mappings.
+func NATPortChurn(b *testing.B) {
+	n := nat.New(nat.Config{
+		Type:        nat.Symmetric,
+		PortAlloc:   nat.Sequential,
+		Pooling:     nat.Paired,
+		ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1")},
+		UDPTimeout:  30 * time.Second,
+		Seed:        1,
+	})
+	now := time.Unix(0, 0)
+	src := netaddr.MustParseEndpoint("100.64.0.5:4000")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := netaddr.EndpointOf(netaddr.Addr(uint32(0x08000000)+uint32(i)), 53)
+		if _, v := n.TranslateOut(netaddr.FlowOf(netaddr.UDP, src, dst), now); v != nat.Ok {
+			b.Fatal(v)
+		}
+		now = now.Add(time.Millisecond)
+		if i&1023 == 1023 {
+			n.Sweep(now)
+		}
+	}
+}
+
+// BencodeDecode measures decoding a find_node response.
+func BencodeDecode(b *testing.B) {
+	var id krpc.NodeID
+	nodes := make([]krpc.NodeInfo, 8)
+	wire := krpc.EncodeFindNodeResponse([]byte("aa"), id, nodes)
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bencode.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// KRPCParseFindNodeResponse measures the full KRPC parse of a find_node
+// response carrying eight contacts.
+func KRPCParseFindNodeResponse(b *testing.B) {
+	var id krpc.NodeID
+	rng := rand.New(rand.NewSource(1))
+	nodes := make([]krpc.NodeInfo, 8)
+	for i := range nodes {
+		rng.Read(nodes[i].ID[:])
+		nodes[i].EP = netaddr.EndpointOf(netaddr.Addr(rng.Uint32()), 6881)
+	}
+	wire := krpc.EncodeFindNodeResponse([]byte("aa"), id, nodes)
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := krpc.Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// STUNParse measures parsing a binding response.
+func STUNParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := &stun.Message{
+		Type:    stun.TypeBindingResponse,
+		TID:     stun.NewTID(rng),
+		Mapped:  netaddr.MustParseEndpoint("203.0.113.9:54321"),
+		Changed: netaddr.MustParseEndpoint("203.0.113.2:3479"),
+	}
+	wire := stun.Encode(m)
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stun.Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// LPMLookup measures longest-prefix-match lookups against a 5k-entry
+// table.
+func LPMLookup(b *testing.B) {
+	t := routing.NewTable[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		t.Insert(netaddr.PrefixFrom(netaddr.Addr(rng.Uint32()), 8+rng.Intn(17)), i)
+	}
+	addrs := make([]netaddr.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netaddr.Addr(rng.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(addrs[i&1023])
+	}
+}

@@ -26,6 +26,17 @@ type Host struct {
 	// extraHops is the router distance between the realm fabric and this
 	// host (e.g. data-center hops in front of a measurement server).
 	extraHops int
+
+	// One-entry route memo: hosts typically send bursts toward a single
+	// destination (an echo exchange, a DHT peer), so the common case
+	// skips even the network-level route map lookup.
+	memoDst   netaddr.Addr
+	memoRoute *route
+	// One-entry handler-dispatch memo, invalidated by Bind/Unbind:
+	// steady traffic lands on one port, and the key compare is cheaper
+	// than the handlers map probe.
+	memoHP hostPort
+	memoFn Handler
 }
 
 func (h *Host) isAttachment() {}
@@ -84,11 +95,25 @@ func (h *Host) Bind(proto netaddr.Proto, port uint16, fn Handler) {
 		panic(fmt.Sprintf("simnet: %s: port %d/%v already bound", h.name, port, proto))
 	}
 	h.handlers[k] = fn
+	h.memoFn = nil
 }
 
 // Unbind removes a handler.
 func (h *Host) Unbind(proto netaddr.Proto, port uint16) {
 	delete(h.handlers, hostPort{proto, port})
+	h.memoFn = nil
+}
+
+// handlerFor dispatches through the one-entry memo.
+func (h *Host) handlerFor(k hostPort) (Handler, bool) {
+	if h.memoFn != nil && h.memoHP == k {
+		return h.memoFn, true
+	}
+	fn, ok := h.handlers[k]
+	if ok && fn != nil {
+		h.memoHP, h.memoFn = k, fn
+	}
+	return fn, ok
 }
 
 // EphemeralPort returns the next OS-chosen source port: sequential within
@@ -112,6 +137,19 @@ func (h *Host) Send(proto netaddr.Proto, srcPort uint16, dst netaddr.Endpoint, p
 // behind the TTL-limited keepalives of §6.3.
 func (h *Host) SendTTL(proto netaddr.Proto, srcPort uint16, dst netaddr.Endpoint, ttl int, payload []byte) Result {
 	f := netaddr.FlowOf(proto, netaddr.EndpointOf(h.addr, srcPort), dst)
+	// Compiled path. Non-positive TTLs keep the reference walker's exact
+	// degenerate semantics (zero-hop consumes succeed unconditionally),
+	// so they fall through to the slow path below.
+	if n := h.net; ttl > 0 && n.fastOK() {
+		if r := h.routeTo(f.Dst.Addr); r != nil {
+			if ttl <= h.extraHops {
+				// Died leaving the access network: not counted as sent.
+				return n.fastExpire(ttl)
+			}
+			n.cSent.Inc()
+			return n.fastWalk(f, r, ttl, h.extraHops, payload)
+		}
+	}
 	// Leaving the host's own access network costs extraHops.
 	w := &walker{ttl: ttl, net: h.net}
 	if !w.consume(h.extraHops, "router:", h.name, "-access") {
@@ -119,6 +157,18 @@ func (h *Host) SendTTL(proto netaddr.Proto, srcPort uint16, dst netaddr.Endpoint
 	}
 	r := h.net.send(h, f, w.ttl, payload)
 	r.Hops += w.hops
+	return r
+}
+
+// routeTo resolves the compiled route toward dst through the host's
+// one-entry memo. nil means the route cannot be compiled (the caller
+// takes the reference walk).
+func (h *Host) routeTo(dst netaddr.Addr) *route {
+	if h.memoRoute != nil && h.memoDst == dst && h.memoRoute.gen == h.net.topoGen {
+		return h.memoRoute
+	}
+	r := h.net.routeFor(h.realm, dst)
+	h.memoDst, h.memoRoute = dst, r
 	return r
 }
 
@@ -135,12 +185,12 @@ func (h *Host) deliver(f netaddr.Flow, payload []byte, w *walker, n *Network) Re
 		// Diagnostics stop short of the application layer.
 		return Result{Reason: Delivered, Hops: w.hops}
 	}
-	fn, ok := h.handlers[hostPort{f.Proto, f.Dst.Port}]
+	fn, ok := h.handlerFor(hostPort{f.Proto, f.Dst.Port})
 	if !ok {
-		n.Metrics.Counter("pkts_no_listener").Inc()
+		n.cNoListener.Inc()
 		return Result{Reason: DropNoPort, Hops: w.hops}
 	}
-	n.Metrics.Counter("pkts_delivered").Inc()
+	n.cDelivered.Inc()
 	fn(f.Src, f.Dst, f.Proto, payload)
 	return Result{Reason: Delivered, Hops: w.hops}
 }

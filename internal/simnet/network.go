@@ -31,6 +31,24 @@ type Network struct {
 	// forwarding path increments them per packet and a name lookup per
 	// increment is measurable at campaign scale.
 	cSent, cUnreachable, cNATDropped, cLost, cTTLExpired *metrics.Counter
+	cDelivered, cNoListener                              *metrics.Counter
+
+	// Compiled-path forwarding engine state (see fastpath.go). topoGen
+	// increments on every topology mutation; cached routes carry the
+	// generation they were compiled under and recompile lazily on
+	// mismatch. fastOff forces every packet onto the reference walk.
+	topoGen uint64
+	routes  map[routeKey]*route
+	// seen records every (realm, dst) pair a packet has headed toward;
+	// routes are only compiled for pairs seen more than once. The key
+	// and value are pointer-free, so the GC never scans this set however
+	// large a campaign grows it.
+	seen    map[routeKey]struct{}
+	fastOff bool
+	// realms and devices list every realm and NAT device in creation
+	// order, for route precompilation and state digests.
+	realms  []*Realm
+	devices []*NATDev
 }
 
 // New creates an empty network with a public realm.
@@ -39,13 +57,18 @@ func New() *Network {
 		clock:   NewClock(),
 		global:  routing.NewGlobal(),
 		Metrics: metrics.NewSet(),
+		routes:  make(map[routeKey]*route),
+		seen:    make(map[routeKey]struct{}),
 	}
 	n.cSent = n.Metrics.Counter("pkts_sent")
 	n.cUnreachable = n.Metrics.Counter("pkts_unreachable")
 	n.cNATDropped = n.Metrics.Counter("pkts_nat_dropped")
 	n.cLost = n.Metrics.Counter("pkts_lost")
 	n.cTTLExpired = n.Metrics.Counter("pkts_ttl_expired")
-	n.public = &Realm{name: "public", net: n, attach: make(map[netaddr.Addr]attachment)}
+	n.cDelivered = n.Metrics.Counter("pkts_delivered")
+	n.cNoListener = n.Metrics.Counter("pkts_no_listener")
+	n.public = &Realm{name: "public", net: n, attach: make(map[netaddr.Addr]attachment), lblFabric: "fabric:public"}
+	n.realms = append(n.realms, n.public)
 	return n
 }
 
@@ -59,6 +82,23 @@ func (n *Network) Public() *Realm { return n.public }
 // announces allocations into it; the detection pipelines use it to decide
 // "routed vs unrouted" per §4.2.
 func (n *Network) Global() *routing.Global { return n.global }
+
+// Realms returns every realm in creation order, the public realm first.
+func (n *Network) Realms() []*Realm { return n.realms }
+
+// Devices returns every NAT device in attachment order. Differential and
+// state-digest tests enumerate NAT state through it.
+func (n *Network) Devices() []*NATDev { return n.devices }
+
+// SetFastPath toggles the compiled-path forwarding engine (on by
+// default). With it off every packet takes the reference walk; the
+// differential tests pin the two paths byte-identical. Loss mode
+// (SetLoss) always uses the reference walk regardless, so the per-hop
+// Bernoulli draws consume the loss RNG identically.
+func (n *Network) SetFastPath(on bool) { n.fastOff = !on }
+
+// FastPathEnabled reports whether the compiled-path engine is active.
+func (n *Network) FastPathEnabled() bool { return !n.fastOff }
 
 // SetLoss enables per-hop packet loss with the given probability, drawn
 // from a dedicated seeded stream so enabling loss does not perturb any
@@ -94,6 +134,12 @@ type Realm struct {
 	// hosts lists attached hosts in creation order, for deterministic
 	// enumeration by population drivers (e.g. LAN peer discovery).
 	hosts []*Host
+	// lblFabric is the precomputed fabric trace label ("fabric:<name>"),
+	// built once so trace replay never concatenates on path.
+	lblFabric string
+	// id is the realm's dense creation index, used as the pointer-free
+	// half of route-cache keys.
+	id uint32
 }
 
 // attachment is what an address resolves to inside a realm: a host, or the
@@ -103,12 +149,16 @@ type attachment interface{ isAttachment() }
 // NewRealm creates a child realm (an ISP-internal network or a home LAN).
 // fabricHops is the intra-realm router distance between attachments.
 func (n *Network) NewRealm(name string, fabricHops int) *Realm {
-	return &Realm{
+	r := &Realm{
 		name:       name,
 		net:        n,
 		attach:     make(map[netaddr.Addr]attachment),
 		fabricHops: fabricHops,
+		lblFabric:  "fabric:" + name,
+		id:         uint32(len(n.realms)),
 	}
+	n.realms = append(n.realms, r)
+	return r
 }
 
 // Name returns the realm's label.
@@ -120,7 +170,10 @@ func (r *Realm) Up() *NATDev { return r.up }
 // Hosts returns the hosts attached to this realm, in attachment order.
 func (r *Realm) Hosts() []*Host { return r.hosts }
 
-// register installs an attachment, refusing address collisions.
+// register installs an attachment, refusing address collisions. Every
+// registration is a topology mutation, so it advances the route-cache
+// generation: compiled paths resolved under the old attachment table
+// recompile on next use.
 func (r *Realm) register(a netaddr.Addr, att attachment) {
 	if a.IsUnspecified() {
 		panic(fmt.Sprintf("simnet: realm %s: cannot attach 0.0.0.0", r.name))
@@ -129,6 +182,7 @@ func (r *Realm) register(a netaddr.Addr, att attachment) {
 		panic(fmt.Sprintf("simnet: realm %s: address %v already attached", r.name, a))
 	}
 	r.attach[a] = att
+	r.net.topoGen++
 }
 
 // NATDev is a NAT middlebox connecting an inner realm to an outer realm.
@@ -146,6 +200,14 @@ type NATDev struct {
 	// outerHops is the number of plain router hops between this NAT and
 	// the outer realm's fabric.
 	outerHops int
+	// Precomputed trace labels, so neither hot forwarding nor trace
+	// replay concatenates strings per hop.
+	lblInner, lblOuter, lblNAT, lblHairpin string
+	// inTail caches, per translated destination address, the resolved
+	// attachment in this device's inner realm — the inbound descend
+	// resolution, which varies with the NAT mapping a packet hits.
+	// Entries are validated against the network's topology generation.
+	inTail map[netaddr.Addr]tail
 }
 
 func (d *NATDev) isAttachment() {}
@@ -169,17 +231,25 @@ func (n *Network) AttachNAT(name string, inner, outer *Realm, cfg nat.Config, in
 	}
 	cfg.Name = name
 	d := &NATDev{
-		Name:      name,
-		NAT:       nat.New(cfg),
-		inner:     inner,
-		outer:     outer,
-		innerHops: innerHops,
-		outerHops: outerHops,
+		Name:       name,
+		NAT:        nat.New(cfg),
+		inner:      inner,
+		outer:      outer,
+		innerHops:  innerHops,
+		outerHops:  outerHops,
+		lblInner:   "router:" + name + "-inner",
+		lblOuter:   "router:" + name + "-outer",
+		lblNAT:     "nat:" + name,
+		lblHairpin: "nat:" + name + " (hairpin)",
 	}
 	for _, ip := range cfg.ExternalIPs {
 		outer.register(ip, d)
 	}
 	inner.up = d
+	n.devices = append(n.devices, d)
+	// Setting the upstream changes routing for the whole inner subtree
+	// even when the pool is empty (no register call above).
+	n.topoGen++
 	return d
 }
 
@@ -287,6 +357,15 @@ func (n *Network) TracePath(src *Host, proto netaddr.Proto, srcPort uint16, dst 
 	w := &walker{ttl: DefaultTTL, net: n, trace: &steps, traceOnly: true}
 	if !w.consume(src.extraHops, "router:", src.name, "-access") {
 		return steps, n.dropTTL(w)
+	}
+	// Traces replay the compiled route's op program so the label
+	// sequence is byte-identical to the reference walk.
+	if n.fastOK() {
+		if r := n.routeForTrace(src.realm, dst.Addr); r != nil {
+			res := n.traceWalk(f, r, w, nil)
+			res.Hops = w.hops
+			return steps, res
+		}
 	}
 	res := n.walk(src, f, w, nil)
 	res.Hops = w.hops
