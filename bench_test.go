@@ -401,6 +401,11 @@ func BenchmarkNATTranslateIn(b *testing.B) { perf.NATTranslateIn(b) }
 
 func BenchmarkNATPortChurn(b *testing.B) { perf.NATPortChurn(b) }
 
+// BenchmarkTrafficWeek measures the traffic engine end to end: one
+// iteration is one simulated week of diurnal flow churn through four
+// carrier-NAT realms (see perf.TrafficWeek).
+func BenchmarkTrafficWeek(b *testing.B) { perf.TrafficWeek(b) }
+
 // BenchmarkE17PortLoad measures the port-pressure analysis over the
 // cached campaign's carrier NATs.
 func BenchmarkE17PortLoad(b *testing.B) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsGolden pins the committed EXPERIMENTS.md byte-for-byte
+// to what reportgen produces for (scenario=paper, seed=1). Any change
+// that shifts any experiment's output — a renderer tweak, a generator
+// draw reordered, an analysis threshold moved — fails here until the
+// document is regenerated and the diff reviewed, so experiment drift can
+// never land silently.
+//
+// Regenerate with:
+//
+//	go run ./cmd/reportgen -o EXPERIMENTS.md
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper campaign; skipped in -short mode")
+	}
+	got, _, err := generate("paper", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("EXPERIMENTS.md drifted from reportgen output at line %d:\n  committed: %q\n  generated: %q\n"+
+				"regenerate with `go run ./cmd/reportgen -o EXPERIMENTS.md` and review the diff",
+				i+1, w, g)
+		}
+	}
+	t.Fatal("EXPERIMENTS.md differs from reportgen output (length mismatch only)")
+}

@@ -35,6 +35,15 @@ type ScenarioAgg struct {
 	SaturatedRealms float64
 	Utilization     stats.MeanCI
 	AllocFailRate   stats.MeanCI
+	// Traffic (E18) across replicates, present when the scenario runs
+	// the traffic engine: mean per-subscriber concurrent-port
+	// percentiles and the peak-utilization distribution.
+	TrafficEnabled  bool
+	TrafficMedian   float64
+	TrafficP99      stats.MeanCI
+	TrafficMax      float64
+	TrafficPeak     stats.MeanCI
+	TrafficFailRate stats.MeanCI
 }
 
 // Aggregate folds per-world results into per-scenario distributions.
@@ -53,7 +62,8 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 	for _, name := range order {
 		reps := byScenario[name]
 		agg := ScenarioAgg{Scenario: name, Replicates: len(reps)}
-		var utils, fails []float64
+		var utils, fails, tp99, tpeak, tfail []float64
+		var tmed, tmax float64
 		for _, w := range reps {
 			agg.ASes += float64(w.ASes) / float64(len(reps))
 			agg.TrueCGN += float64(w.TrueCGN) / float64(len(reps))
@@ -61,9 +71,27 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 			agg.SaturatedRealms += float64(w.Ports.Saturated) / float64(len(reps))
 			utils = append(utils, w.Ports.MeanUtilization)
 			fails = append(fails, w.Ports.AllocFailureRate)
+			if w.Traffic.Enabled {
+				agg.TrafficEnabled = true
+				tmed += float64(w.Traffic.MedianPorts)
+				tmax += float64(w.Traffic.MaxPorts)
+				tp99 = append(tp99, float64(w.Traffic.P99Ports))
+				tpeak = append(tpeak, w.Traffic.PeakUtilization)
+				tfail = append(tfail, w.Traffic.FailureRate)
+			}
 		}
 		agg.Utilization = stats.MeanConfidence(utils)
 		agg.AllocFailRate = stats.MeanConfidence(fails)
+		// Traffic means divide by the traffic-enabled replicate count, not
+		// the full grid: a seed whose world loads no CGN realm reports
+		// Enabled=false and must not drag the mean toward zero.
+		if n := len(tp99); n > 0 {
+			agg.TrafficMedian = tmed / float64(n)
+			agg.TrafficMax = tmax / float64(n)
+		}
+		agg.TrafficP99 = stats.MeanConfidence(tp99)
+		agg.TrafficPeak = stats.MeanConfidence(tpeak)
+		agg.TrafficFailRate = stats.MeanConfidence(tfail)
 		for _, method := range Methods {
 			ma := MethodAgg{Method: method}
 			var prec, rec []float64
@@ -107,6 +135,10 @@ func Render(aggs []ScenarioAgg) string {
 		w.Flush()
 		sb.WriteString(fmt.Sprintf("E17 port pressure: %.1f CGN realms (%.1f saturated), peak utilization %s, allocation-failure rate %s\n",
 			agg.CGNRealms, agg.SaturatedRealms, agg.Utilization, agg.AllocFailRate))
+		if agg.TrafficEnabled {
+			sb.WriteString(fmt.Sprintf("E18 traffic: concurrent ports/subscriber median %.1f, p99 %s, max %.1f; peak utilization %s, allocation-failure rate %s\n",
+				agg.TrafficMedian, agg.TrafficP99, agg.TrafficMax, agg.TrafficPeak, agg.TrafficFailRate))
+		}
 	}
 	return sb.String()
 }

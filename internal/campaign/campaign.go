@@ -75,6 +75,10 @@ type WorldResult struct {
 	// Ports is the E17 port-pressure summary over the world's carrier
 	// NATs (utilization and allocation-failure outcomes).
 	Ports report.PortPressure
+	// Traffic is the E18 temporal summary (per-subscriber concurrent
+	// port percentiles and peak utilization under the scenario's
+	// traffic profile); Enabled is false when the scenario has none.
+	Traffic report.TrafficPressure
 	// ASes and TrueCGN describe the world; Elapsed is the campaign wall
 	// time on its worker.
 	ASes    int
@@ -189,6 +193,7 @@ func runWorld(cfg Config, job Job) WorldResult {
 		Scores:   make(map[string]detect.Score, 4),
 		Digest:   hex.EncodeToString(sum[:]),
 		Ports:    b.Load.Pressure(),
+		Traffic:  b.Traffic.Pressure(),
 		ASes:     w.DB.Len(),
 		TrueCGN:  len(truth),
 		Elapsed:  time.Since(start),

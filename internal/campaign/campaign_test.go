@@ -14,9 +14,10 @@ import (
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	// p2p-dense rides along so the compiled-path forwarding engine's
 	// determinism is witnessed under worker-pool parallelism on its most
-	// forwarding-heavy workload.
+	// forwarding-heavy workload; diurnal-week does the same for the
+	// traffic engine (its E18 output is folded into every digest).
 	cfg := Config{
-		Scenarios:  []string{"small", "sparse-cgn", "port-starved", "p2p-dense"},
+		Scenarios:  []string{"small", "sparse-cgn", "port-starved", "p2p-dense", "diurnal-week"},
 		Replicates: 2,
 		BaseSeed:   3,
 	}

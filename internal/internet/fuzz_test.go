@@ -1,0 +1,98 @@
+package internet
+
+import (
+	"testing"
+	"time"
+
+	"cgn/internal/asdb"
+	"cgn/internal/traffic"
+)
+
+// FuzzScenarioValidate fuzzes the scenario surface the CLIs and sweep
+// generators expose: population counts, vantage spans, port-provisioning
+// knobs and the traffic profile. The contract under test is two-sided —
+// Validate must reject nonsense (negative spans, fractions outside
+// [0,1], inverted pools), and any scenario Validate accepts must Build
+// without panicking (and, when its traffic profile is enabled, drive the
+// traffic engine without panicking). The seed corpus is every registry
+// scenario, so the fuzzer starts from each shape the repository ships.
+func FuzzScenarioValidate(f *testing.F) {
+	add := func(sc Scenario) {
+		f.Add(
+			sc.Regions[asdb.ARIN].Eyeball, sc.Regions[asdb.ARIN].Cellular,
+			sc.BTPeers.Min, sc.BTPeers.Max,
+			sc.NLSessions.Min, sc.NLSessions.Max,
+			sc.LowVantageFrac, sc.BareFrac,
+			sc.HairpinPreserveFrac, sc.HairpinTranslateFrac, sc.ChunkASFrac,
+			sc.CGNPortSpan, sc.CGNPortQuota,
+			sc.CGNPoolSize.Min, sc.CGNPoolSize.Max, int64(sc.CGNUDPTimeout),
+			sc.Traffic.Ticks, sc.Traffic.DayTicks, int64(sc.Traffic.TickStep),
+			sc.Traffic.DiurnalAmp, sc.Traffic.HeavyFrac, sc.Traffic.LightFrac,
+		)
+	}
+	for _, name := range Names() {
+		sc, err := Lookup(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		add(sc)
+	}
+
+	f.Fuzz(func(t *testing.T,
+		eyeball, cellular, btMin, btMax, nlMin, nlMax int,
+		lowVantage, bareFrac, hairpinP, hairpinT, chunkFrac float64,
+		portSpan, portQuota, poolMin, poolMax int, udpTimeout int64,
+		tticks, tday int, tstep int64, tamp, theavy, tlight float64) {
+
+		sc := Small()
+		// One fuzzed region; zero-count regions are valid and must build
+		// into an (empty) world without panicking.
+		sc.Regions = map[asdb.RIR]RegionMix{asdb.ARIN: {Eyeball: eyeball, Cellular: cellular}}
+		sc.Transit, sc.Content, sc.VPNPairs = 1, 1, 1
+		sc.BTPeers = Span{btMin, btMax}
+		sc.NLSessions = Span{nlMin, nlMax}
+		sc.LowVantageFrac = lowVantage
+		sc.BareFrac = bareFrac
+		sc.HairpinPreserveFrac = hairpinP
+		sc.HairpinTranslateFrac = hairpinT
+		sc.ChunkASFrac = chunkFrac
+		sc.CGNPortSpan = portSpan
+		sc.CGNPortQuota = portQuota
+		sc.CGNPoolSize = Span{poolMin, poolMax}
+		sc.CGNUDPTimeout = time.Duration(udpTimeout)
+		sc.Traffic = traffic.Profile{
+			Ticks: tticks, DayTicks: tday, TickStep: time.Duration(tstep),
+			DiurnalAmp: tamp, HeavyFrac: theavy, LightFrac: tlight,
+		}
+
+		if err := sc.Validate(); err != nil {
+			return // rejected: the contract is satisfied
+		}
+		// Validate accepted: Build must not panic. Bound the world size so
+		// the fuzzer spends its budget on shapes, not on giant campaigns.
+		if eyeball > 4 || cellular > 4 || btMax > 48 || nlMax > 32 {
+			t.Skip("valid but too large for a fuzz iteration")
+		}
+		w := Build(sc)
+		if w == nil {
+			t.Fatal("Build returned nil for a validated scenario")
+		}
+		// An enabled traffic profile must drive the engine without
+		// panicking; clamp the simulated span, not the shape.
+		if p := sc.Traffic; p.Enabled() {
+			if p.Ticks > 6 {
+				p.Ticks = 6
+			}
+			realms := make([]traffic.RealmSpec, 0, 2)
+			for _, d := range w.CGNs {
+				if len(realms) == 2 {
+					break
+				}
+				realms = append(realms, traffic.RealmSpec{
+					ID: "fuzz", NAT: d.Dev.NAT.Config(), Subscribers: 4,
+				})
+			}
+			traffic.Run(traffic.Config{Seed: 1, Profile: p, Realms: realms})
+		}
+	})
+}

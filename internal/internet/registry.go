@@ -6,21 +6,24 @@ import (
 	"time"
 
 	"cgn/internal/asdb"
+	"cgn/internal/traffic"
 )
 
 // builders maps scenario names to their constructors. Registered at init
 // and read-only afterwards, so concurrent Lookup calls are safe.
 var builders = map[string]func() Scenario{
-	"paper":            Paper,
-	"small":            Small,
-	"large":            Large,
-	"cellular-heavy":   CellularHeavy,
-	"nat444-dense":     NAT444Dense,
-	"sparse-cgn":       SparseCGN,
-	"port-starved":     PortStarved,
-	"mobile-churn":     MobileChurn,
-	"enterprise-block": EnterpriseBlock,
-	"p2p-dense":        P2PDense,
+	"paper":             Paper,
+	"small":             Small,
+	"large":             Large,
+	"cellular-heavy":    CellularHeavy,
+	"nat444-dense":      NAT444Dense,
+	"sparse-cgn":        SparseCGN,
+	"port-starved":      PortStarved,
+	"mobile-churn":      MobileChurn,
+	"enterprise-block":  EnterpriseBlock,
+	"p2p-dense":         P2PDense,
+	"diurnal-week":      DiurnalWeek,
+	"mobile-churn-week": MobileChurnWeek,
 }
 
 // Lookup resolves a scenario by registry name.
@@ -191,6 +194,54 @@ func P2PDense() Scenario {
 	return sc
 }
 
+// DiurnalWeek returns an eyeball-CGN world driven through a simulated
+// week of subscriber traffic: seven diurnal periods of flow churn with a
+// pronounced day/night swing and a heavy-hitter tail. It is the E18
+// reference scenario — per-subscriber concurrent port usage sampled over
+// time reproduces Figure 8's shape (max ≫ 99th percentile ≫ median) —
+// and, because the traffic engine's output is folded into every report
+// digest, the cross-worker determinism witness for the engine itself.
+func DiurnalWeek() Scenario {
+	sc := Small()
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.6
+	}
+	sc.BTPeers = Span{24, 40}
+	sc.Traffic = traffic.Profile{
+		Ticks:         7 * 288,
+		DayTicks:      288,
+		DiurnalAmp:    0.7,
+		HeavyFrac:     0.06,
+		LightFrac:     0.50,
+		FlowsPerTick:  0.8,
+		HeavyMult:     12,
+		FlowHoldTicks: 4,
+	}
+	return sc
+}
+
+// MobileChurnWeek is the churn variant of mobile-churn: the same
+// aggressively short carrier timeouts, tiny pools and tight quotas, now
+// driven through a simulated week of diurnal traffic. With a 15 s idle
+// timeout under a 30 s tick every unrefreshed mapping dies between
+// ticks, so the expiry heap and the port recycler run at full churn while
+// heavy hitters slam into the per-subscriber quota — the regime
+// "Tracking the Big NAT" measures on real carriers.
+func MobileChurnWeek() Scenario {
+	sc := MobileChurn()
+	sc.Traffic = traffic.Profile{
+		Ticks:         7 * 288,
+		DayTicks:      288,
+		DiurnalAmp:    0.5,
+		HeavyFrac:     0.08,
+		LightFrac:     0.40,
+		FlowsPerTick:  0.8,
+		HeavyMult:     10,
+		FlowHoldTicks: 3,
+	}
+	return sc
+}
+
 // frac01 names one [0,1] fraction field for validation.
 type frac01 struct {
 	name string
@@ -280,6 +331,9 @@ func (sc Scenario) Validate() error {
 	if ps := sc.CGNPoolSize; ps != (Span{}) && (ps.Min < 1 || ps.Max < ps.Min) {
 		return fmt.Errorf("internet: CGNPoolSize = [%d,%d], want a positive ordered span",
 			ps.Min, ps.Max)
+	}
+	if err := sc.Traffic.Validate(); err != nil {
+		return fmt.Errorf("internet: Traffic profile: %w", err)
 	}
 	return nil
 }

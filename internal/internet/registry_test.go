@@ -32,7 +32,8 @@ func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
 	for _, want := range []string{
 		"paper", "small", "large", "cellular-heavy", "nat444-dense", "sparse-cgn",
-		"port-starved", "mobile-churn", "enterprise-block",
+		"port-starved", "mobile-churn", "enterprise-block", "p2p-dense",
+		"diurnal-week", "mobile-churn-week",
 	} {
 		found := false
 		for _, n := range names {
@@ -89,6 +90,13 @@ func TestValidateRejections(t *testing.T) {
 		{"zero-min pool", func(sc *Scenario) {
 			sc.CGNPoolSize = Span{Min: 0, Max: 3}
 		}, "CGNPoolSize"},
+		{"negative traffic ticks", func(sc *Scenario) {
+			sc.Traffic.Ticks = -1
+		}, "Traffic profile"},
+		{"traffic amp above one", func(sc *Scenario) {
+			sc.Traffic.Ticks = 10
+			sc.Traffic.DiurnalAmp = 2
+		}, "DiurnalAmp"},
 	}
 	for _, c := range cases {
 		sc := Small()

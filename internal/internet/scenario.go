@@ -12,6 +12,7 @@ import (
 
 	"cgn/internal/asdb"
 	"cgn/internal/nat"
+	"cgn/internal/traffic"
 )
 
 // RegionMix sets one region's AS counts.
@@ -128,6 +129,12 @@ type Scenario struct {
 	// configurations ("Tracking the Big NAT" reports timeouts down to
 	// tens of seconds on mobile carriers) that maximize mapping churn.
 	CGNUDPTimeout time.Duration
+
+	// Traffic parameterizes the time-driven subscriber load engine
+	// behind the E18 temporal analysis (§6.2 Figure 8): diurnal flow
+	// arrivals, heavy-hitter mix, tick count. The zero profile disables
+	// the engine; see traffic.Profile for the knobs and their defaults.
+	Traffic traffic.Profile
 }
 
 // ApplyPortOverrides narrows the scenario's CGN port provisioning: a
@@ -193,6 +200,16 @@ func Paper() Scenario {
 		ChunkASFrac:          0.10,
 		VPNPairs:             3,
 		NonValidatingFrac:    0.013,
+		// One diurnal period of subscriber traffic so the temporal E18
+		// analysis has signal on every default campaign; the week-long
+		// runs live in the diurnal-week / mobile-churn-week scenarios.
+		Traffic: traffic.Profile{
+			Ticks:      288,
+			DayTicks:   288,
+			DiurnalAmp: 0.5,
+			HeavyFrac:  0.05,
+			LightFrac:  0.45,
+		},
 	}
 }
 

@@ -788,6 +788,24 @@ func (n *NAT) PortStats() PortStats {
 	}
 }
 
+// Sessions returns the live mapping count — equivalently, the external
+// ports currently held — for internal IP a, including mappings idle past
+// their deadline that no Sweep or translation has dropped yet. The
+// traffic engine samples it per subscriber per tick for the E18
+// concurrent-port-usage analysis.
+func (n *NAT) Sessions(a netaddr.Addr) int { return n.sessions[a] }
+
+// ForEachMapping calls fn for every mapping currently in the table, in
+// unspecified order. Callers that need determinism must sort what they
+// collect; fn must not mutate the NAT. The traffic engine's property
+// tests use it as the naive reference model: recounting the table from
+// scratch and diffing against the engine's incremental counters.
+func (n *NAT) ForEachMapping(fn func(m *Mapping)) {
+	for _, m := range n.byExt {
+		fn(m)
+	}
+}
+
 // LookupByExternal returns the live mapping behind an external endpoint.
 func (n *NAT) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.Time) (*Mapping, bool) {
 	m := n.byExt[extKey{p, ext}]

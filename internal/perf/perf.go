@@ -20,6 +20,7 @@ import (
 	"cgn/internal/routing"
 	"cgn/internal/simnet"
 	"cgn/internal/stun"
+	"cgn/internal/traffic"
 )
 
 // Bench names one registered hot-path benchmark.
@@ -37,6 +38,7 @@ func All() []Bench {
 		{"NATTranslateOut", NATTranslateOut},
 		{"NATTranslateIn", NATTranslateIn},
 		{"NATPortChurn", NATPortChurn},
+		{"TrafficWeek", TrafficWeek},
 		{"BencodeDecode", BencodeDecode},
 		{"KRPCParseFindNodeResponse", KRPCParseFindNodeResponse},
 		{"STUNParse", STUNParse},
@@ -214,6 +216,52 @@ func NATPortChurn(b *testing.B) {
 		now = now.Add(time.Millisecond)
 		if i&1023 == 1023 {
 			n.Sweep(now)
+		}
+	}
+}
+
+// TrafficWeek measures the traffic engine driving one simulated week of
+// diurnal subscriber flow churn — arrivals, per-tick refreshes, expiry
+// sweeps and per-subscriber sampling — through four carrier-NAT realms
+// of 64 subscribers each. One iteration is one full week, so ns/op is
+// the engine's whole-run cost at diurnal-week scale.
+func TrafficWeek(b *testing.B) {
+	realms := make([]traffic.RealmSpec, 4)
+	for i := range realms {
+		realms[i] = traffic.RealmSpec{
+			ID:       "bench",
+			Cellular: i%2 == 1,
+			NAT: nat.Config{
+				Type:        nat.Symmetric,
+				PortAlloc:   nat.Random,
+				Pooling:     nat.Paired,
+				ExternalIPs: []netaddr.Addr{netaddr.MustParseAddr("198.51.100.1") + netaddr.Addr(i)},
+				UDPTimeout:  65 * time.Second,
+				Seed:        int64(i + 1),
+			},
+			Subscribers: 64,
+		}
+	}
+	cfg := traffic.Config{
+		Seed: 7,
+		Profile: traffic.Profile{
+			Ticks:         7 * 288,
+			DayTicks:      288,
+			DiurnalAmp:    0.7,
+			HeavyFrac:     0.06,
+			LightFrac:     0.50,
+			FlowsPerTick:  0.8,
+			HeavyMult:     12,
+			FlowHoldTicks: 4,
+		},
+		Realms: realms,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := traffic.Run(cfg)
+		if res.All.Max == 0 {
+			b.Fatal("traffic run produced no load")
 		}
 	}
 }

@@ -39,6 +39,9 @@ type Bundle struct {
 
 	// Load is the E17 port-pressure snapshot of every carrier NAT.
 	Load *PortLoad
+	// Traffic is the E18 temporal port-usage analysis: the traffic
+	// engine's run over replicas of every carrier NAT.
+	Traffic *TrafficLoad
 }
 
 // Collect runs the full measurement campaign and all analyses. The
@@ -115,6 +118,7 @@ func collect(w *internet.World, parallel bool) *Bundle {
 		func() { b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions) },
 		func() { b.STUN = props.AnalyzeSTUN(filtered, cgn) },
 		func() { b.Load = AnalyzePortLoad(w) },
+		func() { b.Traffic = AnalyzeTraffic(w) },
 	)
 	return b
 }

@@ -26,7 +26,7 @@ func TestAllRendersEveryExperiment(t *testing.T) {
 		"E05 / Figure 4", "E06 / Table 4", "E07 / Figure 5", "E08 / Table 5",
 		"E09 / Figure 6", "E10 / Figure 7", "E11 / Figure 8", "E12 / Figure 9",
 		"E13 / Table 7", "E14 / Figure 11", "E15 / Figure 12", "E16 / Figure 13",
-		"E17 / beyond the paper", "Ground truth scoring",
+		"E17 / beyond the paper", "E18 / Figure 8", "Ground truth scoring",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("All() output missing %q", want)
@@ -83,7 +83,7 @@ func TestRenderersNonEmpty(t *testing.T) {
 	for name, fn := range map[string]func() string{
 		"E03": b.E03, "E04": b.E04, "E05": b.E05, "E06": b.E06, "E07": b.E07,
 		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12, "E13": b.E13,
-		"E14": b.E14, "E15": b.E15, "E16": b.E16, "E17": b.E17,
+		"E14": b.E14, "E15": b.E15, "E16": b.E16, "E17": b.E17, "E18": b.E18,
 	} {
 		if out := fn(); len(out) < 20 {
 			t.Errorf("%s output suspiciously short: %q", name, out)
@@ -121,6 +121,43 @@ func TestE17PortPressure(t *testing.T) {
 	out := starved.E17()
 	if !strings.Contains(out, "worst: AS") {
 		t.Errorf("E17 missing saturated-realm rows:\n%s", out)
+	}
+}
+
+// TestE18TrafficShape checks the temporal analysis end to end on the
+// diurnal-week scenario: the engine must run over the world's realms,
+// and the per-subscriber concurrent-port distribution must reproduce
+// Figure 8's ordering (max ≫ p99 ≫ median).
+func TestE18TrafficShape(t *testing.T) {
+	sc, err := internet.Lookup("diurnal-week")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 1
+	b := Collect(internet.Build(sc))
+	r := b.Traffic.Res
+	if !r.Enabled() {
+		t.Fatal("diurnal-week did not run the traffic engine")
+	}
+	if r.All.Max <= r.All.P99 || r.All.P99 <= r.All.Median || r.All.Median == 0 {
+		t.Fatalf("Figure 8 ordering violated: max=%d p99=%d median=%d",
+			r.All.Max, r.All.P99, r.All.Median)
+	}
+	tp := b.Traffic.Pressure()
+	if !tp.Enabled || tp.MaxPorts != r.All.Max {
+		t.Errorf("Pressure() summary inconsistent: %+v vs %+v", tp, r.All)
+	}
+	out := b.E18()
+	for _, want := range []string{"ordering: max=", "day 7", "busiest: AS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E18 missing %q:\n%s", want, out)
+		}
+	}
+
+	// The default Small bundle runs one diurnal period and must carry a
+	// nonzero E18 too (the scenario enables the engine by default).
+	if !bundle(t).Traffic.Res.Enabled() {
+		t.Error("Small scenario's default traffic profile did not run")
 	}
 }
 

@@ -1,0 +1,121 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+)
+
+// TestEngineInvariantsRandomized is the property test for the traffic
+// engine: randomized profiles and NAT configurations are driven through
+// the engine while an observer recounts the NAT's state from scratch —
+// the naive reference model, a full-table walk — and diffs it against
+// the engine's incremental counters at every tick. The invariants:
+//
+//  1. Free-port conservation: every live mapping holds exactly one
+//     external port, so the port space's in-use counter equals the
+//     mapping-table size, and the peak never exceeds capacity.
+//  2. No mapping survives past LastActive+timeout: after the tick's
+//     Sweep, every mapping's deadline is still in the future.
+//  3. The per-subscriber quota is never exceeded mid-run, and the
+//     incremental per-subscriber session counters match a recount.
+func TestEngineInvariantsRandomized(t *testing.T) {
+	metaRng := rand.New(rand.NewSource(0xC61))
+	allocs := []nat.PortAlloc{nat.Preservation, nat.Sequential, nat.Random, nat.RandomChunk}
+	types := []nat.MappingType{nat.Symmetric, nat.PortRestricted, nat.AddressRestricted, nat.FullCone}
+
+	for trial := 0; trial < 12; trial++ {
+		profile := Profile{
+			Ticks:         24 + metaRng.Intn(40),
+			DayTicks:      16 + metaRng.Intn(32),
+			TickStep:      time.Duration(10+metaRng.Intn(50)) * time.Second,
+			DiurnalAmp:    metaRng.Float64(),
+			HeavyFrac:     0.1 * metaRng.Float64(),
+			LightFrac:     0.5 * metaRng.Float64(),
+			FlowsPerTick:  0.2 + metaRng.Float64(),
+			HeavyMult:     1 + 12*metaRng.Float64(),
+			FlowHoldTicks: 1 + metaRng.Intn(5),
+		}
+		if err := profile.Validate(); err != nil {
+			t.Fatalf("trial %d: generated profile invalid: %v", trial, err)
+		}
+		quota := 0
+		if metaRng.Intn(2) == 0 {
+			quota = 4 + metaRng.Intn(12)
+		}
+		cfg := nat.Config{
+			Type:                   types[metaRng.Intn(len(types))],
+			PortAlloc:              allocs[metaRng.Intn(len(allocs))],
+			ChunkSize:              512,
+			Pooling:                nat.Paired,
+			ExternalIPs:            []netaddr.Addr{netaddr.MustParseAddr("198.51.100.7")},
+			UDPTimeout:             time.Duration(15+metaRng.Intn(90)) * time.Second,
+			PortQuotaPerSubscriber: quota,
+			PortLo:                 1024,
+			PortHi:                 uint16(2047 + metaRng.Intn(8192)),
+			Seed:                   metaRng.Int63(),
+		}
+		spec := RealmSpec{ID: "prop", NAT: cfg, Subscribers: 8 + metaRng.Intn(24)}
+
+		checked := 0
+		observer := func(realm RealmSpec, tick int, now time.Time, n *nat.NAT) {
+			checked++
+			// Naive reference model: recount everything from a full
+			// mapping-table walk.
+			perSub := map[netaddr.Addr]int{}
+			total := 0
+			timeout := n.Config().UDPTimeout
+			n.ForEachMapping(func(m *nat.Mapping) {
+				total++
+				perSub[m.Int.Addr]++
+				if deadline := m.LastActive.Add(timeout); now.After(deadline) {
+					t.Fatalf("trial %d tick %d: mapping %v->%v survived past LastActive+timeout (deadline %v, now %v)",
+						trial, tick, m.Int, m.Ext, deadline, now)
+				}
+			})
+
+			st := n.PortStats()
+			if total != n.NumMappings() {
+				t.Fatalf("trial %d tick %d: table walk found %d mappings, NumMappings says %d",
+					trial, tick, total, n.NumMappings())
+			}
+			if st.InUse != total {
+				t.Fatalf("trial %d tick %d: port space holds %d ports but table holds %d mappings (free-port conservation)",
+					trial, tick, st.InUse, total)
+			}
+			if st.Peak > st.Capacity {
+				t.Fatalf("trial %d tick %d: peak %d exceeds capacity %d", trial, tick, st.Peak, st.Capacity)
+			}
+
+			recount := 0
+			for addr, want := range perSub {
+				recount += want
+				if got := n.Sessions(addr); got != want {
+					t.Fatalf("trial %d tick %d: Sessions(%v) = %d, recount says %d",
+						trial, tick, addr, got, want)
+				}
+				if q := realm.NAT.PortQuotaPerSubscriber; q > 0 && want > q {
+					t.Fatalf("trial %d tick %d: subscriber %v holds %d ports, quota %d",
+						trial, tick, addr, want, q)
+				}
+			}
+			if recount != total {
+				t.Fatalf("trial %d tick %d: per-subscriber recount %d != total %d", trial, tick, recount, total)
+			}
+		}
+
+		res := Run(Config{Seed: metaRng.Int63(), Profile: profile, Realms: []RealmSpec{spec}, Observer: observer})
+		if checked != profile.Ticks {
+			t.Fatalf("trial %d: observer ran %d times, want %d", trial, checked, profile.Ticks)
+		}
+		if res.Created == 0 {
+			t.Fatalf("trial %d: run created no mappings", trial)
+		}
+		if quota > 0 && res.All.Max > quota {
+			t.Fatalf("trial %d: sampled concurrent ports %d exceed quota %d", trial, res.All.Max, quota)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+)
+
+// Class is a subscriber's flow-rate class. The §6.2 distribution is
+// heavy-tailed: most subscribers hold a handful of concurrent ports
+// while a small heavy-hitter population drives the peaks far above the
+// median (Figure 8).
+type Class uint8
+
+// Subscriber rate classes.
+const (
+	Light Class = iota
+	Median
+	Heavy
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Light:
+		return "light"
+	case Median:
+		return "median"
+	case Heavy:
+		return "heavy"
+	default:
+		return "class?"
+	}
+}
+
+// RealmSpec describes one CGN realm the engine should load: the NAT
+// configuration to replay (a fresh NAT is built from it, so the engine
+// never mutates campaign state) and the subscriber population behind it.
+type RealmSpec struct {
+	// ID labels the realm in results (e.g. "AS64512/0").
+	ID       string
+	Cellular bool
+	// NAT is the realm's carrier NAT configuration. Config.Seed makes
+	// the replica's random choices match the deployed device's.
+	NAT nat.Config
+	// Subscribers is the internal population size.
+	Subscribers int
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Seed drives every random draw (subscriber classes, arrivals, flow
+	// lifetimes, source ports). Realm index is mixed in so realms stay
+	// independent of their order-neighbors' draw counts.
+	Seed    int64
+	Profile Profile
+	Realms  []RealmSpec
+	// Observer, when set, is called after every realm tick with the
+	// realm's NAT. Test hooks only — observers must treat the NAT as
+	// read-only.
+	Observer func(realm RealmSpec, tick int, now time.Time, n *nat.NAT)
+}
+
+// ClassStat summarizes the per-subscriber concurrent-port distribution
+// of one rate class over every (subscriber, tick) sample.
+type ClassStat struct {
+	Class       Class
+	Subscribers int
+	Samples     uint64
+	// Median, P99 and Max are concurrent external ports held by one
+	// subscriber at one sampling instant.
+	Median, P99, Max int
+}
+
+// RealmStat is one realm's outcome over the run.
+type RealmStat struct {
+	ID          string
+	Cellular    bool
+	Subscribers int
+	// PeakUtil is the realm's highest instantaneous port-space
+	// utilization: ports in use over the UDP share of the capacity (the
+	// engine generates UDP flows only).
+	PeakUtil float64
+	// Created / Expired count mappings over the run; Failures are
+	// allocation failures (port-space plus quota exhaustion).
+	Created, Expired, Failures uint64
+}
+
+// Result is the aggregate outcome of one engine run — the E18 dataset.
+type Result struct {
+	// Profile echoes the run's profile with defaults applied.
+	Profile Profile
+	// Realms lists per-realm outcomes in input order (realms without
+	// subscribers are skipped).
+	Realms []RealmStat
+	// Subscribers is the total driven population.
+	Subscribers int
+	// ByClass and All summarize per-subscriber concurrent port usage
+	// over every (subscriber, tick) sample.
+	ByClass [3]ClassStat
+	All     ClassStat
+	// MeanUtil[t] is the mean instantaneous port-space utilization
+	// across realms at tick t; PeakTick is the argmax.
+	MeanUtil []float64
+	PeakUtil float64
+	PeakTick int
+	// Flow accounting over all realms.
+	Created, Expired, Refreshes, Failures uint64
+}
+
+// Enabled reports whether the run simulated any time.
+func (r *Result) Enabled() bool { return r.Profile.Enabled() && len(r.Realms) > 0 }
+
+// flow is one live subscriber flow; while ticksLeft > 0 it refreshes its
+// mapping every tick.
+type flow struct {
+	f         netaddr.Flow
+	ticksLeft int
+}
+
+// subscriber is one internal endpoint population member.
+type subscriber struct {
+	addr  netaddr.Addr
+	class Class
+	rate  float64
+	flows []flow
+}
+
+// hist is an exact integer histogram of concurrent-port samples; counts
+// are small (bounded by quota or port space), so percentiles come from a
+// dense array walk.
+type hist struct {
+	counts []uint64
+	n      uint64
+}
+
+func (h *hist) add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		grown := make([]uint64, v+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[v]++
+	h.n++
+}
+
+// quantile returns the smallest value whose cumulative count reaches
+// rank ceil(q*n); 0 on an empty histogram.
+func (h *hist) quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+func (h *hist) max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// diurnalFactor modulates arrival rates over the day: trough (1-Amp) at
+// tick 0 of each period, peak (1+Amp) mid-period.
+func diurnalFactor(p Profile, tick int) float64 {
+	if p.DiurnalAmp == 0 || p.DayTicks == 0 {
+		return 1
+	}
+	frac := float64(tick%p.DayTicks) / float64(p.DayTicks)
+	f := 1 + p.DiurnalAmp*math.Sin(2*math.Pi*frac-math.Pi/2)
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// poisson draws a Poisson variate by Knuth's method; arrival rates are
+// small (a few flows per tick even for heavy hitters at peak), so the
+// loop stays short.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k >= 1024 { // unreachable at sane rates; bounds a corrupt profile
+			return k
+		}
+	}
+}
+
+// classRate is the per-class multiplier on the median arrival rate.
+func classRate(p Profile, c Class) float64 {
+	switch c {
+	case Light:
+		return 0.2
+	case Heavy:
+		return p.HeavyMult
+	default:
+		return 1
+	}
+}
+
+// Run executes the engine: every realm in input order, every tick in
+// virtual time, deterministically. The virtual clock starts at the Unix
+// epoch like the simnet clock; wall time is never read.
+func Run(cfg Config) *Result {
+	p := cfg.Profile.WithDefaults()
+	res := &Result{Profile: p}
+	if !p.Enabled() {
+		return res
+	}
+	res.MeanUtil = make([]float64, p.Ticks)
+	var classHists [3]hist
+	var allHist hist
+
+	loaded := 0
+	for i, spec := range cfg.Realms {
+		if spec.Subscribers <= 0 {
+			continue
+		}
+		loaded++
+		// Mix the realm index into the seed with a 64-bit odd constant
+		// so realms draw independent streams whatever their order.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i+1)*-0x61c8864680b583eb))
+		st := runRealm(cfg, p, spec, i, rng, &classHists, &allHist, res)
+		res.Realms = append(res.Realms, st)
+		res.Subscribers += spec.Subscribers
+		res.Created += st.Created
+		res.Expired += st.Expired
+		res.Failures += st.Failures
+	}
+	if loaded == 0 {
+		res.MeanUtil = nil
+		return res
+	}
+	for t := range res.MeanUtil {
+		res.MeanUtil[t] /= float64(loaded)
+		if res.MeanUtil[t] > res.PeakUtil {
+			res.PeakUtil = res.MeanUtil[t]
+			res.PeakTick = t
+		}
+	}
+	for c := Class(0); c < numClasses; c++ {
+		h := &classHists[c]
+		res.ByClass[c].Class = c
+		res.ByClass[c].Samples = h.n
+		res.ByClass[c].Median = h.quantile(0.5)
+		res.ByClass[c].P99 = h.quantile(0.99)
+		res.ByClass[c].Max = h.max()
+	}
+	res.All = ClassStat{
+		Samples: allHist.n,
+		Median:  allHist.quantile(0.5),
+		P99:     allHist.quantile(0.99),
+		Max:     allHist.max(),
+	}
+	res.All.Subscribers = res.Subscribers
+	return res
+}
+
+// runRealm drives one realm through every tick against a fresh NAT
+// replica built from the realm's configuration.
+func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int, rng *rand.Rand,
+	classHists *[3]hist, allHist *hist, res *Result) RealmStat {
+
+	n := nat.New(spec.NAT)
+	st := RealmStat{ID: spec.ID, Cellular: spec.Cellular, Subscribers: spec.Subscribers}
+
+	// Subscriber internal addresses are synthetic (they never leave the
+	// engine): a dense 10.64/16-style block works for every allocator,
+	// including RandomChunk's per-subscriber chunk table.
+	base := netaddr.MustParseAddr("10.64.0.1")
+	subs := make([]subscriber, spec.Subscribers)
+	for j := range subs {
+		class := Median
+		switch x := rng.Float64(); {
+		case x < p.HeavyFrac:
+			class = Heavy
+		case x < p.HeavyFrac+p.LightFrac:
+			class = Light
+		}
+		subs[j] = subscriber{
+			addr:  base + netaddr.Addr(j),
+			class: class,
+			rate:  p.FlowsPerTick * classRate(p, class),
+		}
+		res.ByClass[class].Subscribers++
+	}
+
+	epoch := time.Unix(0, 0)
+	var dstSeq uint32
+	for t := 0; t < p.Ticks; t++ {
+		now := epoch.Add(time.Duration(t) * p.TickStep)
+		n.Sweep(now)
+		df := diurnalFactor(p, t)
+
+		for j := range subs {
+			sub := &subs[j]
+			// Refresh live flows; a refresh that fails to re-allocate
+			// (the mapping idled out and the port space or quota is now
+			// exhausted) kills the flow.
+			keep := sub.flows[:0]
+			for _, fl := range sub.flows {
+				_, v := n.TranslateOut(fl.f, now)
+				if v == nat.Ok {
+					res.Refreshes++
+				}
+				fl.ticksLeft--
+				if fl.ticksLeft > 0 && v == nat.Ok {
+					keep = append(keep, fl)
+				}
+			}
+			sub.flows = keep
+
+			// New flow arrivals under the diurnal curve. Each flow gets
+			// a fresh source port (distinct mappings on cone NATs) and a
+			// fresh destination (distinct mappings on symmetric NATs).
+			for k := poisson(rng, sub.rate*df); k > 0; k-- {
+				dstSeq++
+				f := netaddr.FlowOf(netaddr.UDP,
+					netaddr.EndpointOf(sub.addr, uint16(1024+rng.Intn(64512))),
+					netaddr.EndpointOf(netaddr.MustParseAddr("8.0.0.0")+netaddr.Addr(dstSeq), 443))
+				hold := 1 + rng.Intn(2*p.FlowHoldTicks-1)
+				if _, v := n.TranslateOut(f, now); v == nat.Ok {
+					sub.flows = append(sub.flows, flow{f: f, ticksLeft: hold})
+				}
+			}
+		}
+
+		// Sample: per-subscriber concurrent ports (live mappings, i.e.
+		// held external ports) and the realm's instantaneous port-space
+		// utilization.
+		for j := range subs {
+			c := n.Sessions(subs[j].addr)
+			classHists[subs[j].class].add(c)
+			allHist.add(c)
+		}
+		// The engine generates UDP flows only, so utilization divides by
+		// the UDP share of the capacity (PortStats counts UDP and TCP
+		// segments); against the full dual-protocol capacity a fully
+		// exhausted realm would misreport as 50%.
+		ps := n.PortStats()
+		if udpCapacity := ps.Capacity / 2; udpCapacity > 0 {
+			u := float64(ps.InUse) / float64(udpCapacity)
+			res.MeanUtil[t] += u
+			if u > st.PeakUtil {
+				st.PeakUtil = u
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(spec, t, now, n)
+		}
+	}
+
+	final := n.PortStats()
+	st.Created = final.Allocs
+	st.Failures = final.Failures()
+	st.Expired = n.Metrics.Counter("mappings_expired").Value()
+	return st
+}
