@@ -403,8 +403,13 @@ func BenchmarkNATPortChurn(b *testing.B) { perf.NATPortChurn(b) }
 
 // BenchmarkTrafficWeek measures the traffic engine end to end: one
 // iteration is one simulated week of diurnal flow churn through four
-// carrier-NAT realms (see perf.TrafficWeek).
+// carrier-NAT realms on a four-worker realm pool (see perf.TrafficWeek).
 func BenchmarkTrafficWeek(b *testing.B) { perf.TrafficWeek(b) }
+
+// BenchmarkTrafficMetro measures the engine at ISP scale: one iteration
+// drives a million-subscriber metro (16 realms × 65,536 subscribers)
+// through one simulated day, realm-parallel (see perf.TrafficMetro).
+func BenchmarkTrafficMetro(b *testing.B) { perf.TrafficMetro(b) }
 
 // BenchmarkE17PortLoad measures the port-pressure analysis over the
 // cached campaign's carrier NATs.

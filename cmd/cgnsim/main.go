@@ -36,6 +36,7 @@ func main() {
 	truth := flag.Bool("truth", false, "also dump per-AS ground truth")
 	portSpan := flag.Int("portspan", 0, "narrow every CGN realm to this many external ports (0 keeps the scenario's setting)")
 	portQuota := flag.Int("portquota", 0, "per-subscriber CGN port quota (0 keeps the scenario's setting)")
+	trafficWorkers := flag.Int("traffic-workers", 0, "traffic-engine (E18) realm worker pool; 0 or 1 replays realms sequentially (results are byte-identical at any value)")
 	sweep := flag.Bool("sweep", false, "run a multi-world sweep instead of a single campaign")
 	scenarios := flag.String("scenarios", "small", "sweep mode: comma-separated scenario names")
 	replicates := flag.Int("replicates", 8, "sweep mode: replicate worlds (seeds) per scenario")
@@ -77,7 +78,7 @@ func main() {
 	}
 
 	if *sweep {
-		code := runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *verbose)
+		code := runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *trafficWorkers, *verbose)
 		stopProfiles()
 		os.Exit(code)
 	}
@@ -101,7 +102,7 @@ func main() {
 	fmt.Printf("world: %d ASes, %d BitTorrent peers, %d Netalyzr vantage points, %d true CGN ASes\n\n",
 		w.DB.Len(), len(w.Swarm.Peers), w.NumClients(), len(w.CGNTruth()))
 
-	b := report.Collect(w)
+	b := report.CollectWith(w, report.CollectOptions{TrafficWorkers: *trafficWorkers})
 	if *experiment == "" {
 		fmt.Println(b.All())
 	} else {
@@ -126,14 +127,15 @@ func main() {
 }
 
 // runSweep drives the campaign engine and prints the aggregate table.
-func runSweep(scenarioList string, replicates, workers int, baseSeed int64, portSpan, portQuota int, verbose bool) int {
+func runSweep(scenarioList string, replicates, workers int, baseSeed int64, portSpan, portQuota, trafficWorkers int, verbose bool) int {
 	cfg := campaign.Config{
-		Scenarios:  strings.Split(scenarioList, ","),
-		Replicates: replicates,
-		BaseSeed:   baseSeed,
-		Workers:    workers,
-		PortSpan:   portSpan,
-		PortQuota:  portQuota,
+		Scenarios:      strings.Split(scenarioList, ","),
+		Replicates:     replicates,
+		BaseSeed:       baseSeed,
+		Workers:        workers,
+		PortSpan:       portSpan,
+		PortQuota:      portQuota,
+		TrafficWorkers: trafficWorkers,
 	}
 	if verbose {
 		cfg.OnWorld = func(r campaign.WorldResult) {

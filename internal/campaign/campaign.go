@@ -50,6 +50,13 @@ type Config struct {
 	// analogue of cgnsim's -portspan/-portquota flags.
 	PortSpan  int
 	PortQuota int
+	// TrafficWorkers is each world's worker-pool size for the E18
+	// traffic-engine replay (realm-parallel). 0 or 1 keeps the replay
+	// sequential — the right default when the sweep's own worker pool
+	// already saturates the machine — and per-world results are
+	// byte-identical at any value, so the grid aggregates never depend
+	// on it.
+	TrafficWorkers int
 	// OnWorld, when set, is called after each world completes, from the
 	// worker that ran it. Progress reporting only — results arrive in
 	// deterministic order via Sweep's return regardless.
@@ -183,7 +190,7 @@ func runWorld(cfg Config, job Job) WorldResult {
 	sc.ApplyPortOverrides(cfg.PortSpan, cfg.PortQuota)
 	sc.Seed = job.Seed
 	w := internet.Build(sc)
-	b := report.Collect(w)
+	b := report.CollectWith(w, report.CollectOptions{TrafficWorkers: cfg.TrafficWorkers})
 
 	truth := w.CGNTruth()
 	sum := sha256.Sum256([]byte(b.All()))

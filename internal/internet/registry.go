@@ -224,7 +224,7 @@ func DiurnalWeek() Scenario {
 // aggressively short carrier timeouts, tiny pools and tight quotas, now
 // driven through a simulated week of diurnal traffic. With a 15 s idle
 // timeout under a 30 s tick every unrefreshed mapping dies between
-// ticks, so the expiry heap and the port recycler run at full churn while
+// ticks, so the expiry schedule and the port recycler run at full churn while
 // heavy hitters slam into the per-subscriber quota — the regime
 // "Tracking the Big NAT" measures on real carriers.
 func MobileChurnWeek() Scenario {

@@ -19,8 +19,9 @@ import (
 func (n *NAT) StateDigest() string {
 	lines := make([]string, 0, len(n.byExt)+len(n.sessions))
 	for _, m := range n.byExt {
-		dsts := make([]string, 0, len(m.dsts))
-		for d := range m.dsts {
+		dsts := make([]string, 0, 1+len(m.extraDsts))
+		dsts = append(dsts, m.dst0.String())
+		for d := range m.extraDsts {
 			dsts = append(dsts, d.String())
 		}
 		sort.Strings(dsts)

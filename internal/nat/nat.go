@@ -9,9 +9,14 @@
 // The port-resource engine is built for scale: external ports live in
 // per-(IP, protocol) bitmaps with free counters (O(1) take/free, word-wide
 // collision scans, O(1) failure on exhausted segments), and idle-timeout
-// processing runs off an expiry min-heap so Sweep touches only expired
-// mappings. PortStats exposes utilization high-water marks and exhaustion
-// counts for the port-pressure analyses.
+// processing runs off a deadline-bucketed expiry schedule so Sweep touches
+// only entries whose recorded deadline has passed — never the full table.
+// Mapping structs are slab-allocated and recycled through a freelist with
+// generation-guarded handles, so steady-state churn does not allocate;
+// TranslateOutRef/Refresh give flow-keepalive callers (the traffic
+// engine) an O(1) refresh path that skips the table probe entirely.
+// PortStats exposes utilization high-water marks and exhaustion counts
+// for the port-pressure analyses.
 //
 // A NAT is a pure state machine: it never touches the clock or the network.
 // Callers (the network simulator, or a userspace dataplane) pass the current
@@ -280,29 +285,41 @@ type Mapping struct {
 	Int netaddr.Endpoint
 	// Ext is the allocated external endpoint.
 	Ext netaddr.Endpoint
-	// dsts records remote endpoints this mapping has sent to, for the
-	// restricted filtering policies. Symmetric mappings have exactly one.
-	dsts map[netaddr.Endpoint]bool
+	// dst0 is the first remote endpoint this mapping sent to; extraDsts,
+	// allocated only when a second distinct destination appears, holds the
+	// rest. The restricted filtering policies consult the set. Almost
+	// every mapping only ever contacts one destination (symmetric NATs by
+	// construction), so keeping the first inline makes mapping creation
+	// allocation-free.
+	dst0      netaddr.Endpoint
+	extraDsts map[netaddr.Endpoint]bool
 	// lastDst memoizes the most recent destination: steady flows revisit
 	// one destination, and an Endpoint compare is far cheaper than the
-	// dsts map probe on every packet.
+	// destination-set probe on every packet.
 	lastDst netaddr.Endpoint
 	// key is the byInt index this mapping lives under.
 	key intKey
 	// Created and LastActive drive expiry.
 	Created    time.Time
 	LastActive time.Time
+	// gen counts this struct's incarnations: drop bumps it, so a stale
+	// expiry-heap entry or MappingRef from before a recycle can never be
+	// mistaken for the struct's current tenant.
+	gen uint64
 	// dead marks a mapping already removed from the tables; the expiry
 	// heap skips its stale entry lazily instead of searching for it.
 	dead bool
 }
 
 // SentTo reports whether the mapping has contacted remote endpoint e.
-func (m *Mapping) SentTo(e netaddr.Endpoint) bool { return m.dsts[e] }
+func (m *Mapping) SentTo(e netaddr.Endpoint) bool { return e == m.dst0 || m.extraDsts[e] }
 
 // SentToAddr reports whether the mapping has contacted address a on any port.
 func (m *Mapping) SentToAddr(a netaddr.Addr) bool {
-	for d := range m.dsts {
+	if m.dst0.Addr == a {
+		return true
+	}
+	for d := range m.extraDsts {
 		if d.Addr == a {
 			return true
 		}
@@ -310,17 +327,41 @@ func (m *Mapping) SentToAddr(a netaddr.Addr) bool {
 	return false
 }
 
-type intKey struct {
-	proto netaddr.Proto
-	src   netaddr.Endpoint
-	// dst is set only for symmetric NATs, which key mappings by
-	// destination as well.
-	dst netaddr.Endpoint
+// noteDst records d as a contacted destination. Steady flows revisit one
+// destination, so the common case is a single compare; the set only
+// grows (and extraDsts only allocates) on a genuinely new destination.
+func (m *Mapping) noteDst(d netaddr.Endpoint) {
+	if d == m.lastDst {
+		return
+	}
+	if d != m.dst0 && !m.extraDsts[d] {
+		if m.extraDsts == nil {
+			m.extraDsts = make(map[netaddr.Endpoint]bool, 2)
+		}
+		m.extraDsts[d] = true
+	}
+	m.lastDst = d
 }
 
-type extKey struct {
-	proto netaddr.Proto
-	ext   netaddr.Endpoint
+// intKey indexes byInt. The translation tables are probed, inserted and
+// deleted on every mapping lifecycle event, so keys are bit-packed: an
+// (addr, port) endpoint is 48 bits and the protocol one more, which
+// fits (proto, endpoint) in one word. A two-word struct hashes in a
+// single AES block where the unpacked five-field struct walked the
+// generic hash path.
+type intKey struct {
+	// lo packs the protocol (bits 48+) and the internal source endpoint
+	// (addr<<16 | port).
+	lo uint64
+	// hi packs the destination endpoint, set only for symmetric NATs,
+	// which key mappings by destination as well.
+	hi uint64
+}
+
+// extKeyFor packs (proto, external endpoint) into the one-word byExt
+// key, hitting the runtime's fast64 map routines.
+func extKeyFor(p netaddr.Proto, ext netaddr.Endpoint) uint64 {
+	return uint64(p)<<48 | uint64(ext.Addr)<<16 | uint64(ext.Port)
 }
 
 // NAT is one translator instance.
@@ -329,7 +370,7 @@ type NAT struct {
 	rng *rand.Rand
 
 	byInt map[intKey]*Mapping
-	byExt map[extKey]*Mapping
+	byExt map[uint64]*Mapping
 
 	// pairedExt pins internal IPs to pool members under Paired pooling.
 	pairedExt map[netaddr.Addr]netaddr.Addr
@@ -340,11 +381,11 @@ type NAT struct {
 	ports  *portSpace
 	chunks *chunkTable
 
-	// exp is the expiry min-heap: one entry per live mapping, keyed on the
-	// deadline recorded when the entry was pushed. Refreshes do not touch
-	// the heap; Sweep re-keys stale entries lazily, so idle-timeout
-	// processing is O(expired·log n) instead of a full-table walk.
-	exp expHeap
+	// exp is the expiry schedule: one entry per live mapping, bucketed
+	// on the deadline recorded when the entry was pushed. Refreshes do
+	// not touch it; Sweep re-buckets stale entries lazily, so
+	// idle-timeout processing never walks the full table.
+	exp expQueue
 
 	// sessions counts live mappings per internal IP for the session limit
 	// and the port quota; subsSeen records every internal IP ever mapped.
@@ -354,9 +395,25 @@ type NAT struct {
 	// lastOut and lastIn memoize the most recently translated mapping in
 	// each direction: consecutive packets of one flow (an exchange, a
 	// burst) skip the table probe. Entries invalidate through the dead
-	// flag plus a key compare, so the memos never change behavior.
+	// flag plus a key compare, so the memos never change behavior. (A
+	// recycled struct passes the compares only when it is again the live
+	// mapping registered under that very key, in which case the hit is
+	// correct.)
 	lastOut *Mapping
 	lastIn  *Mapping
+
+	// slab and freeMaps make mapping creation allocation-free at steady
+	// state: structs are carved from slabs in batches and dropped
+	// mappings are recycled through the freelist, with Mapping.gen
+	// guarding every stale reference.
+	slab     []Mapping
+	freeMaps []*Mapping
+
+	// onCreate and onExpire, when set, are called on every mapping
+	// creation and removal. The traffic engine uses them to maintain
+	// per-subscriber live-port counts incrementally instead of probing
+	// the sessions map for every subscriber every tick.
+	onCreate, onExpire func(m *Mapping)
 
 	Metrics *metrics.Set
 	// Counters below are hoisted out of Metrics at construction: the
@@ -371,25 +428,77 @@ type NAT struct {
 	gLive                                  *metrics.Gauge
 }
 
-// expEntry schedules one mapping for expiry at the deadline it had when
-// the entry was pushed. A refresh leaves the entry in place: when it pops,
-// Sweep re-pushes it at the mapping's true deadline.
+// expEntry schedules one mapping for expiry at the deadline its bucket
+// is keyed on. A refresh leaves the entry in place: when its bucket
+// drains, Sweep re-buckets the entry at the mapping's true deadline.
+// gen pins the entry to the mapping incarnation it was pushed for — a
+// recycled struct's stale entries skip lazily, exactly like a dead
+// mapping's.
 type expEntry struct {
-	m  *Mapping
-	at time.Time
+	m   *Mapping
+	gen uint64
 }
 
-// expHeap is a binary min-heap on expEntry.at. It is hand-rolled rather
-// than container/heap so Push/Pop stay inlineable and allocation-free.
-type expHeap []expEntry
+// expQueue is the expiry schedule: entries bucketed by their exact
+// deadline (Unix nanoseconds), plus a small min-heap of the distinct
+// deadlines present. Deadlines repeat massively — every mapping
+// refreshed at one instant earns the same deadline, and tick-driven
+// workloads touch thousands of mappings per instant — so the heap holds
+// a handful of timestamps where an entry-per-mapping heap held
+// thousands, and scheduling or lazily re-keying a mapping is an O(1)
+// bucket append instead of an O(log n) sift. Drained bucket slices are
+// recycled through free, keeping steady-state churn allocation-free.
+type expQueue struct {
+	buckets map[int64][]expEntry
+	times   timeHeap
+	free    [][]expEntry
+}
 
-func (h *expHeap) push(e expEntry) {
-	*h = append(*h, e)
+func (q *expQueue) init() {
+	q.buckets = make(map[int64][]expEntry)
+}
+
+func (q *expQueue) push(at int64, m *Mapping, gen uint64) {
+	b, ok := q.buckets[at]
+	if !ok {
+		q.times.push(at)
+		if k := len(q.free) - 1; k >= 0 {
+			b = q.free[k]
+			q.free[k] = nil
+			q.free = q.free[:k]
+		}
+	}
+	q.buckets[at] = append(b, expEntry{m: m, gen: gen})
+}
+
+// takeBucket removes and returns the earliest bucket; the caller owns
+// the slice and must hand it back via release.
+func (q *expQueue) takeBucket() []expEntry {
+	at := q.times.pop()
+	b := q.buckets[at]
+	delete(q.buckets, at)
+	return b
+}
+
+// release recycles a drained bucket's backing array.
+func (q *expQueue) release(b []expEntry) {
+	for i := range b {
+		b[i] = expEntry{} // drop the *Mapping references
+	}
+	q.free = append(q.free, b[:0])
+}
+
+// timeHeap is a 4-ary min-heap of deadlines, hand-rolled so push/pop
+// stay inlineable and allocation-free.
+type timeHeap []int64
+
+func (h *timeHeap) push(at int64) {
+	*h = append(*h, at)
 	s := *h
 	i := len(s) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !s[i].at.Before(s[parent].at) {
+		parent := (i - 1) / 4
+		if s[i] >= s[parent] {
 			break
 		}
 		s[i], s[parent] = s[parent], s[i]
@@ -397,29 +506,38 @@ func (h *expHeap) push(e expEntry) {
 	}
 }
 
-func (h *expHeap) pop() expEntry {
+func (h *timeHeap) pop() int64 {
 	s := *h
 	top := s[0]
 	last := len(s) - 1
-	s[0] = s[last]
-	s[last] = expEntry{} // release the *Mapping
+	e := s[last]
 	s = s[:last]
 	*h = s
+	// Floyd's hole scheme: promote the smaller child until e fits.
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < len(s) && s[l].at.Before(s[min].at) {
-			min = l
-		}
-		if r < len(s) && s[r].at.Before(s[min].at) {
-			min = r
-		}
-		if min == i {
+		c := 4*i + 1
+		if c >= len(s) {
 			break
 		}
-		s[i], s[min] = s[min], s[i]
+		min := c
+		end := c + 4
+		if end > len(s) {
+			end = len(s)
+		}
+		for c++; c < end; c++ {
+			if s[c] < s[min] {
+				min = c
+			}
+		}
+		if e <= s[min] {
+			break
+		}
+		s[i] = s[min]
 		i = min
+	}
+	if last > 0 {
+		s[i] = e
 	}
 	return top
 }
@@ -442,12 +560,13 @@ func New(cfg Config) *NAT {
 		cfg:       c,
 		rng:       rand.New(rand.NewSource(c.Seed)),
 		byInt:     make(map[intKey]*Mapping),
-		byExt:     make(map[extKey]*Mapping),
+		byExt:     make(map[uint64]*Mapping),
 		pairedExt: make(map[netaddr.Addr]netaddr.Addr),
 		sessions:  make(map[netaddr.Addr]int),
 		subsSeen:  make(map[netaddr.Addr]bool),
 		Metrics:   metrics.NewSet(),
 	}
+	n.exp.init()
 	n.cPktsOut = n.Metrics.Counter("pkts_out")
 	n.cPktsIn = n.Metrics.Counter("pkts_in")
 	n.cHairpin = n.Metrics.Counter("pkts_hairpin")
@@ -497,16 +616,21 @@ func (n *NAT) expired(m *Mapping, now time.Time) bool {
 }
 
 func (n *NAT) intKeyFor(f netaddr.Flow) intKey {
-	k := intKey{proto: f.Proto, src: f.Src}
+	k := intKey{lo: uint64(f.Proto)<<48 | uint64(f.Src.Addr)<<16 | uint64(f.Src.Port)}
 	if n.cfg.Type == Symmetric {
-		k.dst = f.Dst
+		k.hi = uint64(f.Dst.Addr)<<16 | uint64(f.Dst.Port)
 	}
 	return k
 }
 
 func (n *NAT) drop(m *Mapping) {
+	// The hook sees the mapping fully intact, before any teardown.
+	if n.onExpire != nil {
+		n.onExpire(m)
+	}
 	m.dead = true
-	delete(n.byExt, extKey{m.Proto, m.Ext})
+	m.gen++
+	delete(n.byExt, extKeyFor(m.Proto, m.Ext))
 	delete(n.byInt, m.key)
 	n.ports.free(m.Ext, m.Proto)
 	n.sessions[m.Int.Addr]--
@@ -515,12 +639,116 @@ func (n *NAT) drop(m *Mapping) {
 	}
 	n.cMapExpired.Inc()
 	n.gLive.Set(int64(len(n.byExt)))
+	n.freeMaps = append(n.freeMaps, m)
+}
+
+// mappingSlab is how many Mapping structs newMapping carves per heap
+// allocation once the freelist is dry.
+const mappingSlab = 256
+
+// newMapping returns a zeroed Mapping, recycling dropped structs through
+// the freelist (gen survives the reset — it is what invalidates stale
+// heap entries and MappingRefs from the previous tenant) and carving
+// fresh ones from slabs so steady-state churn never allocates.
+func (n *NAT) newMapping() *Mapping {
+	if k := len(n.freeMaps) - 1; k >= 0 {
+		m := n.freeMaps[k]
+		n.freeMaps[k] = nil
+		n.freeMaps = n.freeMaps[:k]
+		gen, extra := m.gen, m.extraDsts
+		if extra != nil {
+			clear(extra)
+		}
+		*m = Mapping{gen: gen, extraDsts: extra}
+		return m
+	}
+	if len(n.slab) == 0 {
+		n.slab = make([]Mapping, mappingSlab)
+	}
+	m := &n.slab[0]
+	n.slab = n.slab[1:]
+	return m
+}
+
+// SetMappingHooks registers callbacks fired on every mapping creation
+// and every removal (idle-timeout sweep, or expiry discovered during a
+// translation). The hooks run synchronously on the goroutine driving the
+// NAT, see the mapping fully intact, and must not mutate the NAT. The
+// traffic engine registers them on its per-realm replicas to maintain
+// per-subscriber live-port counts incrementally.
+func (n *NAT) SetMappingHooks(onCreate, onExpire func(m *Mapping)) {
+	n.onCreate = onCreate
+	n.onExpire = onExpire
 }
 
 // TranslateOut translates an inside-to-outside packet flow. On Ok the
 // returned flow carries the external source endpoint and the original
 // destination.
 func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
+	m, v := n.translateOut(f, now)
+	if v != Ok {
+		return netaddr.Flow{}, v
+	}
+	return netaddr.Flow{Proto: f.Proto, Src: m.Ext, Dst: f.Dst}, Ok
+}
+
+// MappingRef is a stable handle to a mapping, for callers that drive
+// many flows through one NAT and want to skip the table probe on every
+// keepalive (the traffic engine's per-tick refresh). The generation
+// pins the handle to one incarnation: once the mapping is dropped — even
+// if its struct is recycled for a new mapping — the ref goes stale and
+// Refresh reports false.
+type MappingRef struct {
+	m   *Mapping
+	gen uint64
+}
+
+// TranslateOutRef is TranslateOut returning, additionally, a stable
+// handle to the flow's mapping for later Refresh calls.
+func (n *NAT) TranslateOutRef(f netaddr.Flow, now time.Time) (netaddr.Flow, MappingRef, Verdict) {
+	m, v := n.translateOut(f, now)
+	if v != Ok {
+		return netaddr.Flow{}, MappingRef{}, v
+	}
+	return netaddr.Flow{Proto: f.Proto, Src: m.Ext, Dst: f.Dst}, MappingRef{m: m, gen: m.gen}, Ok
+}
+
+// Refresh is the keepalive fast path: for a live handle it records dst,
+// bumps LastActive and counts the packet — exactly what TranslateOut
+// does for a flow whose mapping already exists — without the key
+// construction, table probe or verdict machinery. The expiry schedule is
+// left untouched; Sweep re-keys the mapping's entry lazily when it pops,
+// so a refresh is O(1). It returns false when the handle no longer names
+// a live mapping: the ref predates a drop or recycle, or the mapping
+// idled out (in which case it is dropped here, like any translation
+// finding an expired entry). Callers then fall back to TranslateOut,
+// which re-creates the mapping through the full allocation path.
+func (n *NAT) Refresh(r MappingRef, dst netaddr.Endpoint, now time.Time) bool {
+	m := r.m
+	if m == nil || m.dead || m.gen != r.gen {
+		return false
+	}
+	if n.expired(m, now) {
+		n.drop(m)
+		return false
+	}
+	// A symmetric mapping has exactly one destination by construction —
+	// TranslateOut keys per (source, destination), so a different dst
+	// could never reach this mapping through translation. Recording it
+	// here would let inbound filtering admit traffic a symmetric NAT
+	// must drop, so the destination set is left alone and only the
+	// cone types track the (possibly new) destination.
+	if n.cfg.Type != Symmetric {
+		m.noteDst(dst)
+	}
+	m.LastActive = now
+	n.cPktsOut.Inc()
+	return true
+}
+
+// translateOut is the shared outbound body: find-or-create the mapping
+// for f and refresh it.
+func (n *NAT) translateOut(f netaddr.Flow, now time.Time) (*Mapping, Verdict) {
 	k := n.intKeyFor(f)
 	// One-entry memo: consecutive packets of one flow skip the byInt
 	// probe. The dead flag (set by drop) and the full key compare keep
@@ -536,56 +764,52 @@ func (n *NAT) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict
 	if m == nil {
 		if lim := n.cfg.MaxSessionsPerSubscriber; lim > 0 && n.sessions[f.Src.Addr] >= lim {
 			n.cDropSession.Inc()
-			return netaddr.Flow{}, DropSessionLimit
+			return nil, DropSessionLimit
 		}
 		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && n.sessions[f.Src.Addr] >= q {
 			n.cDropQuota.Inc()
-			return netaddr.Flow{}, DropPortQuota
+			return nil, DropPortQuota
 		}
 		ext, ok := n.allocate(f, now)
 		if !ok {
 			n.cDropNoPorts.Inc()
-			return netaddr.Flow{}, DropNoPorts
+			return nil, DropNoPorts
 		}
-		m = &Mapping{
-			Proto: f.Proto, Int: f.Src, Ext: ext,
-			dsts:    map[netaddr.Endpoint]bool{f.Dst: true},
-			lastDst: f.Dst,
-			key:     k,
-			Created: now,
-		}
+		m = n.newMapping()
+		m.Proto, m.Int, m.Ext = f.Proto, f.Src, ext
+		m.dst0, m.lastDst = f.Dst, f.Dst
+		m.key = k
+		m.Created = now
 		n.byInt[k] = m
-		n.byExt[extKey{f.Proto, ext}] = m
+		n.byExt[extKeyFor(f.Proto, ext)] = m
 		n.sessions[f.Src.Addr]++
-		n.subsSeen[f.Src.Addr] = true
-		n.exp.push(expEntry{m: m, at: now.Add(n.timeout(f.Proto))})
+		// Probe before write: under churn the subscriber is almost
+		// always known already, and a map read is cheaper than a store.
+		if !n.subsSeen[f.Src.Addr] {
+			n.subsSeen[f.Src.Addr] = true
+		}
+		n.exp.push(now.UnixNano()+int64(n.timeout(f.Proto)), m, m.gen)
 		n.cMapCreated.Inc()
 		n.gLive.Set(int64(len(n.byExt)))
-	}
-	// Steady flows revisit one destination; only touch the dsts map when
-	// the destination actually changed (and then read before write — a
-	// probe costs less than an assign).
-	if f.Dst != m.lastDst {
-		if !m.dsts[f.Dst] {
-			m.dsts[f.Dst] = true
+		if n.onCreate != nil {
+			n.onCreate(m)
 		}
-		m.lastDst = f.Dst
 	}
+	m.noteDst(f.Dst)
 	m.LastActive = now
 	n.lastOut = m
 	n.cPktsOut.Inc()
-	return netaddr.Flow{Proto: f.Proto, Src: m.Ext, Dst: f.Dst}, Ok
+	return m, Ok
 }
 
 // TranslateIn translates an outside-to-inside packet flow addressed to one
 // of the NAT's external endpoints. On Ok the returned flow carries the
 // original source and the internal destination endpoint.
 func (n *NAT) TranslateIn(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
-	k := extKey{f.Proto, f.Dst}
 	// One-entry memo, mirroring TranslateOut's.
 	m := n.lastIn
-	if m == nil || m.dead || m.Proto != k.proto || m.Ext != k.ext {
-		m = n.byExt[k]
+	if m == nil || m.dead || m.Proto != f.Proto || m.Ext != f.Dst {
+		m = n.byExt[extKeyFor(f.Proto, f.Dst)]
 	}
 	if m != nil && n.expired(m, now) {
 		n.drop(m)
@@ -708,25 +932,35 @@ func (n *NAT) chooseExternalIP(internal netaddr.Addr) netaddr.Addr {
 // Sweep removes all mappings idle past their timeout, returning how many
 // were removed. The simulator calls it when virtual time jumps.
 //
-// Cost is O(expired · log n): only heap entries whose recorded deadline
-// has passed are touched. An entry's deadline can lag its mapping's (a
-// refresh bumps LastActive without re-keying the heap), never lead it, so
-// a mapping popped before its true deadline is simply re-pushed at the
-// deadline its refreshes earned it.
+// Cost is O(entries whose recorded deadline has passed): whole buckets
+// drain at once and only they are touched. An entry's deadline can lag
+// its mapping's (a refresh bumps LastActive without touching the
+// schedule), never lead it, so an entry draining before its mapping's
+// true deadline is simply re-bucketed at the deadline its refreshes
+// earned it — an O(1) append.
 func (n *NAT) Sweep(now time.Time) int {
 	removed := 0
-	for len(n.exp) > 0 && n.exp[0].at.Before(now) {
-		e := n.exp.pop()
-		if e.m.dead {
-			continue
+	nowNano := now.UnixNano()
+	for len(n.exp.times) > 0 && n.exp.times[0] < nowNano {
+		bucket := n.exp.takeBucket()
+		for _, e := range bucket {
+			// A generation mismatch means the entry outlived its
+			// mapping: the mapping was dropped (and its struct possibly
+			// recycled for a new one, which pushed its own entry).
+			if e.m.dead || e.m.gen != e.gen {
+				continue
+			}
+			deadline := e.m.LastActive.UnixNano() + int64(n.timeout(e.m.Proto))
+			if nowNano > deadline {
+				n.drop(e.m)
+				removed++
+				continue
+			}
+			// Refreshed since its entry was pushed: re-bucket at the
+			// true deadline.
+			n.exp.push(deadline, e.m, e.gen)
 		}
-		deadline := e.m.LastActive.Add(n.timeout(e.m.Proto))
-		if now.After(deadline) {
-			n.drop(e.m)
-			removed++
-			continue
-		}
-		n.exp.push(expEntry{m: e.m, at: deadline})
+		n.exp.release(bucket)
 	}
 	return removed
 }
@@ -808,7 +1042,7 @@ func (n *NAT) ForEachMapping(fn func(m *Mapping)) {
 
 // LookupByExternal returns the live mapping behind an external endpoint.
 func (n *NAT) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.Time) (*Mapping, bool) {
-	m := n.byExt[extKey{p, ext}]
+	m := n.byExt[extKeyFor(p, ext)]
 	if m == nil || n.expired(m, now) {
 		return nil, false
 	}

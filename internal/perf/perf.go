@@ -9,6 +9,7 @@ package perf
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -39,6 +40,7 @@ func All() []Bench {
 		{"NATTranslateIn", NATTranslateIn},
 		{"NATPortChurn", NATPortChurn},
 		{"TrafficWeek", TrafficWeek},
+		{"TrafficMetro", TrafficMetro},
 		{"BencodeDecode", BencodeDecode},
 		{"KRPCParseFindNodeResponse", KRPCParseFindNodeResponse},
 		{"STUNParse", STUNParse},
@@ -221,10 +223,13 @@ func NATPortChurn(b *testing.B) {
 }
 
 // TrafficWeek measures the traffic engine driving one simulated week of
-// diurnal subscriber flow churn — arrivals, per-tick refreshes, expiry
-// sweeps and per-subscriber sampling — through four carrier-NAT realms
-// of 64 subscribers each. One iteration is one full week, so ns/op is
-// the engine's whole-run cost at diurnal-week scale.
+// diurnal subscriber flow churn — arrivals, per-tick mapping-handle
+// refreshes, expiry sweeps and per-subscriber sampling — through four
+// carrier-NAT realms of 64 subscribers each, on a four-worker realm
+// pool (one worker per realm; the engine's determinism contract makes
+// the result byte-identical to a sequential run). One iteration is one
+// full week, so ns/op is the engine's whole-run cost at diurnal-week
+// scale.
 func TrafficWeek(b *testing.B) {
 	realms := make([]traffic.RealmSpec, 4)
 	for i := range realms {
@@ -254,7 +259,66 @@ func TrafficWeek(b *testing.B) {
 			HeavyMult:     12,
 			FlowHoldTicks: 4,
 		},
-		Realms: realms,
+		Workers: 4,
+		Realms:  realms,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := traffic.Run(cfg)
+		if res.All.Max == 0 {
+			b.Fatal("traffic run produced no load")
+		}
+	}
+}
+
+// TrafficMetro measures the engine at ISP scale: a million-subscriber
+// metro — 16 carrier realms of 65,536 subscribers each, four external
+// IPs per realm — driven through one simulated day of diurnal churn on
+// a GOMAXPROCS-wide realm pool. One iteration is the full day
+// (~100 million subscriber-tick samples plus tens of millions of
+// mapping events), so ns/op is the whole-run wall clock the ROADMAP's
+// "millions of users" target is measured by.
+func TrafficMetro(b *testing.B) {
+	const (
+		metroRealms      = 16
+		metroSubs        = 65536 // 16 realms × 65,536 = 1,048,576 subscribers
+		metroIPsPerRealm = 4
+	)
+	realms := make([]traffic.RealmSpec, metroRealms)
+	for i := range realms {
+		ips := make([]netaddr.Addr, metroIPsPerRealm)
+		for k := range ips {
+			ips[k] = netaddr.MustParseAddr("198.51.100.1") + netaddr.Addr(metroIPsPerRealm*i+k)
+		}
+		realms[i] = traffic.RealmSpec{
+			ID:       "metro",
+			Cellular: i%2 == 1,
+			NAT: nat.Config{
+				Type:        nat.Symmetric,
+				PortAlloc:   nat.Random,
+				Pooling:     nat.Paired,
+				ExternalIPs: ips,
+				UDPTimeout:  65 * time.Second,
+				Seed:        int64(i + 1),
+			},
+			Subscribers: metroSubs,
+		}
+	}
+	cfg := traffic.Config{
+		Seed: 7,
+		Profile: traffic.Profile{
+			Ticks:         96,
+			DayTicks:      96,
+			DiurnalAmp:    0.7,
+			HeavyFrac:     0.02,
+			LightFrac:     0.60,
+			FlowsPerTick:  0.25,
+			HeavyMult:     8,
+			FlowHoldTicks: 2,
+		},
+		Workers: runtime.GOMAXPROCS(0),
+		Realms:  realms,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -51,12 +51,24 @@ type Bundle struct {
 // the campaign engine depends on — but the analysis stages, which are
 // pure functions over the collected datasets, run concurrently.
 // CollectSequential produces a byte-identical Bundle on one goroutine.
-func Collect(w *internet.World) *Bundle { return collect(w, true) }
+func Collect(w *internet.World) *Bundle { return collect(w, true, CollectOptions{}) }
+
+// CollectOptions tunes resource knobs that never affect results.
+type CollectOptions struct {
+	// TrafficWorkers is the worker-pool size for the E18 traffic
+	// engine's realm-parallel replay; 0 or 1 runs it sequentially.
+	// Results are byte-identical at any value (the engine's determinism
+	// contract), so this only trades goroutines for wall time.
+	TrafficWorkers int
+}
+
+// CollectWith is Collect with explicit resource options.
+func CollectWith(w *internet.World, opts CollectOptions) *Bundle { return collect(w, true, opts) }
 
 // CollectSequential runs the identical campaign with every stage on the
 // calling goroutine. Determinism tests diff its results against
 // Collect's; it is also friendlier to execution tracing.
-func CollectSequential(w *internet.World) *Bundle { return collect(w, false) }
+func CollectSequential(w *internet.World) *Bundle { return collect(w, false, CollectOptions{}) }
 
 // stages runs the given independent analysis stages, concurrently or not.
 // Each stage writes only its own Bundle fields.
@@ -78,7 +90,7 @@ func stages(parallel bool, fns ...func()) {
 	wg.Wait()
 }
 
-func collect(w *internet.World, parallel bool) *Bundle {
+func collect(w *internet.World, parallel bool, opts CollectOptions) *Bundle {
 	b := &Bundle{World: w}
 
 	// Measurement phase: single-threaded packet-level simulation.
@@ -118,7 +130,7 @@ func collect(w *internet.World, parallel bool) *Bundle {
 		func() { b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions) },
 		func() { b.STUN = props.AnalyzeSTUN(filtered, cgn) },
 		func() { b.Load = AnalyzePortLoad(w) },
-		func() { b.Traffic = AnalyzeTraffic(w) },
+		func() { b.Traffic = AnalyzeTrafficWorkers(w, opts.TrafficWorkers) },
 	)
 	return b
 }

@@ -15,14 +15,21 @@ type TrafficLoad struct {
 	Res *traffic.Result
 }
 
-// AnalyzeTraffic drives the scenario's traffic profile through a fresh
-// replica of every carrier NAT: each realm's configuration (including
-// its device seed) is replayed into a new nat.New, so the campaign's own
-// translation state — which E17 snapshots — is never touched, and the
-// analysis stays a pure, stage-parallel function of the world. The
-// subscriber population per realm is the one the campaign actually
-// exercised (PortStats().Subscribers).
-func AnalyzeTraffic(w *internet.World) *TrafficLoad {
+// AnalyzeTraffic runs the E18 replay with the realms on the calling
+// goroutine; AnalyzeTrafficWorkers spreads them over a worker pool.
+func AnalyzeTraffic(w *internet.World) *TrafficLoad { return AnalyzeTrafficWorkers(w, 0) }
+
+// AnalyzeTrafficWorkers drives the scenario's traffic profile through a
+// fresh replica of every carrier NAT: each realm's configuration
+// (including its device seed) is replayed into a new nat.New, so the
+// campaign's own translation state — which E17 snapshots — is never
+// touched, and the analysis stays a pure, stage-parallel function of the
+// world. The subscriber population per realm is the one the campaign
+// actually exercised (PortStats().Subscribers). workers is the traffic
+// engine's realm worker-pool size; every value — 0 or 1 meaning
+// sequential — produces the identical result, so it is purely a
+// resource knob.
+func AnalyzeTrafficWorkers(w *internet.World, workers int) *TrafficLoad {
 	p := w.Scenario.Traffic
 	if !p.Enabled() {
 		return &TrafficLoad{Res: &traffic.Result{}}
@@ -40,6 +47,7 @@ func AnalyzeTraffic(w *internet.World) *TrafficLoad {
 		Seed:    w.Scenario.Seed ^ 0x7AFF1C0DE,
 		Profile: p,
 		Realms:  specs,
+		Workers: workers,
 	})
 	return &TrafficLoad{Res: res}
 }

@@ -9,12 +9,25 @@
 //
 // Each subscriber draws a flow-rate class (light / median / heavy-hitter)
 // whose arrival rate is modulated by a diurnal curve; flows open NAT
-// mappings, refresh them every tick while they live, and then idle out
-// through the expiry heap as the virtual clock advances in fixed ticks.
-// The engine follows the simnet clock discipline — virtual time only,
-// advanced tick by tick, never read from the wall clock — so a (seed,
-// profile, realm set) triple always produces the identical Result,
-// whatever machine or goroutine runs it.
+// mappings, refresh them every tick while they live (through the NAT's
+// O(1) mapping-handle fast path), and then idle out through the expiry
+// schedule as the virtual clock advances in fixed ticks. The engine
+// follows the simnet clock discipline — virtual time only, advanced tick
+// by tick, never read from the wall clock — so a (seed, profile, realm
+// set) triple always produces the identical Result, whatever machine or
+// goroutine runs it.
+//
+// The engine scales to million-subscriber populations two ways. Realms
+// are embarrassingly parallel: each draws from its own seeded RNG
+// stream and accumulates into private histograms, utilization series and
+// counters, which Run merges in realm input order — reproducing the
+// sequential accumulation order exactly, float additions included — so
+// Result is byte-identical at any Config.Workers value. And the per-realm
+// hot loop is allocation-lean: flows live in a per-realm arena recycled
+// through a freelist, per-subscriber concurrent-port counts are
+// maintained incrementally from the NAT's mapping create/expire hooks
+// rather than recounted per tick, and steady-state ticks allocate
+// nothing.
 package traffic
 
 import (

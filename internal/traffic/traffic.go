@@ -3,6 +3,7 @@ package traffic
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"cgn/internal/nat"
@@ -59,9 +60,16 @@ type Config struct {
 	Seed    int64
 	Profile Profile
 	Realms  []RealmSpec
+	// Workers is the realm worker-pool size; 0 or 1 runs every realm on
+	// the calling goroutine. Each realm draws from its own RNG stream
+	// and accumulates into private state that Run merges in realm input
+	// order, so Result is byte-identical at any worker count.
+	Workers int
 	// Observer, when set, is called after every realm tick with the
 	// realm's NAT. Test hooks only — observers must treat the NAT as
-	// read-only.
+	// read-only, and with Workers > 1 the observer is called
+	// concurrently from worker goroutines (never concurrently for the
+	// same realm).
 	Observer func(realm RealmSpec, tick int, now time.Time, n *nat.NAT)
 }
 
@@ -115,19 +123,29 @@ type Result struct {
 // Enabled reports whether the run simulated any time.
 func (r *Result) Enabled() bool { return r.Profile.Enabled() && len(r.Realms) > 0 }
 
-// flow is one live subscriber flow; while ticksLeft > 0 it refreshes its
-// mapping every tick.
-type flow struct {
+// flowNode is one live subscriber flow in a realm's arena. Nodes are
+// linked per subscriber in arrival (FIFO) order — the order allocation
+// retries hit the NAT in, which the determinism contract pins — and
+// recycled through the arena freelist, so steady-state ticks never
+// allocate. ref is the flow's mapping handle: while ticksLeft > 0 the
+// flow refreshes the mapping through it every tick.
+type flowNode struct {
 	f         netaddr.Flow
-	ticksLeft int
+	ref       nat.MappingRef
+	ticksLeft int32
+	next      int32
 }
 
-// subscriber is one internal endpoint population member.
+// subscriber is one internal endpoint population member. head/tail
+// index the subscriber's flow list in the realm arena (-1 when empty);
+// live is the incrementally maintained live-mapping count — what
+// nat.Sessions would report — fed by the NAT's create/expire hooks.
 type subscriber struct {
-	addr  netaddr.Addr
-	class Class
-	rate  float64
-	flows []flow
+	addr       netaddr.Addr
+	class      Class
+	rate       float64
+	head, tail int32
+	live       int32
 }
 
 // hist is an exact integer histogram of concurrent-port samples; counts
@@ -143,12 +161,38 @@ func (h *hist) add(v int) {
 		v = 0
 	}
 	if v >= len(h.counts) {
-		grown := make([]uint64, v+1)
-		copy(grown, h.counts)
-		h.counts = grown
+		h.grow(v + 1)
 	}
 	h.counts[v]++
 	h.n++
+}
+
+// grow widens counts to at least size, doubling capacity so a slowly
+// rising maximum costs O(log max) reallocations rather than one per new
+// peak. Values beyond the previous length stay zero, so nothing
+// observable changes.
+func (h *hist) grow(size int) {
+	newLen := 2 * len(h.counts)
+	if newLen < size {
+		newLen = size
+	}
+	grown := make([]uint64, newLen)
+	copy(grown, h.counts)
+	h.counts = grown
+}
+
+// merge folds o into h. The parallel engine accumulates one hist set per
+// realm and merges them in realm input order; counts are plain sums, so
+// the merged histogram is identical to one filled by a single
+// sequential run.
+func (h *hist) merge(o *hist) {
+	if len(o.counts) > len(h.counts) {
+		h.grow(len(o.counts))
+	}
+	for v, c := range o.counts {
+		h.counts[v] += c
+	}
+	h.n += o.n
 }
 
 // quantile returns the smallest value whose cumulative count reaches
@@ -199,16 +243,15 @@ func diurnalFactor(p Profile, tick int) float64 {
 
 // poisson draws a Poisson variate by Knuth's method; arrival rates are
 // small (a few flows per tick even for heavy hitters at peak), so the
-// loop stays short.
-func poisson(rng *rand.Rand, lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	l := math.Exp(-lambda)
+// loop stays short. expNegLambda is exp(-λ), hoisted by the caller: λ
+// takes one value per rate class per tick, so the engine computes the
+// exponential three times per tick instead of once per subscriber. The
+// draw sequence is identical to computing it inline.
+func poisson(rng *rand.Rand, expNegLambda float64) int {
 	k, p := 0, 1.0
 	for {
 		p *= rng.Float64()
-		if p <= l {
+		if p <= expNegLambda {
 			return k
 		}
 		k++
@@ -230,39 +273,101 @@ func classRate(p Profile, c Class) float64 {
 	}
 }
 
-// Run executes the engine: every realm in input order, every tick in
-// virtual time, deterministically. The virtual clock starts at the Unix
-// epoch like the simnet clock; wall time is never read.
+// realmOut is one realm's private accumulator set. The parallel engine
+// gives every realm its own and merges them in realm input order, which
+// reproduces the sequential engine's accumulation order exactly —
+// including the float-addition order into MeanUtil — so Result is
+// byte-identical at any worker count.
+type realmOut struct {
+	stat       RealmStat
+	classSubs  [3]int
+	classHists [3]hist
+	allHist    hist
+	// util[t] is this realm's instantaneous port-space utilization at
+	// tick t (the realm's addend into Result.MeanUtil).
+	util      []float64
+	refreshes uint64
+}
+
+// Run executes the engine: every realm on the worker pool (input order
+// when Workers <= 1), every tick in virtual time, deterministically. The
+// virtual clock starts at the Unix epoch like the simnet clock; wall
+// time is never read.
 func Run(cfg Config) *Result {
 	p := cfg.Profile.WithDefaults()
 	res := &Result{Profile: p}
 	if !p.Enabled() {
 		return res
 	}
+	// Realms without subscribers are skipped entirely (they appear
+	// nowhere in the result, not even as zero rows).
+	type job struct {
+		idx  int // index into cfg.Realms: the RNG stream and merge position
+		spec RealmSpec
+	}
+	var jobs []job
+	for i, spec := range cfg.Realms {
+		if spec.Subscribers > 0 {
+			jobs = append(jobs, job{idx: i, spec: spec})
+		}
+	}
+	if len(jobs) == 0 {
+		return res
+	}
+
+	outs := make([]*realmOut, len(jobs))
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		for ji, jb := range jobs {
+			outs[ji] = runRealm(cfg, p, jb.spec, jb.idx)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ji := range next {
+					outs[ji] = runRealm(cfg, p, jobs[ji].spec, jobs[ji].idx)
+				}
+			}()
+		}
+		for ji := range jobs {
+			next <- ji
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Ordered merge: realm input order, whatever order the workers
+	// finished in.
 	res.MeanUtil = make([]float64, p.Ticks)
 	var classHists [3]hist
 	var allHist hist
-
-	loaded := 0
-	for i, spec := range cfg.Realms {
-		if spec.Subscribers <= 0 {
-			continue
+	for _, o := range outs {
+		res.Realms = append(res.Realms, o.stat)
+		res.Subscribers += o.stat.Subscribers
+		res.Created += o.stat.Created
+		res.Expired += o.stat.Expired
+		res.Failures += o.stat.Failures
+		res.Refreshes += o.refreshes
+		for c := range classHists {
+			res.ByClass[c].Subscribers += o.classSubs[c]
+			classHists[c].merge(&o.classHists[c])
 		}
-		loaded++
-		// Mix the realm index into the seed with a 64-bit odd constant
-		// so realms draw independent streams whatever their order.
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i+1)*-0x61c8864680b583eb))
-		st := runRealm(cfg, p, spec, i, rng, &classHists, &allHist, res)
-		res.Realms = append(res.Realms, st)
-		res.Subscribers += spec.Subscribers
-		res.Created += st.Created
-		res.Expired += st.Expired
-		res.Failures += st.Failures
+		allHist.merge(&o.allHist)
+		for t, u := range o.util {
+			res.MeanUtil[t] += u
+		}
 	}
-	if loaded == 0 {
-		res.MeanUtil = nil
-		return res
-	}
+	loaded := len(outs)
 	for t := range res.MeanUtil {
 		res.MeanUtil[t] /= float64(loaded)
 		if res.MeanUtil[t] > res.PeakUtil {
@@ -289,12 +394,24 @@ func Run(cfg Config) *Result {
 }
 
 // runRealm drives one realm through every tick against a fresh NAT
-// replica built from the realm's configuration.
-func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int, rng *rand.Rand,
-	classHists *[3]hist, allHist *hist, res *Result) RealmStat {
-
+// replica built from the realm's configuration, accumulating into the
+// realm's private realmOut.
+func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
+	// Mix the realm index into the seed with a 64-bit odd constant so
+	// realms draw independent streams whatever their order.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(realmIdx+1)*-0x61c8864680b583eb))
 	n := nat.New(spec.NAT)
-	st := RealmStat{ID: spec.ID, Cellular: spec.Cellular, Subscribers: spec.Subscribers}
+	out := &realmOut{
+		stat: RealmStat{ID: spec.ID, Cellular: spec.Cellular, Subscribers: spec.Subscribers},
+		util: make([]float64, p.Ticks),
+	}
+
+	// Per-class arrival rates, shared by subscriber init and the
+	// per-tick λ hoist below so both see bit-identical values.
+	var rates [3]float64
+	for c := Class(0); c < numClasses; c++ {
+		rates[c] = p.FlowsPerTick * classRate(p, c)
+	}
 
 	// Subscriber internal addresses are synthetic (they never leave the
 	// engine): a dense 10.64/16-style block works for every allocator,
@@ -312,58 +429,135 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int, rng *rand.Ran
 		subs[j] = subscriber{
 			addr:  base + netaddr.Addr(j),
 			class: class,
-			rate:  p.FlowsPerTick * classRate(p, class),
+			rate:  rates[class],
+			head:  -1,
+			tail:  -1,
 		}
-		res.ByClass[class].Subscribers++
+		out.classSubs[class]++
 	}
 
+	// Incremental per-subscriber live-port counts: instead of probing
+	// nat.Sessions (a map lookup) for every subscriber every tick, the
+	// sampling loop reads subscriber.live, maintained by the NAT's
+	// mapping hooks. Subscriber addresses are dense above base, so the
+	// hook resolves the owner with one subtraction.
+	n.SetMappingHooks(
+		func(m *nat.Mapping) {
+			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
+				subs[j].live++
+			}
+		},
+		func(m *nat.Mapping) {
+			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
+				subs[j].live--
+			}
+		},
+	)
+
+	// The realm flow arena: all subscribers' flow lists live in one
+	// slice, dead nodes chain through the freelist. Steady-state ticks
+	// therefore allocate nothing — the arena grows to the realm's peak
+	// concurrent flow count and is recycled from then on.
+	arena := make([]flowNode, 0, 4*spec.Subscribers)
+	freeHead := int32(-1)
+
 	epoch := time.Unix(0, 0)
-	var dstSeq uint32
+	var dstSeq uint64
+	dstBase := netaddr.MustParseAddr("8.0.0.0")
 	for t := 0; t < p.Ticks; t++ {
 		now := epoch.Add(time.Duration(t) * p.TickStep)
 		n.Sweep(now)
 		df := diurnalFactor(p, t)
+		// λ = rate·df takes one value per class per tick; hoist the
+		// exponential Knuth's method needs out of the subscriber loop.
+		var expNegLambda [3]float64
+		for c := range rates {
+			expNegLambda[c] = math.Exp(-(rates[c] * df))
+		}
 
 		for j := range subs {
 			sub := &subs[j]
-			// Refresh live flows; a refresh that fails to re-allocate
-			// (the mapping idled out and the port space or quota is now
-			// exhausted) kills the flow.
-			keep := sub.flows[:0]
-			for _, fl := range sub.flows {
-				_, v := n.TranslateOut(fl.f, now)
-				if v == nat.Ok {
-					res.Refreshes++
+			// Refresh live flows through their mapping handles. A stale
+			// handle (the mapping idled out, or its struct was dropped)
+			// falls back to the full translation path, which re-creates
+			// the mapping exactly as the packet would; if even that
+			// fails (port space or quota now exhausted) the flow dies.
+			prev := int32(-1)
+			for idx := sub.head; idx >= 0; {
+				nd := &arena[idx]
+				next := nd.next
+				ok := n.Refresh(nd.ref, nd.f.Dst, now)
+				if !ok {
+					var v nat.Verdict
+					_, nd.ref, v = n.TranslateOutRef(nd.f, now)
+					ok = v == nat.Ok
 				}
-				fl.ticksLeft--
-				if fl.ticksLeft > 0 && v == nat.Ok {
-					keep = append(keep, fl)
+				if ok {
+					out.refreshes++
 				}
+				nd.ticksLeft--
+				if nd.ticksLeft > 0 && ok {
+					prev = idx
+				} else {
+					// Unlink and recycle the node.
+					if prev >= 0 {
+						arena[prev].next = next
+					} else {
+						sub.head = next
+					}
+					if next < 0 {
+						sub.tail = prev
+					}
+					nd.next = freeHead
+					freeHead = idx
+				}
+				idx = next
 			}
-			sub.flows = keep
 
 			// New flow arrivals under the diurnal curve. Each flow gets
 			// a fresh source port (distinct mappings on cone NATs) and a
 			// fresh destination (distinct mappings on symmetric NATs).
-			for k := poisson(rng, sub.rate*df); k > 0; k-- {
+			k := 0
+			if rates[sub.class]*df > 0 {
+				k = poisson(rng, expNegLambda[sub.class])
+			}
+			for ; k > 0; k-- {
 				dstSeq++
+				// The destination address carries the low 32 bits of the
+				// sequence and the port the next 16, so 5-tuples stay
+				// distinct for 2^48 flows per realm; below 2^32 the
+				// address alone varies and the port is exactly 443.
 				f := netaddr.FlowOf(netaddr.UDP,
 					netaddr.EndpointOf(sub.addr, uint16(1024+rng.Intn(64512))),
-					netaddr.EndpointOf(netaddr.MustParseAddr("8.0.0.0")+netaddr.Addr(dstSeq), 443))
+					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(dstSeq)), uint16(443+(dstSeq>>32))))
 				hold := 1 + rng.Intn(2*p.FlowHoldTicks-1)
-				if _, v := n.TranslateOut(f, now); v == nat.Ok {
-					sub.flows = append(sub.flows, flow{f: f, ticksLeft: hold})
+				if _, ref, v := n.TranslateOutRef(f, now); v == nat.Ok {
+					var ni int32
+					if freeHead >= 0 {
+						ni = freeHead
+						freeHead = arena[ni].next
+					} else {
+						arena = append(arena, flowNode{})
+						ni = int32(len(arena) - 1)
+					}
+					arena[ni] = flowNode{f: f, ref: ref, ticksLeft: int32(hold), next: -1}
+					if sub.tail >= 0 {
+						arena[sub.tail].next = ni
+					} else {
+						sub.head = ni
+					}
+					sub.tail = ni
 				}
 			}
 		}
 
 		// Sample: per-subscriber concurrent ports (live mappings, i.e.
-		// held external ports) and the realm's instantaneous port-space
-		// utilization.
+		// held external ports — the hook-maintained counters) and the
+		// realm's instantaneous port-space utilization.
 		for j := range subs {
-			c := n.Sessions(subs[j].addr)
-			classHists[subs[j].class].add(c)
-			allHist.add(c)
+			c := int(subs[j].live)
+			out.classHists[subs[j].class].add(c)
+			out.allHist.add(c)
 		}
 		// The engine generates UDP flows only, so utilization divides by
 		// the UDP share of the capacity (PortStats counts UDP and TCP
@@ -372,9 +566,9 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int, rng *rand.Ran
 		ps := n.PortStats()
 		if udpCapacity := ps.Capacity / 2; udpCapacity > 0 {
 			u := float64(ps.InUse) / float64(udpCapacity)
-			res.MeanUtil[t] += u
-			if u > st.PeakUtil {
-				st.PeakUtil = u
+			out.util[t] = u
+			if u > out.stat.PeakUtil {
+				out.stat.PeakUtil = u
 			}
 		}
 		if cfg.Observer != nil {
@@ -383,8 +577,8 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int, rng *rand.Ran
 	}
 
 	final := n.PortStats()
-	st.Created = final.Allocs
-	st.Failures = final.Failures()
-	st.Expired = n.Metrics.Counter("mappings_expired").Value()
-	return st
+	out.stat.Created = final.Allocs
+	out.stat.Failures = final.Failures()
+	out.stat.Expired = n.Metrics.Counter("mappings_expired").Value()
+	return out
 }

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -200,6 +201,80 @@ func TestProfileValidate(t *testing.T) {
 		if !strings.Contains(err.Error(), c.errPart) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errPart)
 		}
+	}
+}
+
+// TestHistMerge: merging per-realm histograms must be indistinguishable
+// from accumulating every sample into one histogram — the property the
+// parallel engine's ordered merge rests on.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, all hist
+	for i := 0; i < 4096; i++ {
+		v := rng.Intn(200)
+		if rng.Intn(2) == 0 {
+			a.add(v)
+		} else {
+			b.add(v)
+		}
+		all.add(v)
+	}
+	a.merge(&b)
+	if a.n != all.n {
+		t.Fatalf("merged n = %d, want %d", a.n, all.n)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := a.quantile(q), all.quantile(q); got != want {
+			t.Errorf("quantile(%v) = %d after merge, want %d", q, got, want)
+		}
+	}
+	if got, want := a.max(), all.max(); got != want {
+		t.Errorf("max = %d after merge, want %d", got, want)
+	}
+	for v := 0; v < 200; v++ {
+		var got, want uint64
+		if v < len(a.counts) {
+			got = a.counts[v]
+		}
+		if v < len(all.counts) {
+			want = all.counts[v]
+		}
+		if got != want {
+			t.Fatalf("counts[%d] = %d after merge, want %d", v, got, want)
+		}
+	}
+
+	// Merging into an empty histogram and merging an empty one are both
+	// exact.
+	var empty, dst hist
+	dst.merge(&all)
+	dst.merge(&empty)
+	if dst.n != all.n || dst.quantile(0.5) != all.quantile(0.5) || dst.max() != all.max() {
+		t.Errorf("empty-merge changed the histogram: %+v vs %+v", dst, all)
+	}
+}
+
+// TestHistGeometricGrowth: a rising maximum must cost O(log max)
+// reallocations, not one per new peak.
+func TestHistGeometricGrowth(t *testing.T) {
+	var h hist
+	grows := 0
+	prevLen := 0
+	for v := 0; v <= 4096; v++ {
+		h.add(v)
+		if len(h.counts) != prevLen {
+			grows++
+			prevLen = len(h.counts)
+		}
+	}
+	if grows > 16 {
+		t.Errorf("counts reallocated %d times for max 4096; growth is not geometric", grows)
+	}
+	if got := h.max(); got != 4096 {
+		t.Errorf("max = %d, want 4096", got)
+	}
+	if h.n != 4097 {
+		t.Errorf("n = %d, want 4097", h.n)
 	}
 }
 
