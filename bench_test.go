@@ -411,6 +411,11 @@ func BenchmarkTrafficWeek(b *testing.B) { perf.TrafficWeek(b) }
 // through one simulated day, realm-parallel (see perf.TrafficMetro).
 func BenchmarkTrafficMetro(b *testing.B) { perf.TrafficMetro(b) }
 
+// BenchmarkTrafficMetroSharded is the same metro day on the intra-realm
+// sharded NAT engine — realm workers × per-realm lane shards (see
+// perf.TrafficMetroSharded).
+func BenchmarkTrafficMetroSharded(b *testing.B) { perf.TrafficMetroSharded(b) }
+
 // BenchmarkE17PortLoad measures the port-pressure analysis over the
 // cached campaign's carrier NATs.
 func BenchmarkE17PortLoad(b *testing.B) {

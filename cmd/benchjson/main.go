@@ -36,16 +36,25 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Workers and Shards (schema 2) record the concurrency shape a
+	// parallel benchmark ran at — traffic-engine realm workers and NAT
+	// shards per realm; absent for single-threaded bodies.
+	Workers int `json:"workers,omitempty"`
+	Shards  int `json:"shards,omitempty"`
 }
 
 // document is the emitted file layout.
 type document struct {
-	// Schema versions the layout for future tooling.
+	// Schema versions the layout for future tooling. Schema 2 added the
+	// top-level gomaxprocs and the per-benchmark workers/shards fields.
 	Schema    int    `json:"schema"`
 	Generated string `json:"generated"`
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS is the parallelism the process measured under —
+	// parallel benchmarks size their pools from it.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Note carries free-form provenance (e.g. the commit measured).
 	Note       string   `json:"note,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
@@ -64,12 +73,13 @@ func main() {
 	}
 
 	doc := document{
-		Schema:    1,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Note:      *note,
+		Schema:     2,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
 	}
 	for _, bm := range perf.All() {
 		if !re.MatchString(bm.Name) {
@@ -83,6 +93,8 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Workers:     bm.Workers,
+			Shards:      bm.Shards,
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()

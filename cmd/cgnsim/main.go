@@ -37,6 +37,7 @@ func main() {
 	portSpan := flag.Int("portspan", 0, "narrow every CGN realm to this many external ports (0 keeps the scenario's setting)")
 	portQuota := flag.Int("portquota", 0, "per-subscriber CGN port quota (0 keeps the scenario's setting)")
 	trafficWorkers := flag.Int("traffic-workers", 0, "traffic-engine (E18) realm worker pool; 0 or 1 replays realms sequentially (results are byte-identical at any value)")
+	trafficShards := flag.Int("traffic-shards", 0, "traffic-engine (E18) NAT shards per realm; 0 keeps the legacy engine, >=1 uses the intra-realm sharded engine (identical at any shard count, distinct universe from 0)")
 	sweep := flag.Bool("sweep", false, "run a multi-world sweep instead of a single campaign")
 	scenarios := flag.String("scenarios", "small", "sweep mode: comma-separated scenario names")
 	replicates := flag.Int("replicates", 8, "sweep mode: replicate worlds (seeds) per scenario")
@@ -78,7 +79,7 @@ func main() {
 	}
 
 	if *sweep {
-		code := runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *trafficWorkers, *verbose)
+		code := runSweep(*scenarios, *replicates, *workers, *seed, *portSpan, *portQuota, *trafficWorkers, *trafficShards, *verbose)
 		stopProfiles()
 		os.Exit(code)
 	}
@@ -102,7 +103,10 @@ func main() {
 	fmt.Printf("world: %d ASes, %d BitTorrent peers, %d Netalyzr vantage points, %d true CGN ASes\n\n",
 		w.DB.Len(), len(w.Swarm.Peers), w.NumClients(), len(w.CGNTruth()))
 
-	b := report.CollectWith(w, report.CollectOptions{TrafficWorkers: *trafficWorkers})
+	b := report.CollectWith(w, report.CollectOptions{
+		TrafficWorkers: *trafficWorkers,
+		TrafficShards:  *trafficShards,
+	})
 	if *experiment == "" {
 		fmt.Println(b.All())
 	} else {
@@ -127,7 +131,7 @@ func main() {
 }
 
 // runSweep drives the campaign engine and prints the aggregate table.
-func runSweep(scenarioList string, replicates, workers int, baseSeed int64, portSpan, portQuota, trafficWorkers int, verbose bool) int {
+func runSweep(scenarioList string, replicates, workers int, baseSeed int64, portSpan, portQuota, trafficWorkers, trafficShards int, verbose bool) int {
 	cfg := campaign.Config{
 		Scenarios:      strings.Split(scenarioList, ","),
 		Replicates:     replicates,
@@ -136,6 +140,7 @@ func runSweep(scenarioList string, replicates, workers int, baseSeed int64, port
 		PortSpan:       portSpan,
 		PortQuota:      portQuota,
 		TrafficWorkers: trafficWorkers,
+		TrafficShards:  trafficShards,
 	}
 	if verbose {
 		cfg.OnWorld = func(r campaign.WorldResult) {

@@ -57,6 +57,12 @@ type Config struct {
 	// byte-identical at any value, so the grid aggregates never depend
 	// on it.
 	TrafficWorkers int
+	// TrafficShards selects each world's E18 NAT engine: 0 keeps the
+	// legacy single-table replay (the goldens' universe); >= 1 switches
+	// to the intra-realm sharded engine, identical at any shard count
+	// but a distinct universe from legacy (report.CollectOptions has the
+	// full contract).
+	TrafficShards int
 	// OnWorld, when set, is called after each world completes, from the
 	// worker that ran it. Progress reporting only — results arrive in
 	// deterministic order via Sweep's return regardless.
@@ -190,7 +196,10 @@ func runWorld(cfg Config, job Job) WorldResult {
 	sc.ApplyPortOverrides(cfg.PortSpan, cfg.PortQuota)
 	sc.Seed = job.Seed
 	w := internet.Build(sc)
-	b := report.CollectWith(w, report.CollectOptions{TrafficWorkers: cfg.TrafficWorkers})
+	b := report.CollectWith(w, report.CollectOptions{
+		TrafficWorkers: cfg.TrafficWorkers,
+		TrafficShards:  cfg.TrafficShards,
+	})
 
 	truth := w.CGNTruth()
 	sum := sha256.Sum256([]byte(b.All()))

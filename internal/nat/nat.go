@@ -278,13 +278,43 @@ func (v Verdict) String() string {
 	}
 }
 
-// Mapping is one translation table entry.
+// Mapping is one translation table entry. Field order is deliberate:
+// the first cache line holds everything the per-packet paths touch —
+// the memo checks (dead, key), the keepalive fast path and the sweep
+// (dead, gen, lastActive, Proto), and drop's teardown (key, Int, Ext) —
+// so a refresh or an expiry costs one line fill, not three.
 type Mapping struct {
+	// dead marks a mapping already removed from the tables; the expiry
+	// schedule skips its stale entry lazily instead of searching for it.
+	dead  bool
 	Proto netaddr.Proto
+	// subGen/subSlot memoize the owner's subscriber-table slot (valid
+	// while subGen matches the table's growth counter), so teardown
+	// reaches the session count without re-probing. They pack into what
+	// would otherwise be struct padding.
+	subGen  uint16
+	subSlot uint32
+	// gen counts this struct's incarnations: drop bumps it, so a stale
+	// expiry-schedule entry or MappingRef from before a recycle can never
+	// be mistaken for the struct's current tenant.
+	gen uint64
+	// lastActive drives expiry, as Unix nanoseconds: the expiry math is
+	// pure int64 arithmetic on the hot path, and the stamps cost 8 bytes
+	// each in the slab instead of time.Time's 24.
+	lastActive int64
+	// key is the byInt index this mapping lives under.
+	key intKey
 	// Int is the internal (subscriber-side) endpoint.
 	Int netaddr.Endpoint
 	// Ext is the allocated external endpoint.
 	Ext netaddr.Endpoint
+	// inByExt marks the mapping as actually inserted into the inbound
+	// index (see extLog); teardown skips the byExt delete otherwise. It
+	// rides in the hot header's tail padding so drop stays a one-line
+	// read.
+	inByExt bool
+	// --- cold from here: creation stamp and the destination set. ---
+	created int64
 	// dst0 is the first remote endpoint this mapping sent to; extraDsts,
 	// allocated only when a second distinct destination appears, holds the
 	// rest. The restricted filtering policies consult the set. Almost
@@ -297,19 +327,15 @@ type Mapping struct {
 	// one destination, and an Endpoint compare is far cheaper than the
 	// destination-set probe on every packet.
 	lastDst netaddr.Endpoint
-	// key is the byInt index this mapping lives under.
-	key intKey
-	// Created and LastActive drive expiry.
-	Created    time.Time
-	LastActive time.Time
-	// gen counts this struct's incarnations: drop bumps it, so a stale
-	// expiry-heap entry or MappingRef from before a recycle can never be
-	// mistaken for the struct's current tenant.
-	gen uint64
-	// dead marks a mapping already removed from the tables; the expiry
-	// heap skips its stale entry lazily instead of searching for it.
-	dead bool
 }
+
+// CreatedNano returns the mapping's creation time in Unix nanoseconds.
+func (m *Mapping) CreatedNano() int64 { return m.created }
+
+// LastActiveNano returns the mapping's last-activity time in Unix
+// nanoseconds; LastActiveNano plus the protocol timeout is the expiry
+// deadline.
+func (m *Mapping) LastActiveNano() int64 { return m.lastActive }
 
 // SentTo reports whether the mapping has contacted remote endpoint e.
 func (m *Mapping) SentTo(e netaddr.Endpoint) bool { return e == m.dst0 || m.extraDsts[e] }
@@ -364,16 +390,37 @@ func extKeyFor(p netaddr.Proto, ext netaddr.Endpoint) uint64 {
 	return uint64(p)<<48 | uint64(ext.Addr)<<16 | uint64(ext.Port)
 }
 
+// extLogEntry is one deferred byExt insertion. gen pins the entry to the
+// mapping incarnation that was created: drop bumps the struct's gen, so
+// a stale entry can never resurrect a dead (or recycled) mapping.
+type extLogEntry struct {
+	m   *Mapping
+	gen uint64
+}
+
 // NAT is one translator instance.
 type NAT struct {
 	cfg Config
 	rng *rand.Rand
 
-	byInt map[intKey]*Mapping
-	byExt map[uint64]*Mapping
+	// byInt and byExt are the translation tables, open-addressing hash
+	// tables specialized for the packed key shapes (table.go). byInt is
+	// authoritative — every live mapping is in it. byExt, the inbound
+	// index, is maintained lazily: creations append to extLog, and the
+	// index catches up only when an inbound-side consumer (TranslateIn,
+	// LookupByExternal) actually probes it. Outbound-only workloads —
+	// the traffic engine's entire life — therefore never pay the
+	// inbound index's put/del on the mapping-churn hot path.
+	byInt intTable
+	byExt extTable
 
-	// pairedExt pins internal IPs to pool members under Paired pooling.
-	pairedExt map[netaddr.Addr]netaddr.Addr
+	// extLog holds mappings created since the last byExt flush, as
+	// (struct, generation) pairs: a dropped or recycled mapping's entry
+	// goes stale by generation mismatch and is skipped at flush, so drop
+	// never searches the log. Compaction keeps the log from outgrowing
+	// the live population.
+	extLog []extLogEntry
+
 	// rrNext rotates pool members for Arbitrary pooling and initial
 	// Paired assignment.
 	rrNext int
@@ -381,16 +428,21 @@ type NAT struct {
 	ports  *portSpace
 	chunks *chunkTable
 
+	// capacity is the allocatable (protocol, port) slot count across the
+	// whole pool — immutable once constructed, so PortStats never
+	// recomputes it.
+	capacity int
+
 	// exp is the expiry schedule: one entry per live mapping, bucketed
 	// on the deadline recorded when the entry was pushed. Refreshes do
 	// not touch it; Sweep re-buckets stale entries lazily, so
 	// idle-timeout processing never walks the full table.
 	exp expQueue
 
-	// sessions counts live mappings per internal IP for the session limit
-	// and the port quota; subsSeen records every internal IP ever mapped.
-	sessions map[netaddr.Addr]int
-	subsSeen map[netaddr.Addr]bool
+	// subs is the per-subscriber table: live session counts (for the
+	// session limit and the port quota), the ever-mapped flag, and the
+	// Paired-pooling IP pin, one probe for all three.
+	subs subTable
 
 	// lastOut and lastIn memoize the most recently translated mapping in
 	// each direction: consecutive packets of one flow (an exchange, a
@@ -446,37 +498,94 @@ type expEntry struct {
 // workloads touch thousands of mappings per instant — so the heap holds
 // a handful of timestamps where an entry-per-mapping heap held
 // thousands, and scheduling or lazily re-keying a mapping is an O(1)
-// bucket append instead of an O(log n) sift. Drained bucket slices are
-// recycled through free, keeping steady-state churn allocation-free.
+// bucket append instead of an O(log n) sift. Buckets live in a small
+// open-addressing index keyed by deadline (the same probing scheme as
+// the translation tables, with backward-shift deletion when a bucket
+// drains); drained bucket slices are recycled through free, keeping
+// steady-state churn allocation-free.
 type expQueue struct {
-	buckets map[int64][]expEntry
-	times   timeHeap
-	free    [][]expEntry
+	slots []expSlot
+	n     int
+	times timeHeap
+	free  [][]expEntry
+}
+
+// expSlot is one bucket-index slot: the deadline key and the entries
+// scheduled for it.
+type expSlot struct {
+	at      int64
+	used    bool
+	entries []expEntry
 }
 
 func (q *expQueue) init() {
-	q.buckets = make(map[int64][]expEntry)
+	q.slots = make([]expSlot, tableMinSlots)
 }
 
 func (q *expQueue) push(at int64, m *Mapping, gen uint64) {
-	b, ok := q.buckets[at]
-	if !ok {
+	if (q.n+1)*4 > len(q.slots)*3 {
+		q.grow()
+	}
+	mask := uint64(len(q.slots) - 1)
+	i := mix64(uint64(at)) & mask
+	for q.slots[i].used && q.slots[i].at != at {
+		i = (i + 1) & mask
+	}
+	s := &q.slots[i]
+	if !s.used {
+		s.used = true
+		s.at = at
+		q.n++
 		q.times.push(at)
 		if k := len(q.free) - 1; k >= 0 {
-			b = q.free[k]
+			s.entries = q.free[k]
 			q.free[k] = nil
 			q.free = q.free[:k]
 		}
 	}
-	q.buckets[at] = append(b, expEntry{m: m, gen: gen})
+	s.entries = append(s.entries, expEntry{m: m, gen: gen})
+}
+
+func (q *expQueue) grow() {
+	old := q.slots
+	q.slots = make([]expSlot, 2*len(old))
+	mask := uint64(len(q.slots) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := mix64(uint64(old[i].at)) & mask
+		for q.slots[j].used {
+			j = (j + 1) & mask
+		}
+		q.slots[j] = old[i]
+	}
 }
 
 // takeBucket removes and returns the earliest bucket; the caller owns
 // the slice and must hand it back via release.
 func (q *expQueue) takeBucket() []expEntry {
 	at := q.times.pop()
-	b := q.buckets[at]
-	delete(q.buckets, at)
+	mask := uint64(len(q.slots) - 1)
+	i := mix64(uint64(at)) & mask
+	for !q.slots[i].used || q.slots[i].at != at {
+		i = (i + 1) & mask
+	}
+	b := q.slots[i].entries
+	// Backward-shift deletion, as in the translation tables.
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !q.slots[j].used {
+			break
+		}
+		if h := mix64(uint64(q.slots[j].at)) & mask; (j-h)&mask >= (j-i)&mask {
+			q.slots[i] = q.slots[j]
+			i = j
+		}
+	}
+	q.slots[i] = expSlot{}
+	q.n--
 	return b
 }
 
@@ -557,15 +666,13 @@ func New(cfg Config) *NAT {
 		panic(fmt.Sprintf("nat: chunk size %d is not a power of two", c.ChunkSize))
 	}
 	n := &NAT{
-		cfg:       c,
-		rng:       rand.New(rand.NewSource(c.Seed)),
-		byInt:     make(map[intKey]*Mapping),
-		byExt:     make(map[uint64]*Mapping),
-		pairedExt: make(map[netaddr.Addr]netaddr.Addr),
-		sessions:  make(map[netaddr.Addr]int),
-		subsSeen:  make(map[netaddr.Addr]bool),
-		Metrics:   metrics.NewSet(),
+		cfg:     c,
+		rng:     rand.New(rand.NewSource(c.Seed)),
+		Metrics: metrics.NewSet(),
 	}
+	n.byInt.init()
+	n.byExt.init()
+	n.subs.init()
 	n.exp.init()
 	n.cPktsOut = n.Metrics.Counter("pkts_out")
 	n.cPktsIn = n.Metrics.Counter("pkts_in")
@@ -580,6 +687,9 @@ func New(cfg Config) *NAT {
 	n.cDropHairpin = n.Metrics.Counter("drop_hairpin")
 	n.gLive = n.Metrics.Gauge("mappings_live")
 	n.ports = newPortSpace(c.PortLo, c.PortHi)
+	// Two transport protocols (UDP, TCP) each carry a full port range per
+	// external IP; InUse/Peak count across every (IP, proto) segment.
+	n.capacity = 2 * n.ports.size() * len(c.ExternalIPs)
 	if c.PortAlloc == RandomChunk {
 		n.chunks = newChunkTable(c.PortLo, c.PortHi, uint16(c.ChunkSize))
 	}
@@ -602,7 +712,7 @@ func (n *NAT) IsExternal(a netaddr.Addr) bool {
 
 // NumMappings returns the number of live entries (including any that have
 // expired but not yet been swept).
-func (n *NAT) NumMappings() int { return len(n.byExt) }
+func (n *NAT) NumMappings() int { return n.byInt.n }
 
 func (n *NAT) timeout(p netaddr.Proto) time.Duration {
 	if p == netaddr.TCP {
@@ -611,8 +721,8 @@ func (n *NAT) timeout(p netaddr.Proto) time.Duration {
 	return n.cfg.UDPTimeout
 }
 
-func (n *NAT) expired(m *Mapping, now time.Time) bool {
-	return now.Sub(m.LastActive) > n.timeout(m.Proto)
+func (n *NAT) expiredAt(m *Mapping, nowNano int64) bool {
+	return nowNano-m.lastActive > int64(n.timeout(m.Proto))
 }
 
 func (n *NAT) intKeyFor(f netaddr.Flow) intKey {
@@ -630,16 +740,55 @@ func (n *NAT) drop(m *Mapping) {
 	}
 	m.dead = true
 	m.gen++
-	delete(n.byExt, extKeyFor(m.Proto, m.Ext))
-	delete(n.byInt, m.key)
+	if m.inByExt {
+		n.byExt.del(extKeyFor(m.Proto, m.Ext))
+	}
+	n.byInt.del(m.key)
 	n.ports.free(m.Ext, m.Proto)
-	n.sessions[m.Int.Addr]--
-	if n.sessions[m.Int.Addr] <= 0 {
-		delete(n.sessions, m.Int.Addr)
+	// A live mapping implies the subscriber entry exists; the memoized
+	// slot shortcuts the probe unless the table grew since creation
+	// (entries only move on growth, so a matching gen proves the slot).
+	var e *subEntry
+	if m.subGen == n.subs.gen {
+		e = &n.subs.slots[m.subSlot]
+	} else {
+		e = n.subs.get(m.Int.Addr)
+	}
+	e.sessions--
+	if e.sessions == 0 {
+		n.subs.live--
 	}
 	n.cMapExpired.Inc()
-	n.gLive.Set(int64(len(n.byExt)))
+	n.gLive.Set(int64(n.byInt.n))
 	n.freeMaps = append(n.freeMaps, m)
+}
+
+// flushExtLog brings the inbound index up to date: every live logged
+// mapping is inserted, stale entries (generation mismatch — the mapping
+// was dropped, possibly recycled, since logging) are skipped, and the
+// log drains. Inbound-side consumers call it before probing byExt.
+func (n *NAT) flushExtLog() {
+	for _, e := range n.extLog {
+		if e.m.gen == e.gen {
+			n.byExt.put(extKeyFor(e.m.Proto, e.m.Ext), e.m)
+			e.m.inByExt = true
+		}
+	}
+	n.extLog = n.extLog[:0]
+}
+
+// compactExtLog drops stale entries in place, keeping creation order.
+// Called when the log outgrows the live population, which bounds its
+// footprint at O(live) with amortized O(1) work per creation.
+func (n *NAT) compactExtLog() {
+	w := 0
+	for _, e := range n.extLog {
+		if e.m.gen == e.gen {
+			n.extLog[w] = e
+			w++
+		}
+	}
+	n.extLog = n.extLog[:w]
 }
 
 // mappingSlab is how many Mapping structs newMapping carves per heap
@@ -655,11 +804,15 @@ func (n *NAT) newMapping() *Mapping {
 		m := n.freeMaps[k]
 		n.freeMaps[k] = nil
 		n.freeMaps = n.freeMaps[:k]
-		gen, extra := m.gen, m.extraDsts
-		if extra != nil {
-			clear(extra)
+		// Targeted reset: the create path overwrites every other field
+		// (endpoints, key, stamps, subscriber memo), so recycling only
+		// clears the two lifecycle flags and the destination overflow —
+		// not the whole struct. gen survives by design.
+		m.dead = false
+		m.inByExt = false
+		if m.extraDsts != nil {
+			clear(m.extraDsts)
 		}
-		*m = Mapping{gen: gen, extraDsts: extra}
 		return m
 	}
 	if len(n.slab) == 0 {
@@ -728,7 +881,8 @@ func (n *NAT) Refresh(r MappingRef, dst netaddr.Endpoint, now time.Time) bool {
 	if m == nil || m.dead || m.gen != r.gen {
 		return false
 	}
-	if n.expired(m, now) {
+	nowNano := now.UnixNano()
+	if n.expiredAt(m, nowNano) {
 		n.drop(m)
 		return false
 	}
@@ -741,7 +895,7 @@ func (n *NAT) Refresh(r MappingRef, dst netaddr.Endpoint, now time.Time) bool {
 	if n.cfg.Type != Symmetric {
 		m.noteDst(dst)
 	}
-	m.LastActive = now
+	m.lastActive = nowNano
 	n.cPktsOut.Inc()
 	return true
 }
@@ -750,27 +904,31 @@ func (n *NAT) Refresh(r MappingRef, dst netaddr.Endpoint, now time.Time) bool {
 // for f and refresh it.
 func (n *NAT) translateOut(f netaddr.Flow, now time.Time) (*Mapping, Verdict) {
 	k := n.intKeyFor(f)
+	nowNano := now.UnixNano()
 	// One-entry memo: consecutive packets of one flow skip the byInt
 	// probe. The dead flag (set by drop) and the full key compare keep
 	// the shortcut exact.
 	m := n.lastOut
 	if m == nil || m.dead || m.key != k {
-		m = n.byInt[k]
+		m = n.byInt.get(k)
 	}
-	if m != nil && n.expired(m, now) {
+	if m != nil && n.expiredAt(m, nowNano) {
 		n.drop(m)
 		m = nil
 	}
 	if m == nil {
-		if lim := n.cfg.MaxSessionsPerSubscriber; lim > 0 && n.sessions[f.Src.Addr] >= lim {
+		// One probe resolves everything per-subscriber: session count for
+		// the limit and quota checks, the seen flag, the pooling pin.
+		e, eSlot := n.subs.ensure(f.Src.Addr)
+		if lim := n.cfg.MaxSessionsPerSubscriber; lim > 0 && int(e.sessions) >= lim {
 			n.cDropSession.Inc()
 			return nil, DropSessionLimit
 		}
-		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && n.sessions[f.Src.Addr] >= q {
+		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && int(e.sessions) >= q {
 			n.cDropQuota.Inc()
 			return nil, DropPortQuota
 		}
-		ext, ok := n.allocate(f, now)
+		ext, ok := n.allocate(f, e)
 		if !ok {
 			n.cDropNoPorts.Inc()
 			return nil, DropNoPorts
@@ -779,24 +937,30 @@ func (n *NAT) translateOut(f netaddr.Flow, now time.Time) (*Mapping, Verdict) {
 		m.Proto, m.Int, m.Ext = f.Proto, f.Src, ext
 		m.dst0, m.lastDst = f.Dst, f.Dst
 		m.key = k
-		m.Created = now
-		n.byInt[k] = m
-		n.byExt[extKeyFor(f.Proto, ext)] = m
-		n.sessions[f.Src.Addr]++
-		// Probe before write: under churn the subscriber is almost
-		// always known already, and a map read is cheaper than a store.
-		if !n.subsSeen[f.Src.Addr] {
-			n.subsSeen[f.Src.Addr] = true
+		m.created = nowNano
+		m.subGen, m.subSlot = n.subs.gen, eSlot
+		n.byInt.put(k, m)
+		n.extLog = append(n.extLog, extLogEntry{m, m.gen})
+		if len(n.extLog) >= 64 && len(n.extLog) > 2*n.byInt.n {
+			n.compactExtLog()
 		}
-		n.exp.push(now.UnixNano()+int64(n.timeout(f.Proto)), m, m.gen)
+		e.sessions++
+		if e.sessions == 1 {
+			n.subs.live++
+		}
+		if !e.seen {
+			e.seen = true
+			n.subs.seen++
+		}
+		n.exp.push(nowNano+int64(n.timeout(f.Proto)), m, m.gen)
 		n.cMapCreated.Inc()
-		n.gLive.Set(int64(len(n.byExt)))
+		n.gLive.Set(int64(n.byInt.n))
 		if n.onCreate != nil {
 			n.onCreate(m)
 		}
 	}
 	m.noteDst(f.Dst)
-	m.LastActive = now
+	m.lastActive = nowNano
 	n.lastOut = m
 	n.cPktsOut.Inc()
 	return m, Ok
@@ -809,9 +973,10 @@ func (n *NAT) TranslateIn(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict)
 	// One-entry memo, mirroring TranslateOut's.
 	m := n.lastIn
 	if m == nil || m.dead || m.Proto != f.Proto || m.Ext != f.Dst {
-		m = n.byExt[extKeyFor(f.Proto, f.Dst)]
+		n.flushExtLog()
+		m = n.byExt.get(extKeyFor(f.Proto, f.Dst))
 	}
-	if m != nil && n.expired(m, now) {
+	if m != nil && n.expiredAt(m, now.UnixNano()) {
 		n.drop(m)
 		m = nil
 	}
@@ -824,7 +989,7 @@ func (n *NAT) TranslateIn(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict)
 		return netaddr.Flow{}, DropFiltered
 	}
 	if n.cfg.RefreshOnInbound {
-		m.LastActive = now
+		m.lastActive = now.UnixNano()
 	}
 	n.lastIn = m
 	n.cPktsIn.Inc()
@@ -883,8 +1048,9 @@ func (n *NAT) Hairpin(f netaddr.Flow, now time.Time) (HairpinResult, Verdict) {
 }
 
 // allocate chooses an external endpoint for a new mapping of flow f.
-func (n *NAT) allocate(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
-	ip := n.chooseExternalIP(f.Src.Addr)
+// e is the flow's subscriber entry, already probed by the caller.
+func (n *NAT) allocate(f netaddr.Flow, e *subEntry) (netaddr.Endpoint, bool) {
+	ip := n.chooseExternalIP(e)
 	switch n.cfg.PortAlloc {
 	case Preservation:
 		if port, ok := n.ports.takePreferred(ip, f.Proto, f.Src.Port, n.rng); ok {
@@ -911,18 +1077,18 @@ func (n *NAT) allocate(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
 	return netaddr.Endpoint{}, false
 }
 
-func (n *NAT) chooseExternalIP(internal netaddr.Addr) netaddr.Addr {
+func (n *NAT) chooseExternalIP(e *subEntry) netaddr.Addr {
 	pool := n.cfg.ExternalIPs
 	if len(pool) == 1 {
 		return pool[0]
 	}
 	if n.cfg.Pooling == Paired {
-		if ip, ok := n.pairedExt[internal]; ok {
-			return ip
+		if e.hasPaired {
+			return e.paired
 		}
 		ip := pool[n.rrNext%len(pool)]
 		n.rrNext++
-		n.pairedExt[internal] = ip
+		e.paired, e.hasPaired = ip, true
 		return ip
 	}
 	// Arbitrary pooling: pick a random pool member per mapping.
@@ -950,7 +1116,7 @@ func (n *NAT) Sweep(now time.Time) int {
 			if e.m.dead || e.m.gen != e.gen {
 				continue
 			}
-			deadline := e.m.LastActive.UnixNano() + int64(n.timeout(e.m.Proto))
+			deadline := e.m.lastActive + int64(n.timeout(e.m.Proto))
 			if nowNano > deadline {
 				n.drop(e.m)
 				removed++
@@ -1006,19 +1172,20 @@ func (s PortStats) Utilization() float64 {
 	return float64(s.Peak) / float64(s.Capacity)
 }
 
-// PortStats snapshots the NAT's port-resource state.
+// PortStats snapshots the NAT's port-resource state. Capacity is cached
+// at construction (the pool and port range are immutable) and the
+// counters are the hoisted hot-path cells, so a snapshot costs a few
+// loads — the traffic engine takes one per realm per tick.
 func (n *NAT) PortStats() PortStats {
 	return PortStats{
 		ExternalIPs: len(n.cfg.ExternalIPs),
-		// Two transport protocols (UDP, TCP) each carry a full port range
-		// per external IP; InUse/Peak sum across every (IP, proto) segment.
-		Capacity:    2 * n.ports.size() * len(n.cfg.ExternalIPs),
+		Capacity:    n.capacity,
 		InUse:       n.ports.inUse,
 		Peak:        n.ports.peak,
-		Subscribers: len(n.subsSeen),
-		Allocs:      n.Metrics.Counter("mappings_created").Value(),
-		NoPorts:     n.Metrics.Counter("drop_no_ports").Value(),
-		QuotaDrops:  n.Metrics.Counter("drop_port_quota").Value(),
+		Subscribers: n.subs.seen,
+		Allocs:      n.cMapCreated.Value(),
+		NoPorts:     n.cDropNoPorts.Value(),
+		QuotaDrops:  n.cDropQuota.Value(),
 	}
 }
 
@@ -1027,7 +1194,31 @@ func (n *NAT) PortStats() PortStats {
 // their deadline that no Sweep or translation has dropped yet. The
 // traffic engine samples it per subscriber per tick for the E18
 // concurrent-port-usage analysis.
-func (n *NAT) Sessions(a netaddr.Addr) int { return n.sessions[a] }
+func (n *NAT) Sessions(a netaddr.Addr) int {
+	if e := n.subs.get(a); e != nil {
+		return int(e.sessions)
+	}
+	return 0
+}
+
+// forEachSession calls fn for every subscriber currently holding at
+// least one live mapping, in unspecified order. The digest and the
+// invariant tests consume it.
+func (n *NAT) forEachSession(fn func(a netaddr.Addr, count int)) {
+	n.subs.forEach(func(e *subEntry) {
+		if e.sessions > 0 {
+			fn(e.addr, int(e.sessions))
+		}
+	})
+}
+
+// liveSubscribers counts subscribers currently holding at least one live
+// mapping — the size the old per-subscriber session map would have had.
+func (n *NAT) liveSubscribers() int { return n.subs.live }
+
+// subTableSlots reports the subscriber table's slot-array size; the
+// footprint regression tests pin it across churn.
+func (n *NAT) subTableSlots() int { return len(n.subs.slots) }
 
 // ForEachMapping calls fn for every mapping currently in the table, in
 // unspecified order. Callers that need determinism must sort what they
@@ -1035,15 +1226,14 @@ func (n *NAT) Sessions(a netaddr.Addr) int { return n.sessions[a] }
 // tests use it as the naive reference model: recounting the table from
 // scratch and diffing against the engine's incremental counters.
 func (n *NAT) ForEachMapping(fn func(m *Mapping)) {
-	for _, m := range n.byExt {
-		fn(m)
-	}
+	n.byInt.forEach(fn)
 }
 
 // LookupByExternal returns the live mapping behind an external endpoint.
 func (n *NAT) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.Time) (*Mapping, bool) {
-	m := n.byExt[extKeyFor(p, ext)]
-	if m == nil || n.expired(m, now) {
+	n.flushExtLog()
+	m := n.byExt.get(extKeyFor(p, ext))
+	if m == nil || n.expiredAt(m, now.UnixNano()) {
 		return nil, false
 	}
 	return m, true
@@ -1053,9 +1243,27 @@ func (n *NAT) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.T
 // would currently map to, without creating state. Test helpers use it to
 // assert pooling and preservation behavior.
 func (n *NAT) ExternalFor(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
-	m := n.byInt[n.intKeyFor(f)]
-	if m == nil || n.expired(m, now) {
+	m := n.byInt.get(n.intKeyFor(f))
+	if m == nil || n.expiredAt(m, now.UnixNano()) {
 		return netaddr.Endpoint{}, false
 	}
 	return m.Ext, true
 }
+
+// View is the read-only introspection surface shared by the sequential
+// *NAT and the sharded façade (*Sharded): everything an observer —
+// the traffic engine's Observer hook, the reports, the differential
+// tests — needs without caring how the state is partitioned.
+type View interface {
+	Config() Config
+	NumMappings() int
+	Sessions(a netaddr.Addr) int
+	ForEachMapping(fn func(m *Mapping))
+	PortStats() PortStats
+	StateDigest() string
+}
+
+var (
+	_ View = (*NAT)(nil)
+	_ View = (*Sharded)(nil)
+)

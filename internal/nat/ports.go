@@ -33,7 +33,13 @@ type portAllocator interface {
 // its free counter.
 type portSpace struct {
 	lo, hi uint16
-	segs   map[seqKey]*portSeg
+	// Segments are stored as parallel packed-key/value slices scanned
+	// linearly: a space holds one segment per (external IP, protocol)
+	// actually used — two for a single-IP NAT, a dozen for a pooled CGN —
+	// so a scan over a cache line or two of packed keys beats a map
+	// probe, and the allocation hot path hits the front entries.
+	segKeys []uint64
+	segVals []*portSeg
 
 	// inUse / peak count taken ports across all segments; peak is the
 	// high-water mark the utilization reports use.
@@ -54,13 +60,13 @@ type portSeg struct {
 	seeded bool
 }
 
-type seqKey struct {
-	ip    netaddr.Addr
-	proto netaddr.Proto
+// segKey packs (external IP, protocol) into one comparable word.
+func segKey(ip netaddr.Addr, p netaddr.Proto) uint64 {
+	return uint64(ip)<<8 | uint64(p)
 }
 
 func newPortSpace(lo, hi uint16) *portSpace {
-	return &portSpace{lo: lo, hi: hi, segs: make(map[seqKey]*portSeg)}
+	return &portSpace{lo: lo, hi: hi}
 }
 
 // seedSequentialMidCycle positions the (ip, proto) sequential cursor
@@ -77,21 +83,32 @@ func seedSequentialMidCycle(a portAllocator, lo uint16, ip netaddr.Addr, p netad
 
 func (s *portSpace) size() int { return int(s.hi) - int(s.lo) + 1 }
 
+// lookup returns the (ip, proto) segment, or nil if it was never used.
+func (s *portSpace) lookup(ip netaddr.Addr, p netaddr.Proto) *portSeg {
+	k := segKey(ip, p)
+	for i, kk := range s.segKeys {
+		if kk == k {
+			return s.segVals[i]
+		}
+	}
+	return nil
+}
+
 // seg returns the (ip, proto) segment, creating it on first use.
 func (s *portSpace) seg(ip netaddr.Addr, p netaddr.Proto) *portSeg {
-	k := seqKey{ip, p}
-	g, ok := s.segs[k]
-	if !ok {
+	g := s.lookup(ip, p)
+	if g == nil {
 		n := s.size()
 		g = &portSeg{words: make([]uint64, (n+63)/64), free: n}
-		s.segs[k] = g
+		s.segKeys = append(s.segKeys, segKey(ip, p))
+		s.segVals = append(s.segVals, g)
 	}
 	return g
 }
 
 func (s *portSpace) isFree(ip netaddr.Addr, p netaddr.Proto, port uint16) bool {
-	g, ok := s.segs[seqKey{ip, p}]
-	if !ok {
+	g := s.lookup(ip, p)
+	if g == nil {
 		return true
 	}
 	idx := int(port) - int(s.lo)
@@ -114,8 +131,8 @@ func (s *portSpace) take(ip netaddr.Addr, p netaddr.Proto, port uint16) {
 }
 
 func (s *portSpace) free(e netaddr.Endpoint, p netaddr.Proto) {
-	g, ok := s.segs[seqKey{e.Addr, p}]
-	if !ok {
+	g := s.lookup(e.Addr, p)
+	if g == nil {
 		return
 	}
 	idx := int(e.Port) - int(s.lo)
@@ -212,8 +229,8 @@ func (s *portSpace) seedSequential(ip netaddr.Addr, p netaddr.Proto, start uint1
 
 // sequentialSeeded reports whether the (ip, proto) cursor has a position.
 func (s *portSpace) sequentialSeeded(ip netaddr.Addr, p netaddr.Proto) bool {
-	g, ok := s.segs[seqKey{ip, p}]
-	return ok && g.seeded
+	g := s.lookup(ip, p)
+	return g != nil && g.seeded
 }
 
 // takeSequential hands out ports in increasing order per (ip, proto),

@@ -15,13 +15,13 @@ import (
 func checkSpace(t *testing.T, s *portSpace) {
 	t.Helper()
 	taken := 0
-	for k, g := range s.segs {
+	for i, g := range s.segVals {
 		pop := 0
 		for _, w := range g.words {
 			pop += bits.OnesCount64(w)
 		}
 		if g.free != s.size()-pop {
-			t.Fatalf("segment %v: free = %d, popcount says %d", k, g.free, s.size()-pop)
+			t.Fatalf("segment %#x: free = %d, popcount says %d", s.segKeys[i], g.free, s.size()-pop)
 		}
 		taken += pop
 	}

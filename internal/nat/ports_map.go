@@ -32,6 +32,13 @@ type portKey struct {
 	port  uint16
 }
 
+// seqKey keys the reference allocator's per-(IP, protocol) maps. (The
+// bitmap engine packs the pair into one word instead — see segKey.)
+type seqKey struct {
+	ip    netaddr.Addr
+	proto netaddr.Proto
+}
+
 func newMapPortSpace(lo, hi uint16) *mapPortSpace {
 	return &mapPortSpace{
 		lo: lo, hi: hi,

@@ -317,7 +317,7 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 	// Validate invariants over remaining live mappings.
 	seen := map[netaddr.Endpoint]bool{}
 	sessions := map[netaddr.Addr]int{}
-	for _, m := range n.byExt {
+	n.ForEachMapping(func(m *Mapping) {
 		if seen[m.Ext] {
 			t.Fatalf("duplicate external endpoint %v", m.Ext)
 		}
@@ -329,15 +329,20 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 			t.Fatalf("external IP %v not in pool", m.Ext.Addr)
 		}
 		sessions[m.Int.Addr]++
-	}
+	})
 	for a, want := range sessions {
-		if got := n.sessions[a]; got != want {
+		if got := n.Sessions(a); got != want {
 			t.Fatalf("session count for %v = %d, want %d", a, got, want)
 		}
 	}
-	for a, got := range n.sessions {
+	live := 0
+	n.forEachSession(func(a netaddr.Addr, got int) {
+		live++
 		if want := sessions[a]; got != want {
 			t.Fatalf("stale session count for %v = %d, want %d", a, got, want)
 		}
+	})
+	if live != len(sessions) {
+		t.Fatalf("table reports %d live subscribers, recount says %d", live, len(sessions))
 	}
 }

@@ -1,0 +1,308 @@
+package nat
+
+import (
+	"fmt"
+	"time"
+
+	"cgn/internal/netaddr"
+)
+
+// Sharded is a carrier NAT partitioned for parallel execution. The unit
+// of partition is the lane: one external pool IP with its own complete
+// engine — bitmap port allocators, deadline-bucketed expiry queue,
+// mapping slab and freelist, subscriber table, RNG stream — so lanes
+// share no mutable state whatsoever. Subscribers map to lanes by a hash
+// of their internal address (the sharded analogue of Paired pooling:
+// every subscriber is pinned to one external IP, so chooseExternalIP is
+// stable by construction), and inbound packets route by their external
+// destination IP, which names the owning lane directly.
+//
+// Shards are an execution grouping on top: shard s owns lanes l with
+// l % Shards == s, and a shard's lanes are always driven in ascending
+// lane order. Because every mapping's lifecycle — allocation RNG draws,
+// port-space counters, expiry buckets — is confined to its lane, and
+// lane state is independent of which shard drives it, the complete
+// state (and every aggregate this type reports) is byte-identical at
+// any shard count. That is the determinism contract the traffic
+// engine's two-level parallelism rests on: realm workers × NAT shards,
+// both free to vary, one result.
+//
+// Concurrency: distinct shards may be driven from distinct goroutines
+// (route calls touch only the lane they resolve to). The aggregation
+// methods (PortStats, StateDigest, Sweep, ForEachMapping, ...) touch
+// every lane and must only run while no shard worker is active — the
+// traffic engine calls them between tick barriers.
+type Sharded struct {
+	cfg    Config
+	lanes  []*NAT
+	shards int
+	// extLaneKeys/extLaneVals map an external pool IP to its owning lane
+	// index, linear-scanned like portSpace's segment index: pool sizes
+	// are a handful of entries.
+	extLaneKeys []netaddr.Addr
+	extLaneVals []int
+}
+
+// shardedLaneSeedMix decorrelates per-lane RNG streams from each other
+// (and from the traffic engine's realm-seed mixing, which uses a
+// different odd constant).
+const shardedLaneSeedMix int64 = 0x2545F4914F6CDD1D
+
+// NewSharded builds a sharded NAT from cfg with the given shard count,
+// clamped to [1, len(ExternalIPs)] — a lane is one external IP, so a
+// single-IP realm cannot split further. Like New it panics on an
+// unusable configuration.
+//
+// A Sharded is its own deterministic universe: results are identical
+// across every shard count, but not to an unsharded New(cfg) — the
+// single engine draws allocation randomness from one RNG stream and
+// assigns Paired IPs by first-appearance round-robin, where lanes draw
+// per-lane streams and pin subscribers by address hash. Callers choose
+// an engine per run, not per measurement.
+func NewSharded(cfg Config, shards int) *Sharded {
+	c := cfg.withDefaults()
+	if len(c.ExternalIPs) == 0 {
+		panic("nat: config needs at least one external IP")
+	}
+	lanes := len(c.ExternalIPs)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > lanes {
+		shards = lanes
+	}
+	s := &Sharded{
+		cfg:         c,
+		lanes:       make([]*NAT, lanes),
+		shards:      shards,
+		extLaneKeys: make([]netaddr.Addr, lanes),
+		extLaneVals: make([]int, lanes),
+	}
+	for l := 0; l < lanes; l++ {
+		laneCfg := c
+		laneCfg.Name = fmt.Sprintf("%s/lane%d", c.Name, l)
+		laneCfg.ExternalIPs = []netaddr.Addr{c.ExternalIPs[l]}
+		laneCfg.Seed = c.Seed + int64(l+1)*shardedLaneSeedMix
+		s.lanes[l] = New(laneCfg)
+		s.extLaneKeys[l] = c.ExternalIPs[l]
+		s.extLaneVals[l] = l
+	}
+	return s
+}
+
+// Config returns the effective configuration (defaults applied, full
+// external pool).
+func (s *Sharded) Config() Config { return s.cfg }
+
+// NumShards returns the effective (clamped) shard count.
+func (s *Sharded) NumShards() int { return s.shards }
+
+// NumLanes returns the lane count — the external pool size.
+func (s *Sharded) NumLanes() int { return len(s.lanes) }
+
+// Lane returns lane l's engine. Shard workers drive their owned lanes
+// through it directly; lane l belongs to shard l % NumShards, and only
+// that shard's goroutine may touch it while workers run.
+func (s *Sharded) Lane(l int) *NAT { return s.lanes[l] }
+
+// LaneFor returns the lane owning internal address a. The hash depends
+// only on the address and the pool size, never on the shard count.
+func (s *Sharded) LaneFor(a netaddr.Addr) int {
+	return int(mix64(uint64(a)) % uint64(len(s.lanes)))
+}
+
+// ShardOf returns the shard that drives lane l.
+func (s *Sharded) ShardOf(l int) int { return l % s.shards }
+
+// laneOfExt resolves the lane owning external pool IP a, or nil.
+func (s *Sharded) laneOfExt(a netaddr.Addr) *NAT {
+	for i, ip := range s.extLaneKeys {
+		if ip == a {
+			return s.lanes[s.extLaneVals[i]]
+		}
+	}
+	return nil
+}
+
+// IsExternal reports whether a belongs to the external pool.
+func (s *Sharded) IsExternal(a netaddr.Addr) bool { return s.laneOfExt(a) != nil }
+
+// TranslateOut routes an outbound flow to the subscriber's lane.
+func (s *Sharded) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
+	return s.lanes[s.LaneFor(f.Src.Addr)].TranslateOut(f, now)
+}
+
+// TranslateOutRef is TranslateOut returning a stable mapping handle;
+// the handle stays valid on the owning lane (Refresh re-routes by the
+// mapping's external IP, so callers need not remember the lane).
+func (s *Sharded) TranslateOutRef(f netaddr.Flow, now time.Time) (netaddr.Flow, MappingRef, Verdict) {
+	return s.lanes[s.LaneFor(f.Src.Addr)].TranslateOutRef(f, now)
+}
+
+// TranslateIn routes an inbound flow to the lane owning its external
+// destination IP. A destination outside the pool has no mapping
+// anywhere, by construction.
+func (s *Sharded) TranslateIn(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
+	lane := s.laneOfExt(f.Dst.Addr)
+	if lane == nil {
+		return netaddr.Flow{}, DropNoMapping
+	}
+	return lane.TranslateIn(f, now)
+}
+
+// Refresh routes the keepalive to the mapping's owning lane (named by
+// its external IP). Stale handles report false exactly as on *NAT.
+func (s *Sharded) Refresh(r MappingRef, dst netaddr.Endpoint, now time.Time) bool {
+	m := r.m
+	if m == nil || m.dead || m.gen != r.gen {
+		return false
+	}
+	// A live handle's external IP always names a pool lane.
+	return s.laneOfExt(m.Ext.Addr).Refresh(r, dst, now)
+}
+
+// Hairpin handles inside-to-pool traffic: the outbound half runs on the
+// sender's lane, the inbound half on the lane owning the target external
+// IP — lanes being one NAT's partitions, hairpinning crosses them
+// freely.
+func (s *Sharded) Hairpin(f netaddr.Flow, now time.Time) (HairpinResult, Verdict) {
+	src := s.lanes[s.LaneFor(f.Src.Addr)]
+	if s.cfg.Hairpin == HairpinOff {
+		src.cDropHairpin.Inc()
+		return HairpinResult{}, DropHairpin
+	}
+	out, v := src.TranslateOut(f, now)
+	if v != Ok {
+		return HairpinResult{}, v
+	}
+	dstLane := s.laneOfExt(out.Dst.Addr)
+	if dstLane == nil {
+		src.cDropNoMapping.Inc()
+		return HairpinResult{}, DropNoMapping
+	}
+	in, v := dstLane.TranslateIn(out, now)
+	if v != Ok {
+		return HairpinResult{}, v
+	}
+	res := HairpinResult{Flow: in}
+	if s.cfg.Hairpin == HairpinPreserveSource {
+		res.Flow.Src = f.Src
+		res.SourcePreserved = true
+	}
+	src.cHairpin.Inc()
+	return res, Ok
+}
+
+// Sweep expires idle mappings on every lane, in lane order.
+func (s *Sharded) Sweep(now time.Time) int {
+	removed := 0
+	for _, lane := range s.lanes {
+		removed += lane.Sweep(now)
+	}
+	return removed
+}
+
+// SweepShard expires idle mappings on the lanes shard owns, in lane
+// order. Shard workers call it concurrently — one shard, one goroutine.
+func (s *Sharded) SweepShard(shard int, now time.Time) int {
+	removed := 0
+	for l := shard; l < len(s.lanes); l += s.shards {
+		removed += s.lanes[l].Sweep(now)
+	}
+	return removed
+}
+
+// SetMappingHooks fans the hooks out to every lane. A hook fires on the
+// goroutine driving the lane whose mapping changed; hook state must be
+// partitioned accordingly (the traffic engine keys it by subscriber,
+// which lanes partition).
+func (s *Sharded) SetMappingHooks(onCreate, onExpire func(m *Mapping)) {
+	for _, lane := range s.lanes {
+		lane.SetMappingHooks(onCreate, onExpire)
+	}
+}
+
+// NumMappings sums live entries across lanes.
+func (s *Sharded) NumMappings() int {
+	total := 0
+	for _, lane := range s.lanes {
+		total += lane.NumMappings()
+	}
+	return total
+}
+
+// Sessions returns the live mapping count for internal IP a, resolved
+// on its owning lane.
+func (s *Sharded) Sessions(a netaddr.Addr) int {
+	return s.lanes[s.LaneFor(a)].Sessions(a)
+}
+
+// ForEachMapping walks every lane's table in lane order (order within a
+// lane is unspecified, as on *NAT).
+func (s *Sharded) ForEachMapping(fn func(m *Mapping)) {
+	for _, lane := range s.lanes {
+		lane.ForEachMapping(fn)
+	}
+}
+
+// LookupByExternal resolves an external endpoint on its owning lane.
+func (s *Sharded) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.Time) (*Mapping, bool) {
+	lane := s.laneOfExt(ext.Addr)
+	if lane == nil {
+		return nil, false
+	}
+	return lane.LookupByExternal(p, ext, now)
+}
+
+// ExternalFor resolves a flow's current external endpoint without
+// creating state, on the subscriber's lane.
+func (s *Sharded) ExternalFor(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
+	return s.lanes[s.LaneFor(f.Src.Addr)].ExternalFor(f, now)
+}
+
+// PortStats aggregates the lanes' snapshots: capacities, occupancy and
+// counters are sums (lane state is disjoint). Peak is the sum of
+// per-lane high-water marks — each lane peaks on its own schedule, so
+// the sum bounds (and at shards=anything equals itself, keeping the
+// digest shard-invariant) the instantaneous global peak.
+func (s *Sharded) PortStats() PortStats {
+	out := PortStats{ExternalIPs: len(s.lanes)}
+	for _, lane := range s.lanes {
+		ps := lane.PortStats()
+		out.Capacity += ps.Capacity
+		out.InUse += ps.InUse
+		out.Peak += ps.Peak
+		out.Subscribers += ps.Subscribers
+		out.Allocs += ps.Allocs
+		out.NoPorts += ps.NoPorts
+		out.QuotaDrops += ps.QuotaDrops
+	}
+	return out
+}
+
+// CounterTotal sums a named metric counter across lanes (e.g.
+// "mappings_expired"); unknown names sum fresh zero counters.
+func (s *Sharded) CounterTotal(name string) uint64 {
+	var total uint64
+	for _, lane := range s.lanes {
+		total += lane.Metrics.Counter(name).Value()
+	}
+	return total
+}
+
+// StateDigest hashes the union of every lane's state lines under the
+// summed port-space footer. Lane states are disjoint — each lane owns
+// its external IP's mappings and its hash-assigned subscribers — so the
+// union is exactly the line set one table holding all lanes' mappings
+// would emit, and the digest is identical at any shard count.
+func (s *Sharded) StateDigest() string {
+	var lines []string
+	inUse, peak, seen := 0, 0, 0
+	for _, lane := range s.lanes {
+		lines = lane.appendDigestLines(lines)
+		inUse += lane.ports.inUse
+		peak += lane.ports.peak
+		seen += lane.subs.seen
+	}
+	return digestOf(lines, inUse, peak, seen)
+}

@@ -1,0 +1,270 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"cgn/internal/netaddr"
+)
+
+func shardedConfig(ips int) Config {
+	pool := make([]netaddr.Addr, ips)
+	base := netaddr.MustParseAddr("203.0.113.10")
+	for i := range pool {
+		pool[i] = base + netaddr.Addr(i)
+	}
+	return Config{
+		Name:        "sharded-test",
+		Type:        PortRestricted,
+		PortAlloc:   Random,
+		Pooling:     Paired,
+		ExternalIPs: pool,
+		UDPTimeout:  60 * time.Second,
+		PortLo:      1024,
+		PortHi:      2047,
+		Seed:        7,
+	}
+}
+
+func subAddr(i int) netaddr.Addr {
+	return netaddr.MustParseAddr("100.64.0.1") + netaddr.Addr(i)
+}
+
+func TestShardedLaneRouting(t *testing.T) {
+	cfg := shardedConfig(4)
+	s := NewSharded(cfg, 2)
+	if s.NumLanes() != 4 || s.NumShards() != 2 {
+		t.Fatalf("lanes=%d shards=%d, want 4/2", s.NumLanes(), s.NumShards())
+	}
+	for i := 0; i < 64; i++ {
+		src := netaddr.EndpointOf(subAddr(i), uint16(4000+i))
+		lane := s.LaneFor(src.Addr)
+		out, v := s.TranslateOut(flowUDP(src, dstEP), t0)
+		if v != Ok {
+			t.Fatalf("sub %d: verdict %v", i, v)
+		}
+		// Outbound lands on the owning lane's external IP — the sharded
+		// analogue of Paired pooling.
+		if out.Src.Addr != cfg.ExternalIPs[lane] {
+			t.Fatalf("sub %d: external %v, want lane %d IP %v", i, out.Src.Addr, lane, cfg.ExternalIPs[lane])
+		}
+		// The reply routes back through the pool IP to the subscriber.
+		reply := flowUDP(dstEP, out.Src)
+		in, v := s.TranslateIn(reply, t0)
+		if v != Ok || in.Dst != src {
+			t.Fatalf("sub %d: reply verdict %v dst %v, want Ok %v", i, v, in.Dst, src)
+		}
+		if got := s.Sessions(src.Addr); got != 1 {
+			t.Fatalf("sub %d: sessions %d, want 1", i, got)
+		}
+	}
+	// A destination outside the pool has no mapping anywhere.
+	if _, v := s.TranslateIn(flowUDP(dstEP, netaddr.MustParseEndpoint("198.18.0.1:1234")), t0); v != DropNoMapping {
+		t.Fatalf("off-pool inbound verdict %v, want DropNoMapping", v)
+	}
+}
+
+func TestShardedLaneForStableAcrossShardCounts(t *testing.T) {
+	cfg := shardedConfig(4)
+	a := NewSharded(cfg, 1)
+	b := NewSharded(cfg, 4)
+	for i := 0; i < 256; i++ {
+		addr := subAddr(i)
+		la, lb := a.LaneFor(addr), b.LaneFor(addr)
+		if la != lb {
+			t.Fatalf("addr %v: lane %d at shards=1 vs %d at shards=4", addr, la, lb)
+		}
+		if la < 0 || la >= a.NumLanes() {
+			t.Fatalf("addr %v: lane %d out of range", addr, la)
+		}
+		if want := la % b.NumShards(); b.ShardOf(la) != want {
+			t.Fatalf("lane %d: shard %d, want %d", la, b.ShardOf(la), want)
+		}
+	}
+}
+
+// driveSharded runs a deterministic churn script — creations across many
+// subscribers, refreshes, partial expiry, a second wave — entirely
+// through the façade's routing methods.
+func driveSharded(t *testing.T, s *Sharded) {
+	t.Helper()
+	now := t0
+	refs := make([]MappingRef, 0, 128)
+	for i := 0; i < 128; i++ {
+		src := netaddr.EndpointOf(subAddr(i%48), uint16(5000+i))
+		dst := netaddr.EndpointOf(netaddr.MustParseAddr("8.8.0.1")+netaddr.Addr(i%7), 443)
+		_, r, v := s.TranslateOutRef(flowUDP(src, dst), now)
+		if v != Ok {
+			t.Fatalf("flow %d: verdict %v", i, v)
+		}
+		refs = append(refs, r)
+		now = now.Add(200 * time.Millisecond)
+	}
+	// Keep every third mapping alive across the timeout horizon.
+	now = now.Add(30 * time.Second)
+	for i, r := range refs {
+		if i%3 == 0 && !s.Refresh(r, netaddr.Endpoint{}, now) {
+			t.Fatalf("refresh %d reported stale", i)
+		}
+	}
+	now = now.Add(45 * time.Second)
+	s.Sweep(now)
+	// Second wave after the purge.
+	for i := 0; i < 64; i++ {
+		src := netaddr.EndpointOf(subAddr(i%48), uint16(7000+i))
+		if _, v := s.TranslateOut(flowUDP(src, dstEP2), now); v != Ok {
+			t.Fatalf("wave-2 flow %d: verdict %v", i, v)
+		}
+	}
+}
+
+// TestShardedShardCountStateIdentity is the façade-level determinism
+// contract: the same script at every shard count yields byte-identical
+// digests and aggregates (the traffic-engine differential covers the
+// same property end to end; this pins it at the NAT layer).
+func TestShardedShardCountStateIdentity(t *testing.T) {
+	cfg := shardedConfig(4)
+	base := NewSharded(cfg, 1)
+	driveSharded(t, base)
+	wantDigest := base.StateDigest()
+	wantStats := base.PortStats()
+	wantN := base.NumMappings()
+	for _, shards := range []int{2, 3, 4, 9} {
+		s := NewSharded(cfg, shards)
+		driveSharded(t, s)
+		if d := s.StateDigest(); d != wantDigest {
+			t.Errorf("shards=%d: digest %s, want %s", shards, d, wantDigest)
+		}
+		if ps := s.PortStats(); ps != wantStats {
+			t.Errorf("shards=%d: PortStats %+v, want %+v", shards, ps, wantStats)
+		}
+		if n := s.NumMappings(); n != wantN {
+			t.Errorf("shards=%d: NumMappings %d, want %d", shards, n, wantN)
+		}
+	}
+}
+
+func TestShardedSweepShardPartition(t *testing.T) {
+	cfg := shardedConfig(4)
+	s := NewSharded(cfg, 3)
+	for i := 0; i < 96; i++ {
+		src := netaddr.EndpointOf(subAddr(i), uint16(5000+i))
+		if _, v := s.TranslateOut(flowUDP(src, dstEP), t0); v != Ok {
+			t.Fatalf("flow %d: verdict %v", i, v)
+		}
+	}
+	live := s.NumMappings()
+	if live != 96 {
+		t.Fatalf("NumMappings = %d, want 96", live)
+	}
+	later := t0.Add(2 * cfg.UDPTimeout)
+	removed := 0
+	for shard := 0; shard < s.NumShards(); shard++ {
+		removed += s.SweepShard(shard, later)
+	}
+	if removed != live || s.NumMappings() != 0 {
+		t.Fatalf("shard sweeps removed %d of %d, %d left", removed, live, s.NumMappings())
+	}
+	if expired := s.CounterTotal("mappings_expired"); expired != uint64(live) {
+		t.Fatalf("mappings_expired total %d, want %d", expired, live)
+	}
+}
+
+func TestShardedHairpinCrossesLanes(t *testing.T) {
+	cfg := shardedConfig(4)
+	cfg.Type = FullCone
+	cfg.Hairpin = HairpinTranslate
+	s := NewSharded(cfg, 2)
+	// Find two subscribers pinned to different lanes.
+	a := subAddr(0)
+	b := a
+	for i := 1; ; i++ {
+		if s.LaneFor(subAddr(i)) != s.LaneFor(a) {
+			b = subAddr(i)
+			break
+		}
+	}
+	// b opens a mapping; a hairpins to its external endpoint.
+	srcB := netaddr.EndpointOf(b, 4000)
+	out, v := s.TranslateOut(flowUDP(srcB, dstEP), t0)
+	if v != Ok {
+		t.Fatalf("b outbound verdict %v", v)
+	}
+	res, v := s.Hairpin(flowUDP(netaddr.EndpointOf(a, 4001), out.Src), t0)
+	if v != Ok {
+		t.Fatalf("hairpin verdict %v", v)
+	}
+	if res.Flow.Dst != srcB {
+		t.Fatalf("hairpin delivered to %v, want %v", res.Flow.Dst, srcB)
+	}
+}
+
+// TestSubscriberChurnFootprintStable is the sessions-leak regression
+// test: churning a population's mappings all the way to zero must leave
+// zero live subscribers and must not grow the subscriber table without
+// bound — entries persist (Paired pooling needs them) but the slot
+// array reaches its population-determined size once and stays there
+// through any number of churn cycles.
+func TestSubscriberChurnFootprintStable(t *testing.T) {
+	n := New(baseConfig())
+	const subs = 200
+	churn := func(portBase int) {
+		now := t0
+		for i := 0; i < subs; i++ {
+			src := netaddr.EndpointOf(subAddr(i), uint16(portBase+i))
+			if _, v := n.TranslateOut(flowUDP(src, dstEP), now); v != Ok {
+				t.Fatalf("sub %d: verdict %v", i, v)
+			}
+		}
+		if got := n.liveSubscribers(); got != subs {
+			t.Fatalf("live subscribers = %d, want %d", got, subs)
+		}
+		n.Sweep(now.Add(2 * n.Config().UDPTimeout))
+		if got := n.liveSubscribers(); got != 0 {
+			t.Fatalf("after full expiry: live subscribers = %d, want 0", got)
+		}
+		if got := n.NumMappings(); got != 0 {
+			t.Fatalf("after full expiry: %d mappings left", got)
+		}
+	}
+	churn(4000)
+	slots := n.subTableSlots()
+	for cycle := 0; cycle < 20; cycle++ {
+		churn(4000 + (cycle+1)*211)
+		if got := n.subTableSlots(); got != slots {
+			t.Fatalf("cycle %d: subscriber table grew %d -> %d slots under steady churn", cycle, slots, got)
+		}
+	}
+}
+
+// TestPortStatsCapacityStable pins satellite behaviour: Capacity is a
+// pure function of the immutable pool and port range, cached at
+// construction — identical before, during and after churn, and equal to
+// the documented formula (two protocols x port range x pool size).
+func TestPortStatsCapacityStable(t *testing.T) {
+	cfg := shardedConfig(3)
+	n := New(cfg)
+	want := 2 * (int(cfg.PortHi) - int(cfg.PortLo) + 1) * len(cfg.ExternalIPs)
+	if got := n.PortStats().Capacity; got != want {
+		t.Fatalf("fresh Capacity = %d, want %d", got, want)
+	}
+	now := t0
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 300; i++ {
+			src := netaddr.EndpointOf(subAddr(i), uint16(4000+i))
+			n.TranslateOut(flowUDP(src, dstEP), now)
+		}
+		if got := n.PortStats().Capacity; got != want {
+			t.Fatalf("cycle %d loaded: Capacity = %d, want %d", cycle, got, want)
+		}
+		now = now.Add(2 * cfg.UDPTimeout)
+		n.Sweep(now)
+		if got := n.PortStats().Capacity; got != want {
+			t.Fatalf("cycle %d drained: Capacity = %d, want %d", cycle, got, want)
+		}
+	}
+	// The sharded façade's summed capacity matches the same formula.
+	if got := NewSharded(cfg, 2).PortStats().Capacity; got != want {
+		t.Fatalf("sharded Capacity = %d, want %d", got, want)
+	}
+}

@@ -28,23 +28,32 @@ import (
 type Bench struct {
 	Name string
 	F    func(*testing.B)
+	// Workers and Shards record the concurrency shape a parallel
+	// benchmark runs at — realm worker-pool size and NAT shards per
+	// realm — so trajectory files carry the knobs a number was measured
+	// under. Zero means the benchmark has no such axis (single-threaded
+	// bodies) or runs the legacy unsharded engine.
+	Workers int
+	Shards  int
 }
 
 // All returns the registered hot-path benchmarks in report order.
 func All() []Bench {
+	procs := runtime.GOMAXPROCS(0)
 	return []Bench{
-		{"ForwardSteady/fast", ForwardSteadyFast},
-		{"ForwardSteady/slow", ForwardSteadySlow},
-		{"SimnetNAT444Walk", SimnetNAT444Walk},
-		{"NATTranslateOut", NATTranslateOut},
-		{"NATTranslateIn", NATTranslateIn},
-		{"NATPortChurn", NATPortChurn},
-		{"TrafficWeek", TrafficWeek},
-		{"TrafficMetro", TrafficMetro},
-		{"BencodeDecode", BencodeDecode},
-		{"KRPCParseFindNodeResponse", KRPCParseFindNodeResponse},
-		{"STUNParse", STUNParse},
-		{"LPMLookup", LPMLookup},
+		{Name: "ForwardSteady/fast", F: ForwardSteadyFast},
+		{Name: "ForwardSteady/slow", F: ForwardSteadySlow},
+		{Name: "SimnetNAT444Walk", F: SimnetNAT444Walk},
+		{Name: "NATTranslateOut", F: NATTranslateOut},
+		{Name: "NATTranslateIn", F: NATTranslateIn},
+		{Name: "NATPortChurn", F: NATPortChurn},
+		{Name: "TrafficWeek", F: TrafficWeek, Workers: 4},
+		{Name: "TrafficMetro", F: TrafficMetro, Workers: procs},
+		{Name: "TrafficMetroSharded", F: TrafficMetroSharded, Workers: procs, Shards: procs},
+		{Name: "BencodeDecode", F: BencodeDecode},
+		{Name: "KRPCParseFindNodeResponse", F: KRPCParseFindNodeResponse},
+		{Name: "STUNParse", F: STUNParse},
+		{Name: "LPMLookup", F: LPMLookup},
 	}
 }
 
@@ -279,7 +288,17 @@ func TrafficWeek(b *testing.B) {
 // (~100 million subscriber-tick samples plus tens of millions of
 // mapping events), so ns/op is the whole-run wall clock the ROADMAP's
 // "millions of users" target is measured by.
-func TrafficMetro(b *testing.B) {
+func TrafficMetro(b *testing.B) { trafficMetro(b, 0) }
+
+// TrafficMetroSharded is the same metro day on the intra-realm sharded
+// NAT engine: each realm's four external IPs become four lanes split
+// across GOMAXPROCS shards (clamped to 4), on top of the realm worker
+// pool. Against TrafficMetro this measures what the lane partition buys
+// — per-lane table locality single-core, a second parallelism axis when
+// cores outnumber realms.
+func TrafficMetroSharded(b *testing.B) { trafficMetro(b, runtime.GOMAXPROCS(0)) }
+
+func trafficMetro(b *testing.B, shards int) {
 	const (
 		metroRealms      = 16
 		metroSubs        = 65536 // 16 realms × 65,536 = 1,048,576 subscribers
@@ -318,6 +337,7 @@ func TrafficMetro(b *testing.B) {
 			FlowHoldTicks: 2,
 		},
 		Workers: runtime.GOMAXPROCS(0),
+		Shards:  shards,
 		Realms:  realms,
 	}
 	b.ReportAllocs()

@@ -53,13 +53,21 @@ type Bundle struct {
 // CollectSequential produces a byte-identical Bundle on one goroutine.
 func Collect(w *internet.World) *Bundle { return collect(w, true, CollectOptions{}) }
 
-// CollectOptions tunes resource knobs that never affect results.
+// CollectOptions tunes how the analyses execute.
 type CollectOptions struct {
 	// TrafficWorkers is the worker-pool size for the E18 traffic
 	// engine's realm-parallel replay; 0 or 1 runs it sequentially.
 	// Results are byte-identical at any value (the engine's determinism
 	// contract), so this only trades goroutines for wall time.
 	TrafficWorkers int
+	// TrafficShards selects the E18 NAT engine: 0 (the default) replays
+	// on the legacy single-table engine — the universe every committed
+	// golden was recorded in — and any value >= 1 replays on the
+	// intra-realm sharded engine. Shard counts are a pure resource knob
+	// within the sharded engine (identical results at 1, 2, N), but the
+	// two engines are distinct deterministic universes, so flipping
+	// between 0 and >= 1 legitimately changes E18 numbers.
+	TrafficShards int
 }
 
 // CollectWith is Collect with explicit resource options.
@@ -130,7 +138,7 @@ func collect(w *internet.World, parallel bool, opts CollectOptions) *Bundle {
 		func() { b.TTLQuad = props.AnalyzeTTLDetection(b.Sessions) },
 		func() { b.STUN = props.AnalyzeSTUN(filtered, cgn) },
 		func() { b.Load = AnalyzePortLoad(w) },
-		func() { b.Traffic = AnalyzeTrafficWorkers(w, opts.TrafficWorkers) },
+		func() { b.Traffic = AnalyzeTrafficOpts(w, opts.TrafficWorkers, opts.TrafficShards) },
 	)
 	return b
 }

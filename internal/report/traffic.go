@@ -19,17 +19,27 @@ type TrafficLoad struct {
 // goroutine; AnalyzeTrafficWorkers spreads them over a worker pool.
 func AnalyzeTraffic(w *internet.World) *TrafficLoad { return AnalyzeTrafficWorkers(w, 0) }
 
-// AnalyzeTrafficWorkers drives the scenario's traffic profile through a
+// AnalyzeTrafficWorkers is AnalyzeTrafficOpts on the legacy
+// (unsharded) NAT engine.
+func AnalyzeTrafficWorkers(w *internet.World, workers int) *TrafficLoad {
+	return AnalyzeTrafficOpts(w, workers, 0)
+}
+
+// AnalyzeTrafficOpts drives the scenario's traffic profile through a
 // fresh replica of every carrier NAT: each realm's configuration
-// (including its device seed) is replayed into a new nat.New, so the
+// (including its device seed) is replayed into a new NAT engine, so the
 // campaign's own translation state — which E17 snapshots — is never
 // touched, and the analysis stays a pure, stage-parallel function of the
 // world. The subscriber population per realm is the one the campaign
 // actually exercised (PortStats().Subscribers). workers is the traffic
 // engine's realm worker-pool size; every value — 0 or 1 meaning
 // sequential — produces the identical result, so it is purely a
-// resource knob.
-func AnalyzeTrafficWorkers(w *internet.World, workers int) *TrafficLoad {
+// resource knob. shards selects the engine: 0 replays on the legacy
+// single-table engine (the goldens' universe), and any value >= 1
+// replays on the intra-realm sharded engine, whose results are
+// identical at every shard count but deliberately distinct from the
+// legacy engine's (see traffic.Config.Shards).
+func AnalyzeTrafficOpts(w *internet.World, workers, shards int) *TrafficLoad {
 	p := w.Scenario.Traffic
 	if !p.Enabled() {
 		return &TrafficLoad{Res: &traffic.Result{}}
@@ -48,6 +58,7 @@ func AnalyzeTrafficWorkers(w *internet.World, workers int) *TrafficLoad {
 		Profile: p,
 		Realms:  specs,
 		Workers: workers,
+		Shards:  shards,
 	})
 	return &TrafficLoad{Res: res}
 }

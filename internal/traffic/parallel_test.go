@@ -88,7 +88,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 					Profile: sc.Traffic,
 					Realms:  specs,
 					Workers: workers,
-					Observer: func(realm traffic.RealmSpec, tick int, _ time.Time, n *nat.NAT) {
+					Observer: func(realm traffic.RealmSpec, tick int, _ time.Time, n nat.View) {
 						if tick != lastTick {
 							return
 						}

@@ -61,7 +61,7 @@ func TestEngineInvariantsRandomized(t *testing.T) {
 		spec := RealmSpec{ID: "prop", NAT: cfg, Subscribers: 8 + metaRng.Intn(24)}
 
 		checked := 0
-		observer := func(realm RealmSpec, tick int, now time.Time, n *nat.NAT) {
+		observer := func(realm RealmSpec, tick int, now time.Time, n nat.View) {
 			checked++
 			// Naive reference model: recount everything from a full
 			// mapping-table walk.
@@ -71,8 +71,8 @@ func TestEngineInvariantsRandomized(t *testing.T) {
 			n.ForEachMapping(func(m *nat.Mapping) {
 				total++
 				perSub[m.Int.Addr]++
-				if deadline := m.LastActive.Add(timeout); now.After(deadline) {
-					t.Fatalf("trial %d tick %d: mapping %v->%v survived past LastActive+timeout (deadline %v, now %v)",
+				if deadline := m.LastActiveNano() + int64(timeout); now.UnixNano() > deadline {
+					t.Fatalf("trial %d tick %d: mapping %v->%v survived past LastActive+timeout (deadline %d, now %v)",
 						trial, tick, m.Int, m.Ext, deadline, now)
 				}
 			})

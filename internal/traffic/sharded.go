@@ -1,0 +1,377 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+)
+
+// The intra-realm sharded engine. One realm's work splits across the
+// lanes of a nat.Sharded — one lane per external pool IP, subscribers
+// pinned to lanes by address hash — and lanes group into shards, each
+// driven by its own goroutine. Every tick has two phases:
+//
+//  1. Driver phase (sequential, calling goroutine): draw the tick's
+//     flow arrivals from the realm RNG — Poisson gate, source port,
+//     hold time, destination sequence — in ascending subscriber order,
+//     exactly the sequence the legacy engine draws, and buffer each
+//     arrival on its subscriber's shard. Arrival draws never read NAT
+//     state, so drawing before the NAT moves is safe.
+//  2. Shard phase (parallel): each shard sweeps its lanes in ascending
+//     lane order, refreshes its subscribers' live flows in ascending
+//     subscriber order, applies its buffered arrivals in driver order,
+//     and folds its live-count buckets into its private histograms.
+//
+// A barrier separates the phases; aggregation (utilization, Observer)
+// runs after it. Determinism at any shard count follows from lane
+// confinement: every operation on lane l happens in a fixed order —
+// sweep, then l's subscribers' refreshes ascending, then l's arrivals
+// ascending — whatever shard drives it, and all RNG a lane consumes is
+// its own stream. Shard-private accumulators merge in shard-index
+// order, and all merged quantities are integers, so the merged realm
+// output is identical at any shard count too.
+type shardState struct {
+	// lanes this shard owns (ascending); subIdx lists the realm indices
+	// of the subscribers those lanes own (ascending).
+	lanes     []int
+	subIdx    []int32
+	classSubs [3]int
+	lc        *liveCounts
+	// Private accumulators, merged in shard-index order after the run.
+	classHists [3]hist
+	allHist    hist
+	refreshes  uint64
+	// pend buffers the driver phase's arrivals for this shard's
+	// subscribers, in draw (ascending-subscriber) order.
+	pend []arrival
+	// active lists the shard's subscribers currently holding live flows,
+	// ascending — the refresh loop's worklist, so a tick's cost scales
+	// with flow-holding subscribers, not population. fresh collects the
+	// tick's empty-to-nonempty transitions (ascending, pend order);
+	// scratch is the merge buffer the two swap through.
+	active, fresh, scratch []int32
+	// The shard flow arena: the shard's subscribers' flow lists live in
+	// one slice, dead nodes chain through the freelist, exactly like the
+	// legacy engine's realm arena (head/tail in subscriber index into
+	// the owning shard's arena — well defined, a subscriber has exactly
+	// one).
+	arena    []flowNode
+	freeHead int32
+}
+
+// arrival is one driver-phase flow draw awaiting its shard.
+type arrival struct {
+	j    int32
+	hold int32
+	f    netaddr.Flow
+}
+
+// fastRand is the sharded driver's arrival-draw stream: a SplitMix64
+// generator, statistically sound for simulation draws at a fraction of
+// math/rand's per-draw cost — the driver phase is the engine's serial
+// section, and it draws one Poisson gate per subscriber per tick. The
+// sharded engine is its own deterministic universe (see Config.Shards),
+// so its draw stream only has to be deterministic, not match the legacy
+// engine's generator.
+type fastRand uint64
+
+func (r *fastRand) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// float64 returns a uniform variate in [0, 1).
+func (r *fastRand) float64() float64 {
+	return float64(r.next()>>11) * (1.0 / (1 << 53))
+}
+
+// intn returns a uniform variate in [0, n) by Lemire's multiply-shift.
+func (r *fastRand) intn(n uint32) uint32 {
+	return uint32(uint64(uint32(r.next())) * uint64(n) >> 32)
+}
+
+// poisson draws a Poisson variate by Knuth's method, like the package
+// poisson but on the fast stream.
+func (r *fastRand) poisson(expNegLambda float64) int {
+	k, p := 0, 1.0
+	for {
+		p *= r.float64()
+		if p <= expNegLambda {
+			return k
+		}
+		k++
+		if k >= 1024 { // unreachable at sane rates; bounds a corrupt profile
+			return k
+		}
+	}
+}
+
+// runRealmSharded drives one realm through every tick against a fresh
+// sharded NAT built from the realm's configuration. Same signature and
+// accumulator contract as runRealm; engine selection happens in Run.
+func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
+	// Same realm-stream seed mix as the legacy engine: the realm RNG
+	// serves only traffic draws (classes, arrivals); the lanes draw
+	// allocation randomness from their own per-lane streams.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(realmIdx+1)*-0x61c8864680b583eb))
+	sn := nat.NewSharded(spec.NAT, cfg.Shards)
+	S := sn.NumShards()
+	out := &realmOut{
+		stat: RealmStat{ID: spec.ID, Cellular: spec.Cellular, Subscribers: spec.Subscribers},
+		util: make([]float64, p.Ticks),
+	}
+
+	var rates [3]float64
+	for c := Class(0); c < numClasses; c++ {
+		rates[c] = p.FlowsPerTick * classRate(p, c)
+	}
+
+	base := subscriberBase
+	subs := buildSubscribers(rng, p, spec, base, &out.classSubs)
+	// Dense class array for the driver loop: one byte per subscriber, so
+	// the per-tick gate scan streams through population-sized cache
+	// lines instead of subscriber structs.
+	classOf := make([]Class, len(subs))
+	for j := range subs {
+		classOf[j] = subs[j].class
+	}
+
+	// Partition: lane l belongs to shard l % S; a subscriber belongs to
+	// its lane's shard. laneOf memoizes the address hash.
+	shards := make([]*shardState, S)
+	for s := range shards {
+		shards[s] = &shardState{freeHead: -1}
+	}
+	for l := 0; l < sn.NumLanes(); l++ {
+		st := shards[sn.ShardOf(l)]
+		st.lanes = append(st.lanes, l)
+	}
+	laneOf := make([]int32, len(subs))
+	for j := range subs {
+		l := sn.LaneFor(subs[j].addr)
+		laneOf[j] = int32(l)
+		st := shards[sn.ShardOf(l)]
+		st.subIdx = append(st.subIdx, int32(j))
+		st.classSubs[subs[j].class]++
+	}
+	for _, st := range shards {
+		st.lc = newLiveCounts(st.classSubs)
+		st.arena = make([]flowNode, 0, 4*len(st.subIdx))
+	}
+
+	// Per-lane mapping hooks maintain the owning shard's live-count
+	// buckets. A hook fires on the goroutine driving its lane, and a
+	// lane's mappings belong to subscribers of that lane's shard, so the
+	// buckets stay shard-confined.
+	for l := 0; l < sn.NumLanes(); l++ {
+		st := shards[sn.ShardOf(l)]
+		sn.Lane(l).SetMappingHooks(
+			func(m *nat.Mapping) {
+				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
+					sub := &subs[j]
+					st.lc.move(sub.class, sub.live, sub.live+1)
+					sub.live++
+				}
+			},
+			func(m *nat.Mapping) {
+				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
+					sub := &subs[j]
+					st.lc.move(sub.class, sub.live, sub.live-1)
+					sub.live--
+				}
+			},
+		)
+	}
+
+	// shardTick is one shard's slice of a tick: sweep owned lanes,
+	// refresh owned subscribers' flows, apply buffered arrivals, fold
+	// the sampling buckets.
+	shardTick := func(st *shardState, now time.Time) {
+		for _, l := range st.lanes {
+			sn.Lane(l).Sweep(now)
+		}
+		// Refresh pass over the active worklist, compacting out
+		// subscribers whose last flow died.
+		act := st.active
+		w := 0
+		for _, ji := range act {
+			sub := &subs[ji]
+			ln := sn.Lane(int(laneOf[ji]))
+			prev := int32(-1)
+			for idx := sub.head; idx >= 0; {
+				nd := &st.arena[idx]
+				next := nd.next
+				ok := ln.Refresh(nd.ref, nd.f.Dst, now)
+				if !ok {
+					var v nat.Verdict
+					_, nd.ref, v = ln.TranslateOutRef(nd.f, now)
+					ok = v == nat.Ok
+				}
+				if ok {
+					st.refreshes++
+				}
+				nd.ticksLeft--
+				if nd.ticksLeft > 0 && ok {
+					prev = idx
+				} else {
+					if prev >= 0 {
+						st.arena[prev].next = next
+					} else {
+						sub.head = next
+					}
+					if next < 0 {
+						sub.tail = prev
+					}
+					nd.next = st.freeHead
+					st.freeHead = idx
+				}
+				idx = next
+			}
+			if sub.head >= 0 {
+				act[w] = ji
+				w++
+			}
+		}
+		st.active = act[:w]
+		for _, a := range st.pend {
+			sub := &subs[a.j]
+			ln := sn.Lane(int(laneOf[a.j]))
+			if _, ref, v := ln.TranslateOutRef(a.f, now); v == nat.Ok {
+				var ni int32
+				if st.freeHead >= 0 {
+					ni = st.freeHead
+					st.freeHead = st.arena[ni].next
+				} else {
+					st.arena = append(st.arena, flowNode{})
+					ni = int32(len(st.arena) - 1)
+				}
+				st.arena[ni] = flowNode{f: a.f, ref: ref, ticksLeft: a.hold, next: -1}
+				if sub.tail >= 0 {
+					st.arena[sub.tail].next = ni
+				} else {
+					sub.head = ni
+					// Empty-to-nonempty: enters next tick's worklist.
+					// pend is ascending by subscriber and a list refills
+					// at most once per tick, so fresh stays sorted and
+					// duplicate-free.
+					st.fresh = append(st.fresh, a.j)
+				}
+				sub.tail = ni
+			}
+		}
+		st.pend = st.pend[:0]
+		// Merge the newly active (both lists ascending, disjoint).
+		if len(st.fresh) > 0 {
+			sc := st.scratch[:0]
+			i, k := 0, 0
+			for i < len(st.active) && k < len(st.fresh) {
+				if st.active[i] < st.fresh[k] {
+					sc = append(sc, st.active[i])
+					i++
+				} else {
+					sc = append(sc, st.fresh[k])
+					k++
+				}
+			}
+			sc = append(sc, st.active[i:]...)
+			sc = append(sc, st.fresh[k:]...)
+			st.active, st.scratch = sc, st.active[:0]
+			st.fresh = st.fresh[:0]
+		}
+		st.lc.fold(&st.classHists, &st.allHist)
+	}
+
+	// The arrival-draw stream, seeded once from the realm RNG so realms
+	// stay decorrelated; hold spans 1..2*FlowHoldTicks-1 like the legacy
+	// engine's draw.
+	fr := fastRand(rng.Uint64())
+	holdSpan := uint32(2*p.FlowHoldTicks - 1)
+	epoch := time.Unix(0, 0)
+	var dstSeq uint64
+	for t := 0; t < p.Ticks; t++ {
+		now := epoch.Add(time.Duration(t) * p.TickStep)
+		df := diurnalFactor(p, t)
+		var expNegLambda [3]float64
+		var gated [3]bool
+		for c := range rates {
+			expNegLambda[c] = math.Exp(-(rates[c] * df))
+			gated[c] = rates[c]*df > 0
+		}
+
+		// Driver phase: one Poisson gate per subscriber in ascending
+		// order, then per-flow source-port and hold draws — the legacy
+		// engine's draw sequence, on the fast stream, over the dense
+		// class array.
+		for j, cl := range classOf {
+			if !gated[cl] {
+				continue
+			}
+			k := fr.poisson(expNegLambda[cl])
+			for ; k > 0; k-- {
+				dstSeq++
+				f := netaddr.FlowOf(netaddr.UDP,
+					netaddr.EndpointOf(base+netaddr.Addr(j), uint16(1024+fr.intn(64512))),
+					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(dstSeq)), uint16(443+(dstSeq>>32))))
+				hold := 1 + fr.intn(holdSpan)
+				st := shards[sn.ShardOf(int(laneOf[j]))]
+				st.pend = append(st.pend, arrival{j: int32(j), hold: int32(hold), f: f})
+			}
+		}
+
+		// Shard phase: shard 0 on the calling goroutine, the rest on
+		// their own; the WaitGroup is the tick barrier.
+		if S == 1 {
+			shardTick(shards[0], now)
+		} else {
+			var wg sync.WaitGroup
+			for s := 1; s < S; s++ {
+				wg.Add(1)
+				go func(st *shardState) {
+					defer wg.Done()
+					shardTick(st, now)
+				}(shards[s])
+			}
+			shardTick(shards[0], now)
+			wg.Wait()
+		}
+
+		// Aggregation, after the barrier. See runRealm for the UDP
+		// capacity share.
+		ps := sn.PortStats()
+		if udpCapacity := ps.Capacity / 2; udpCapacity > 0 {
+			u := float64(ps.InUse) / float64(udpCapacity)
+			out.util[t] = u
+			if u > out.stat.PeakUtil {
+				out.stat.PeakUtil = u
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(spec, t, now, sn)
+		}
+	}
+
+	final := sn.PortStats()
+	out.stat.Created = final.Allocs
+	out.stat.Failures = final.Failures()
+	out.stat.Expired = sn.CounterTotal("mappings_expired")
+	// Shard-private accumulators merge in shard-index order; every
+	// merged quantity is an integer count, so the fold is order-proof
+	// anyway.
+	for _, st := range shards {
+		out.refreshes += st.refreshes
+		for c := range out.classHists {
+			out.classHists[c].merge(&st.classHists[c])
+		}
+		out.allHist.merge(&st.allHist)
+	}
+	return out
+}

@@ -65,12 +65,25 @@ type Config struct {
 	// and accumulates into private state that Run merges in realm input
 	// order, so Result is byte-identical at any worker count.
 	Workers int
-	// Observer, when set, is called after every realm tick with the
-	// realm's NAT. Test hooks only — observers must treat the NAT as
-	// read-only, and with Workers > 1 the observer is called
-	// concurrently from worker goroutines (never concurrently for the
-	// same realm).
-	Observer func(realm RealmSpec, tick int, now time.Time, n *nat.NAT)
+	// Shards selects the NAT engine. 0 (the default) drives each realm
+	// on the single sequential engine, byte-identical to every prior
+	// release. >= 1 drives each realm on the intra-realm sharded engine
+	// (nat.NewSharded): the realm's external pool splits into per-IP
+	// lanes, lanes group into shards, and one goroutine drives each
+	// shard between per-tick barriers. The result is identical at ANY
+	// Shards value — the count only sets how many goroutines split the
+	// realm (clamped per realm to its external pool size) — but the
+	// sharded engine is its own deterministic universe, distinct from
+	// Shards == 0 (see nat.NewSharded). Total concurrency is
+	// Workers x Shards goroutines.
+	Shards int
+	// Observer, when set, is called after every realm tick with a
+	// read-only view of the realm's NAT (the sequential engine or the
+	// sharded facade, per Shards). Test hooks only — with Workers > 1
+	// the observer is called concurrently from worker goroutines (never
+	// concurrently for the same realm), and always between shard
+	// barriers, never while shard workers run.
+	Observer func(realm RealmSpec, tick int, now time.Time, n nat.View)
 }
 
 // ClassStat summarizes the per-subscriber concurrent-port distribution
@@ -143,7 +156,6 @@ type flowNode struct {
 type subscriber struct {
 	addr       netaddr.Addr
 	class      Class
-	rate       float64
 	head, tail int32
 	live       int32
 }
@@ -165,6 +177,22 @@ func (h *hist) add(v int) {
 	}
 	h.counts[v]++
 	h.n++
+}
+
+// addN records k samples of value v at once — the bulk form the
+// live-count fold uses. Equivalent to k calls of add(v).
+func (h *hist) addN(v int, k uint64) {
+	if k == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		h.grow(v + 1)
+	}
+	h.counts[v] += k
+	h.n += k
 }
 
 // grow widens counts to at least size, doubling capacity so a slowly
@@ -225,6 +253,87 @@ func (h *hist) max() int {
 		}
 	}
 	return 0
+}
+
+// subscriberBase anchors the dense synthetic 10.64/16-style internal
+// address block both engines place subscribers in; dstBase anchors the
+// synthetic remote-destination space.
+var (
+	subscriberBase = netaddr.MustParseAddr("10.64.0.1")
+	dstBase        = netaddr.MustParseAddr("8.0.0.0")
+)
+
+// liveCounts tracks, per class, how many tracked subscribers currently
+// hold exactly v live mappings. The NAT's create/expire hooks move
+// subscribers between buckets as mappings come and go, and the per-tick
+// sampling fold adds each bucket's population to the histograms in one
+// addN — the same sample multiset the per-subscriber loop would record,
+// for O(distinct values) work per tick instead of O(subscribers).
+type liveCounts struct {
+	cnt [3][]uint64
+}
+
+func newLiveCounts(classSubs [3]int) *liveCounts {
+	lc := &liveCounts{}
+	for c := range lc.cnt {
+		lc.cnt[c] = make([]uint64, 8)
+		lc.cnt[c][0] = uint64(classSubs[c])
+	}
+	return lc
+}
+
+// move shifts one class-c subscriber from bucket from to bucket to.
+// Hooks only ever move by one, so after the doubling grow, to is always
+// in range.
+func (lc *liveCounts) move(c Class, from, to int32) {
+	s := lc.cnt[c]
+	s[from]--
+	if int(to) >= len(s) {
+		grown := make([]uint64, 2*len(s))
+		copy(grown, s)
+		lc.cnt[c] = grown
+		s = grown
+	}
+	s[to]++
+}
+
+// fold samples every tracked subscriber once — at its current bucket
+// value — into the class and aggregate histograms.
+func (lc *liveCounts) fold(classHists *[3]hist, all *hist) {
+	for c := range lc.cnt {
+		for v, k := range lc.cnt[c] {
+			if k != 0 {
+				classHists[c].addN(v, k)
+				all.addN(v, k)
+			}
+		}
+	}
+}
+
+// buildSubscribers draws the realm population: one class draw per
+// subscriber in address order — the draw sequence both engines share —
+// over dense synthetic internal addresses above base (synthetic because
+// they never leave the engine; dense so RandomChunk's chunk table and
+// the hooks' address-to-index subtraction both work).
+func buildSubscribers(rng *rand.Rand, p Profile, spec RealmSpec, base netaddr.Addr, classSubs *[3]int) []subscriber {
+	subs := make([]subscriber, spec.Subscribers)
+	for j := range subs {
+		class := Median
+		switch x := rng.Float64(); {
+		case x < p.HeavyFrac:
+			class = Heavy
+		case x < p.HeavyFrac+p.LightFrac:
+			class = Light
+		}
+		subs[j] = subscriber{
+			addr:  base + netaddr.Addr(j),
+			class: class,
+			head:  -1,
+			tail:  -1,
+		}
+		classSubs[class]++
+	}
+	return subs
 }
 
 // diurnalFactor modulates arrival rates over the day: trough (1-Amp) at
@@ -323,9 +432,13 @@ func Run(cfg Config) *Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	run := runRealm
+	if cfg.Shards > 0 {
+		run = runRealmSharded
+	}
 	if workers == 1 {
 		for ji, jb := range jobs {
-			outs[ji] = runRealm(cfg, p, jb.spec, jb.idx)
+			outs[ji] = run(cfg, p, jb.spec, jb.idx)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -335,7 +448,7 @@ func Run(cfg Config) *Result {
 			go func() {
 				defer wg.Done()
 				for ji := range next {
-					outs[ji] = runRealm(cfg, p, jobs[ji].spec, jobs[ji].idx)
+					outs[ji] = run(cfg, p, jobs[ji].spec, jobs[ji].idx)
 				}
 			}()
 		}
@@ -413,43 +526,28 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 		rates[c] = p.FlowsPerTick * classRate(p, c)
 	}
 
-	// Subscriber internal addresses are synthetic (they never leave the
-	// engine): a dense 10.64/16-style block works for every allocator,
-	// including RandomChunk's per-subscriber chunk table.
-	base := netaddr.MustParseAddr("10.64.0.1")
-	subs := make([]subscriber, spec.Subscribers)
-	for j := range subs {
-		class := Median
-		switch x := rng.Float64(); {
-		case x < p.HeavyFrac:
-			class = Heavy
-		case x < p.HeavyFrac+p.LightFrac:
-			class = Light
-		}
-		subs[j] = subscriber{
-			addr:  base + netaddr.Addr(j),
-			class: class,
-			rate:  rates[class],
-			head:  -1,
-			tail:  -1,
-		}
-		out.classSubs[class]++
-	}
+	base := subscriberBase
+	subs := buildSubscribers(rng, p, spec, base, &out.classSubs)
 
 	// Incremental per-subscriber live-port counts: instead of probing
-	// nat.Sessions (a map lookup) for every subscriber every tick, the
-	// sampling loop reads subscriber.live, maintained by the NAT's
-	// mapping hooks. Subscriber addresses are dense above base, so the
-	// hook resolves the owner with one subtraction.
+	// nat.Sessions for every subscriber every tick, the NAT's mapping
+	// hooks maintain subscriber.live and the class-keyed bucket counts
+	// the per-tick sampling fold reads. Subscriber addresses are dense
+	// above base, so a hook resolves the owner with one subtraction.
+	lc := newLiveCounts(out.classSubs)
 	n.SetMappingHooks(
 		func(m *nat.Mapping) {
 			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
-				subs[j].live++
+				sub := &subs[j]
+				lc.move(sub.class, sub.live, sub.live+1)
+				sub.live++
 			}
 		},
 		func(m *nat.Mapping) {
 			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
-				subs[j].live--
+				sub := &subs[j]
+				lc.move(sub.class, sub.live, sub.live-1)
+				sub.live--
 			}
 		},
 	)
@@ -463,7 +561,6 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 
 	epoch := time.Unix(0, 0)
 	var dstSeq uint64
-	dstBase := netaddr.MustParseAddr("8.0.0.0")
 	for t := 0; t < p.Ticks; t++ {
 		now := epoch.Add(time.Duration(t) * p.TickStep)
 		n.Sweep(now)
@@ -551,14 +648,10 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 			}
 		}
 
-		// Sample: per-subscriber concurrent ports (live mappings, i.e.
-		// held external ports — the hook-maintained counters) and the
+		// Sample: one per-subscriber concurrent-port sample each (the
+		// hook-maintained live-count buckets, folded in bulk) and the
 		// realm's instantaneous port-space utilization.
-		for j := range subs {
-			c := int(subs[j].live)
-			out.classHists[subs[j].class].add(c)
-			out.allHist.add(c)
-		}
+		lc.fold(&out.classHists, &out.allHist)
 		// The engine generates UDP flows only, so utilization divides by
 		// the UDP share of the capacity (PortStats counts UDP and TCP
 		// segments); against the full dual-protocol capacity a fully

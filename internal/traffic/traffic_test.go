@@ -148,7 +148,7 @@ func TestExpiryDrainsMappings(t *testing.T) {
 	var lastLive int
 	res := Run(Config{
 		Seed: 9, Profile: p, Realms: testRealms(1, 16),
-		Observer: func(_ RealmSpec, tick int, _ time.Time, n *nat.NAT) {
+		Observer: func(_ RealmSpec, tick int, _ time.Time, n nat.View) {
 			if tick == p.Ticks-1 {
 				lastLive = n.NumMappings()
 			}
