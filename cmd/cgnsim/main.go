@@ -2,8 +2,8 @@
 // synthetic Internet with ground-truth CGN deployments, runs the
 // BitTorrent DHT crawl and the Netalyzr measurement campaign against it,
 // executes both detection pipelines and every property analysis, and
-// prints all of the paper's tables and figures (E01..E18) plus the
-// ground-truth scoring.
+// prints all of the paper's tables and figures (E01..E18, plus the
+// longitudinal E21) and the ground-truth scoring.
 //
 // Usage:
 //
@@ -166,11 +166,11 @@ func renderOne(b *report.Bundle, name string) (string, error) {
 		"E05": b.E05, "E06": b.E06, "E07": b.E07, "E08": b.E08,
 		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12,
 		"E13": b.E13, "E14": b.E14, "E15": b.E15, "E16": b.E16,
-		"E17": b.E17, "E18": b.E18, "SCORES": b.Scores,
+		"E17": b.E17, "E18": b.E18, "E21": b.E21, "SCORES": b.Scores,
 	}
 	fn, ok := renderers[name]
 	if !ok {
-		return "", fmt.Errorf("unknown experiment %q (E01..E18 or scores)", name)
+		return "", fmt.Errorf("unknown experiment %q (E01..E18, E21 or scores)", name)
 	}
 	return fn(), nil
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"cgn/internal/fleet"
+)
+
+// newMux builds the daemon's observability surface. Handlers read the
+// atomically published snapshot and never touch the simulation, so
+// serving stays safe and wait-free while the day loop runs.
+func newMux(st *obs) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		v := st.view.Load()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fleet.WritePrometheus(w, v.m)
+		// Daemon-level series the fleet snapshot cannot know: checkpoint
+		// recency (wall clock — this is operational, not virtual, time)
+		// and whether this process restored from a checkpoint.
+		fmt.Fprintf(w, "# HELP cgnsimd_checkpoint_writes_total Checkpoints written by this process.\n# TYPE cgnsimd_checkpoint_writes_total counter\n")
+		fmt.Fprintf(w, "cgnsimd_checkpoint_writes_total %d\n", st.ckWrites.Load())
+		fmt.Fprintf(w, "# HELP cgnsimd_checkpoint_age_seconds Wall seconds since the last checkpoint write (-1 before the first).\n# TYPE cgnsimd_checkpoint_age_seconds gauge\n")
+		if last := st.lastCkUnix.Load(); last > 0 {
+			fmt.Fprintf(w, "cgnsimd_checkpoint_age_seconds %d\n", int64(time.Since(time.Unix(last, 0)).Seconds()))
+		} else {
+			fmt.Fprintf(w, "cgnsimd_checkpoint_age_seconds -1\n")
+		}
+		fmt.Fprintf(w, "# HELP cgnsimd_resumed Whether this process restored from a checkpoint.\n# TYPE cgnsimd_resumed gauge\n")
+		resumed := 0
+		if st.resumed {
+			resumed = 1
+		}
+		fmt.Fprintf(w, "cgnsimd_resumed %d\n", resumed)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		v := st.view.Load()
+		m := &v.m
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "cgnsimd — longitudinal CGN fleet simulation\n\n")
+		fmt.Fprintf(w, "virtual day     %d / %d (%d ticks/day)\n", m.Day, m.Days, m.TicksPerDay)
+		fmt.Fprintf(w, "carriers        %d (%d running CGN)\n", m.Carriers, m.ActiveCGN)
+		fmt.Fprintf(w, "subscribers     %d\n", m.Subscribers)
+		fmt.Fprintf(w, "timeline events %d applied\n", m.EventsApplied)
+		fmt.Fprintf(w, "mappings        %d created, %d expired, %d refreshes, %d allocation failures\n\n", m.Created, m.Expired, m.Refreshes, m.Failures)
+		fmt.Fprintf(w, "%-12s %-4s %-9s %7s %9s %7s %12s %10s\n", "realm", "cgn", "subs", "live", "in-use", "util", "created", "failures")
+		for i := range m.Realms {
+			r := &m.Realms[i]
+			state := "off"
+			if r.Enabled {
+				state = "on"
+			}
+			fmt.Fprintf(w, "%-12s %-4s %-9d %7d %9d %6.1f%% %12d %10d\n",
+				r.ID, state, r.Subscribers, r.Live, r.InUse, 100*r.Util, r.Created, r.Failures)
+		}
+	})
+	return mux
+}

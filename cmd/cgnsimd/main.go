@@ -1,0 +1,225 @@
+// Command cgnsimd is the longitudinal fleet daemon: it drives months of
+// virtual time over an evolving carrier fleet (internal/fleet) as a
+// long-lived process, checkpointing its complete state atomically on a
+// virtual-time cadence and on SIGTERM, and serving live observability —
+// Prometheus text-exposition metrics and a status page — while the
+// simulation advances.
+//
+// The contract that makes it a daemon worth killing: a run interrupted
+// at any checkpoint and restarted with -resume continues byte-identically
+// — the final per-realm NAT state digests and the E21 detection scores
+// match an uninterrupted run exactly, whatever -workers or -shards (>= 1)
+// values either process used.
+//
+//	cgnsimd -days 90 -carriers 8 -subscribers 200 \
+//	        -checkpoint fleet.ckpt -checkpoint-every 7 \
+//	        -listen 127.0.0.1:9400 -digests digests.txt
+//	# ... kill -TERM it mid-run, then:
+//	cgnsimd -days 90 -carriers 8 -subscribers 200 \
+//	        -checkpoint fleet.ckpt -resume -digests digests.txt
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cgn/internal/fleet"
+	"cgn/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cgnsimd:", err)
+		os.Exit(1)
+	}
+}
+
+// obs is the daemon's shared observability state: the day loop stores a
+// fresh view after every virtual day, HTTP handlers load it lock-free.
+type obs struct {
+	view atomic.Pointer[obsView]
+	// ckWrites and lastCkUnix feed the checkpoint-age metrics.
+	ckWrites   atomic.Uint64
+	lastCkUnix atomic.Int64
+	resumed    bool
+}
+
+type obsView struct {
+	m fleet.MetricsSnapshot
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cgnsimd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		carriers    = fs.Int("carriers", 8, "synthetic fleet size")
+		subscribers = fs.Int("subscribers", 100, "initial subscribers per carrier")
+		days        = fs.Int("days", 90, "virtual horizon in days")
+		seed        = fs.Int64("seed", 1, "master seed (fleet, timeline, traffic, observation)")
+		workers     = fs.Int("workers", 0, "realm worker pool size (0 = sequential; never affects results)")
+		shards      = fs.Int("shards", 0, "per-realm NAT shards (0 = legacy engine; any value >= 1 is the sharded engine and gives identical results)")
+		dayTicks    = fs.Int("day-ticks", 288, "virtual ticks per day")
+		ckPath      = fs.String("checkpoint", "", "checkpoint file path (enables checkpointing)")
+		ckEvery     = fs.Int("checkpoint-every", 7, "checkpoint cadence in virtual days")
+		resume      = fs.Bool("resume", false, "restore state from -checkpoint and continue")
+		listen      = fs.String("listen", "", "serve /metrics, /status and /healthz on this address (e.g. 127.0.0.1:9400)")
+		digests     = fs.String("digests", "", "write final per-realm state digests and E21 scores to this file")
+		throttle    = fs.Duration("throttle", 0, "wall-clock sleep per virtual day (keeps a demo or smoke-test run observable)")
+		stopAfter   = fs.Int("stop-after-days", 0, "checkpoint and exit after this many virtual days of this process's run (0 = run to the horizon); an operations/test hook equivalent to a well-timed SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs := fleet.SyntheticFleet(*seed, *carriers, *subscribers)
+	cfg := fleet.Config{
+		Seed:     *seed,
+		Days:     *days,
+		Profile:  traffic.Profile{DayTicks: *dayTicks},
+		Carriers: specs,
+		Timeline: fleet.ScriptTimeline(*seed, specs, *days),
+		Workers:  *workers,
+		Shards:   *shards,
+	}
+
+	var sim *fleet.Sim
+	var err error
+	if *resume {
+		if *ckPath == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		ck, err := fleet.LoadCheckpoint(*ckPath)
+		if err != nil {
+			return err
+		}
+		sim, err = fleet.Resume(cfg, ck)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "resumed from %s at virtual day %d/%d\n", *ckPath, sim.Day(), *days)
+	} else {
+		sim, err = fleet.New(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	st := &obs{resumed: *resume}
+	st.view.Store(&obsView{m: sim.Metrics()})
+
+	// Register the signal handler before the HTTP listener goes up: the
+	// moment the daemon is observable from outside it must already be
+	// killable without state loss.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(stdout, "listening on http://%s (/metrics /status /healthz)\n", ln.Addr())
+		srv := &http.Server{Handler: newMux(st)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	checkpoint := func() error {
+		if *ckPath == "" {
+			return nil
+		}
+		if err := fleet.SaveCheckpoint(*ckPath, sim.Checkpoint()); err != nil {
+			return err
+		}
+		st.ckWrites.Add(1)
+		st.lastCkUnix.Store(time.Now().Unix())
+		return nil
+	}
+
+	startDay := sim.Day()
+	for !sim.Done() {
+		select {
+		case sig := <-sigc:
+			if err := checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint on %v: %w", sig, err)
+			}
+			fmt.Fprintf(stdout, "%v at virtual day %d/%d: state checkpointed, exiting\n", sig, sim.Day(), *days)
+			return nil
+		default:
+		}
+		sim.StepDay()
+		st.view.Store(&obsView{m: sim.Metrics()})
+		if *ckEvery > 0 && sim.Day()%*ckEvery == 0 && !sim.Done() {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+		}
+		if *stopAfter > 0 && sim.Day()-startDay >= *stopAfter && !sim.Done() {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "stopping after %d days at virtual day %d/%d: state checkpointed\n", *stopAfter, sim.Day(), *days)
+			return nil
+		}
+		if *throttle > 0 {
+			time.Sleep(*throttle)
+		}
+	}
+	// Final checkpoint: a later -resume of a finished run is a no-op
+	// that still reproduces the result.
+	if err := checkpoint(); err != nil {
+		return err
+	}
+
+	res := sim.Result()
+	fmt.Fprintf(stdout, "fleet run complete: %d virtual days, %d carriers, %d subscribers, %d events, %d mappings created\n",
+		res.Days, res.Carriers, res.SubscribersEnd, res.EventsApplied, res.Created)
+	if *digests != "" {
+		if err := writeDigests(*digests, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "digests written to %s\n", *digests)
+	}
+	return nil
+}
+
+// writeDigests renders the determinism witness: per-realm engine state
+// digests and the E21 window scores, in a stable text format two runs
+// can be diffed by.
+func writeDigests(path string, res *fleet.Result) error {
+	var b []byte
+	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	app("cgnsimd digests days=%d carriers=%d events=%d\n", res.Days, res.Carriers, res.EventsApplied)
+	for _, r := range res.Realms {
+		app("realm %s enabled=%v subs=%d created=%d expired=%d failures=%d digest=%s\n",
+			r.ID, r.EnabledEnd, r.Subscribers, r.Created, r.Expired, r.Failures, shortDigest(r.Digest))
+	}
+	for _, w := range res.Windows {
+		app("window days=%d threshold=%d tp=%d fp=%d fn=%d tn=%d precision=%.6f recall=%.6f f1=%.6f\n",
+			w.Days, w.Threshold, w.TP, w.FP, w.FN, w.TN, w.Precision, w.Recall, w.F1)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// shortDigest collapses a multi-line state digest to a stable one-line
+// fingerprint (the digest text itself can run to megabytes).
+func shortDigest(d string) string {
+	if d == "disabled" {
+		return d
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256([]byte(d)))
+}

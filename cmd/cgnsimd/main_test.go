@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink for driving run()
+// concurrently with assertions on what it printed.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func baseArgs() []string {
+	return []string{
+		"-carriers", "4", "-subscribers", "20", "-days", "8",
+		"-day-ticks", "48", "-seed", "5",
+	}
+}
+
+// TestResumeMatchesUninterrupted is the daemon-level determinism smoke:
+// an uninterrupted reference run, then a run stopped after three days
+// (checkpointing on its cadence) and resumed by a second process
+// incarnation — with different worker and shard counts — must produce a
+// byte-identical digests file.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.txt")
+	var out syncBuffer
+	ref := append(baseArgs(), "-workers", "2", "-shards", "2", "-digests", refPath)
+	if err := run(ref, &out); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out.String())
+	}
+
+	ck := filepath.Join(dir, "fleet.ckpt")
+	interrupted := append(baseArgs(), "-workers", "3", "-shards", "1",
+		"-checkpoint", ck, "-checkpoint-every", "2", "-stop-after-days", "3")
+	if err := run(interrupted, &out); err != nil {
+		t.Fatalf("interrupted run: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint after stop: %v", err)
+	}
+
+	gotPath := filepath.Join(dir, "got.txt")
+	resumed := append(baseArgs(), "-workers", "1", "-shards", "3",
+		"-checkpoint", ck, "-resume", "-digests", gotPath)
+	if err := run(resumed, &out); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out.String())
+	}
+
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(gotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed digests differ from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s", want, got)
+	}
+	if !strings.Contains(string(want), "digest=sha256:") {
+		t.Fatalf("digests carry no state fingerprints:\n%s", want)
+	}
+}
+
+// TestServesMetricsWhileRunning drives the daemon with a throttled day
+// loop, scrapes /metrics, /status and /healthz while it advances, then
+// terminates it with SIGTERM and checks it checkpointed on the way out.
+func TestServesMetricsWhileRunning(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "fleet.ckpt")
+	var out syncBuffer
+	done := make(chan error, 1)
+	args := append(baseArgs(), "-days", "100000", "-throttle", "25ms",
+		"-listen", "127.0.0.1:0", "-checkpoint", ck)
+	go func() { done <- run(args, &out) }()
+
+	// The daemon prints the bound address once the listener is up.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its listener:\n%s", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "listening on http://") {
+			s = s[strings.Index(s, "listening on http://")+len("listening on http://"):]
+			addr = strings.TrimSpace(s[:strings.IndexAny(s, " \n")])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+
+	if !strings.Contains(get("/healthz"), "ok") {
+		t.Error("healthz not ok")
+	}
+	// Scrape until the simulation has visibly advanced: the created
+	// counter is non-zero once the first virtual day completes.
+	var metrics string
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never showed progress:\n%s", metrics)
+		}
+		metrics = get("/metrics")
+		if strings.Contains(metrics, "cgnsimd_mappings_created_total{") &&
+			!strings.Contains(metrics, "cgnsimd_virtual_day 0") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"cgnsimd_port_utilization{realm=",
+		"cgnsimd_allocation_failures_total{realm=",
+		"cgnsimd_carrier_cgn_enabled{realm=",
+		"cgnsimd_checkpoint_age_seconds",
+		"cgnsimd_resumed 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing metrics series %q", want)
+		}
+	}
+	status := get("/status")
+	if !strings.Contains(status, "virtual day") || !strings.Contains(status, "carrier00") {
+		t.Errorf("status page incomplete:\n%s", status)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+	if !strings.Contains(out.String(), "state checkpointed") {
+		t.Errorf("no checkpoint-on-signal message:\n%s", out.String())
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Errorf("no checkpoint file after SIGTERM: %v", err)
+	}
+}

@@ -44,6 +44,15 @@ type ScenarioAgg struct {
 	TrafficMax      float64
 	TrafficPeak     stats.MeanCI
 	TrafficFailRate stats.MeanCI
+	// Longitudinal observation (E21) across replicates, present when the
+	// scenario runs the fleet engine: detection recall and precision at
+	// the shortest and longest observation windows.
+	ObserveEnabled     bool
+	ObserveShortDays   int
+	ObserveLongDays    int
+	ObserveShortRecall stats.MeanCI
+	ObserveLongRecall  stats.MeanCI
+	ObserveLongPrec    stats.MeanCI
 }
 
 // Aggregate folds per-world results into per-scenario distributions.
@@ -64,6 +73,7 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 		agg := ScenarioAgg{Scenario: name, Replicates: len(reps)}
 		var utils, fails, tp99, tpeak, tfail []float64
 		var tmed, tmax float64
+		var osRec, olRec, olPrec []float64
 		for _, w := range reps {
 			agg.ASes += float64(w.ASes) / float64(len(reps))
 			agg.TrueCGN += float64(w.TrueCGN) / float64(len(reps))
@@ -79,6 +89,14 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 				tpeak = append(tpeak, w.Traffic.PeakUtilization)
 				tfail = append(tfail, w.Traffic.FailureRate)
 			}
+			if w.Observe.Enabled {
+				agg.ObserveEnabled = true
+				agg.ObserveShortDays = w.Observe.ShortWindow
+				agg.ObserveLongDays = w.Observe.LongWindow
+				osRec = append(osRec, w.Observe.ShortRecall)
+				olRec = append(olRec, w.Observe.LongRecall)
+				olPrec = append(olPrec, w.Observe.LongPrec)
+			}
 		}
 		agg.Utilization = stats.MeanConfidence(utils)
 		agg.AllocFailRate = stats.MeanConfidence(fails)
@@ -92,6 +110,9 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 		agg.TrafficP99 = stats.MeanConfidence(tp99)
 		agg.TrafficPeak = stats.MeanConfidence(tpeak)
 		agg.TrafficFailRate = stats.MeanConfidence(tfail)
+		agg.ObserveShortRecall = stats.MeanConfidence(osRec)
+		agg.ObserveLongRecall = stats.MeanConfidence(olRec)
+		agg.ObserveLongPrec = stats.MeanConfidence(olPrec)
 		for _, method := range Methods {
 			ma := MethodAgg{Method: method}
 			var prec, rec []float64
@@ -138,6 +159,11 @@ func Render(aggs []ScenarioAgg) string {
 		if agg.TrafficEnabled {
 			sb.WriteString(fmt.Sprintf("E18 traffic: concurrent ports/subscriber median %.1f, p99 %s, max %.1f; peak utilization %s, allocation-failure rate %s\n",
 				agg.TrafficMedian, agg.TrafficP99, agg.TrafficMax, agg.TrafficPeak, agg.TrafficFailRate))
+		}
+		if agg.ObserveEnabled {
+			sb.WriteString(fmt.Sprintf("E21 longitudinal: recall %s at %dd -> %s at %dd, precision %s at %dd\n",
+				agg.ObserveShortRecall, agg.ObserveShortDays, agg.ObserveLongRecall, agg.ObserveLongDays,
+				agg.ObserveLongPrec, agg.ObserveLongDays))
 		}
 	}
 	return sb.String()

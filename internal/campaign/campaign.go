@@ -92,6 +92,10 @@ type WorldResult struct {
 	// port percentiles and peak utilization under the scenario's
 	// traffic profile); Enabled is false when the scenario has none.
 	Traffic report.TrafficPressure
+	// Observe is the E21 longitudinal summary (detection recall and
+	// precision at the shortest and longest observation windows);
+	// Enabled is false when the scenario has no observation horizon.
+	Observe report.ObservePressure
 	// ASes and TrueCGN describe the world; Elapsed is the campaign wall
 	// time on its worker.
 	ASes    int
@@ -210,6 +214,7 @@ func runWorld(cfg Config, job Job) WorldResult {
 		Digest:   hex.EncodeToString(sum[:]),
 		Ports:    b.Load.Pressure(),
 		Traffic:  b.Traffic.Pressure(),
+		Observe:  b.Observe.Pressure(),
 		ASes:     w.DB.Len(),
 		TrueCGN:  len(truth),
 		Elapsed:  time.Since(start),

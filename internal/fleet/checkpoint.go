@@ -1,0 +1,386 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cgn/internal/nat"
+	"cgn/internal/netaddr"
+	"cgn/internal/traffic"
+)
+
+// Checkpoint file format: an 8-byte magic, a big-endian uint32 format
+// version, the gob-encoded Checkpoint body, and a SHA-256 trailer over
+// everything before it. The trailer turns truncation and bit rot into
+// clean load errors instead of gob panics or — worse — silently wrong
+// state; the version gates decoding across incompatible layouts; the
+// magic keeps cgnsimd from gobbling arbitrary files handed to -resume.
+const (
+	checkpointMagic   = "CGNFLEET"
+	checkpointVersion = 1
+)
+
+// Checkpoint is the serialized fleet state at a day boundary. Together
+// with the (unserialized) Config it fully determines the rest of the
+// run: Resume continues byte-identically — per-realm StateDigests and
+// E21 output match an uninterrupted run exactly, at any Workers value
+// and any shard count within the same engine universe.
+type Checkpoint struct {
+	// Sig fingerprints the determinism-relevant configuration; Resume
+	// refuses a checkpoint taken under a different one. Workers and the
+	// shard count are excluded — they never affect results — but the
+	// engine universe (legacy vs sharded) is included, because it does.
+	Sig string
+	// Day is the next virtual day to run (== days completed).
+	Day           int
+	EventsApplied int
+	Realms        []RealmCkpt
+}
+
+// HistState is a serialized traffic.Hist.
+type HistState struct {
+	Counts []uint64
+	N      uint64
+}
+
+// SubCkpt is one subscriber: the address is derived from the index, the
+// live-mapping count from the restored engine, so only identity
+// survives serialization.
+type SubCkpt struct {
+	Class  uint8
+	Active bool
+}
+
+// FlowCkpt is one live flow, in per-subscriber FIFO order. The mapping
+// handle is deliberately absent: every checkpointed flow refreshed its
+// mapping on the day's last tick, so the restored engine resolves the
+// same mapping by key (RefForFlow) — and if two flows share a key they
+// resolve to the same mapping in both runs.
+type FlowCkpt struct {
+	Sub       int32
+	F         netaddr.Flow
+	TicksLeft int32
+}
+
+// RealmCkpt is one carrier's serialized state.
+type RealmCkpt struct {
+	Enabled   bool
+	Provision int
+	PoolSize  int
+	Epoch     int
+
+	Subs  []SubCkpt
+	Flows []FlowCkpt
+
+	Fr     uint64
+	DstSeq uint64
+
+	Created    uint64
+	Expired    uint64
+	Refreshes  uint64
+	FailFolded uint64
+	PeakUtil   float64
+
+	ClassHists [3]HistState
+	AllHist    HistState
+
+	EvRing, EnRing []bool
+
+	// Exactly one of Engine (legacy universe) and EngineLanes (sharded
+	// universe) is set for an enabled carrier; both are nil when
+	// disabled.
+	Engine      *nat.Snapshot
+	EngineLanes []*nat.Snapshot
+}
+
+// signature fingerprints the parts of the configuration that determine
+// results. Workers is execution-only; the shard count collapses to the
+// engine-universe bit.
+func (c Config) signature() string {
+	d := c.withDefaults()
+	sharded := d.Shards > 0
+	d.Workers = 0
+	d.Shards = 0
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cgn fleet v%d sharded=%v %#v", checkpointVersion, sharded, d)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Checkpoint captures the simulation's complete state. Sim steps whole
+// days, so every capture is at a day boundary — the granularity the
+// restore contract is defined at.
+func (s *Sim) Checkpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Sig:           s.cfg.signature(),
+		Day:           s.day,
+		EventsApplied: s.applied,
+	}
+	for _, r := range s.realms {
+		rc := RealmCkpt{
+			Enabled:    r.enabled,
+			Provision:  r.provision,
+			PoolSize:   r.poolSize,
+			Epoch:      r.epoch,
+			Fr:         uint64(r.fr),
+			DstSeq:     r.dstSeq,
+			Created:    r.created,
+			Expired:    r.expired,
+			Refreshes:  r.refreshes,
+			FailFolded: r.failFolded,
+			PeakUtil:   r.peakUtil,
+			AllHist:    histState(&r.allHist),
+			EvRing:     append([]bool(nil), r.evRing...),
+			EnRing:     append([]bool(nil), r.enRing...),
+		}
+		for c := range r.classHists {
+			rc.ClassHists[c] = histState(&r.classHists[c])
+		}
+		rc.Subs = make([]SubCkpt, len(r.subs))
+		for j := range r.subs {
+			rc.Subs[j] = SubCkpt{Class: uint8(r.subs[j].class), Active: r.subs[j].active}
+			for idx := r.subs[j].head; idx >= 0; idx = r.arena[idx].next {
+				nd := &r.arena[idx]
+				rc.Flows = append(rc.Flows, FlowCkpt{Sub: int32(j), F: nd.f, TicksLeft: nd.ticksLeft})
+			}
+		}
+		switch e := r.eng.(type) {
+		case *nat.NAT:
+			rc.Engine = e.Snapshot()
+		case *nat.Sharded:
+			rc.EngineLanes = e.Snapshot()
+		}
+		ck.Realms = append(ck.Realms, rc)
+	}
+	return ck
+}
+
+func histState(h *traffic.Hist) HistState {
+	counts, n := h.State()
+	return HistState{Counts: counts, N: n}
+}
+
+// Resume rebuilds a simulation from a checkpoint taken under the same
+// configuration. Workers and the shard count may differ from the
+// checkpointing process's — only the engine universe must match.
+func Resume(cfg Config, ck *Checkpoint) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := cfg.withDefaults()
+	if sig := cfg.signature(); ck.Sig != sig {
+		return nil, fmt.Errorf("fleet: checkpoint config signature %s does not match this configuration (%s); resume needs the run's exact fleet, timeline, profile, seed and engine universe", ck.Sig, sig)
+	}
+	if ck.Day < 0 || ck.Day > d.Days {
+		return nil, fmt.Errorf("fleet: checkpoint day %d outside horizon [0,%d]", ck.Day, d.Days)
+	}
+	if len(ck.Realms) != len(d.Carriers) {
+		return nil, fmt.Errorf("fleet: checkpoint has %d realms, configuration %d", len(ck.Realms), len(d.Carriers))
+	}
+	s := &Sim{cfg: d, events: d.Timeline.sorted(), day: ck.Day}
+	for s.evIdx < len(s.events) && s.events[s.evIdx].Day < ck.Day {
+		s.evIdx++
+	}
+	s.applied = s.evIdx
+	if s.applied != ck.EventsApplied {
+		return nil, fmt.Errorf("fleet: checkpoint records %d applied events, timeline implies %d by day %d", ck.EventsApplied, s.applied, ck.Day)
+	}
+	ringLen := d.Obs.Windows[len(d.Obs.Windows)-1]
+	if ringLen > d.Days {
+		ringLen = d.Days
+	}
+	for i := range ck.Realms {
+		rc := &ck.Realms[i]
+		if len(rc.EvRing) != ringLen || len(rc.EnRing) != ringLen {
+			return nil, fmt.Errorf("fleet: realm %d observation rings have %d/%d days, configuration implies %d", i, len(rc.EvRing), len(rc.EnRing), ringLen)
+		}
+		r := &realmSim{
+			idx:        i,
+			spec:       d.Carriers[i],
+			enabled:    rc.Enabled,
+			provision:  rc.Provision,
+			poolSize:   rc.PoolSize,
+			epoch:      rc.Epoch,
+			freeHead:   -1,
+			fr:         traffic.NewFastRand(rc.Fr),
+			dstSeq:     rc.DstSeq,
+			created:    rc.Created,
+			expired:    rc.Expired,
+			refreshes:  rc.Refreshes,
+			failFolded: rc.FailFolded,
+			peakUtil:   rc.PeakUtil,
+			allHist:    traffic.HistFromState(rc.AllHist.Counts, rc.AllHist.N),
+			evRing:     append([]bool(nil), rc.EvRing...),
+			enRing:     append([]bool(nil), rc.EnRing...),
+		}
+		for c := range r.classHists {
+			r.classHists[c] = traffic.HistFromState(rc.ClassHists[c].Counts, rc.ClassHists[c].N)
+		}
+		if len(rc.Subs) > maxSubscribers {
+			return nil, fmt.Errorf("fleet: realm %d has %d subscribers, exceeding the %d cap", i, len(rc.Subs), maxSubscribers)
+		}
+		r.subs = make([]fleetSub, len(rc.Subs))
+		for j, sc := range rc.Subs {
+			if sc.Class > uint8(traffic.Heavy) {
+				return nil, fmt.Errorf("fleet: realm %d subscriber %d has unknown class %d", i, j, sc.Class)
+			}
+			r.subs[j] = fleetSub{class: traffic.Class(sc.Class), active: sc.Active, head: -1, tail: -1}
+		}
+		if rc.Enabled {
+			ecfg := r.engineConfig()
+			switch {
+			case d.Shards > 0 && rc.EngineLanes != nil:
+				eng, err := nat.NewShardedFromSnapshot(ecfg, d.Shards, rc.EngineLanes)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: realm %d: %w", i, err)
+				}
+				r.eng = eng
+			case d.Shards <= 0 && rc.Engine != nil:
+				eng, err := nat.NewFromSnapshot(ecfg, rc.Engine)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: realm %d: %w", i, err)
+				}
+				r.eng = eng
+			case rc.Engine == nil && rc.EngineLanes == nil:
+				return nil, fmt.Errorf("fleet: realm %d enabled but has no engine state", i)
+			default:
+				return nil, fmt.Errorf("fleet: realm %d checkpointed in a different engine universe (legacy vs sharded); Shards must stay on the same side of zero", i)
+			}
+			for j := range r.subs {
+				r.subs[j].live = int32(r.eng.Sessions(subAddr(j)))
+			}
+		} else if rc.Engine != nil || rc.EngineLanes != nil || len(rc.Flows) != 0 {
+			return nil, fmt.Errorf("fleet: realm %d disabled but carries engine or flow state", i)
+		}
+		r.rebuildLC()
+		if r.eng != nil {
+			r.installHooks()
+		}
+		// Relink live flows in their serialized (per-subscriber FIFO)
+		// order. A flow whose key resolves to no live mapping gets a
+		// stale handle; the next tick's refresh falls back to the full
+		// translation path exactly as the uninterrupted run would.
+		for fi, fc := range rc.Flows {
+			if int(fc.Sub) < 0 || int(fc.Sub) >= len(r.subs) {
+				return nil, fmt.Errorf("fleet: realm %d flow %d names subscriber %d of %d", i, fi, fc.Sub, len(r.subs))
+			}
+			sub := &r.subs[fc.Sub]
+			nd := flowNode{f: fc.F, ticksLeft: fc.TicksLeft, next: -1}
+			nd.ref, _ = r.eng.RefForFlow(fc.F)
+			r.arena = append(r.arena, nd)
+			ni := int32(len(r.arena) - 1)
+			if sub.tail >= 0 {
+				r.arena[sub.tail].next = ni
+			} else {
+				sub.head = ni
+			}
+			sub.tail = ni
+		}
+		s.realms = append(s.realms, r)
+	}
+	return s, nil
+}
+
+// encode renders the checkpoint in the file format.
+func (ck *Checkpoint) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagic)
+	var ver [4]byte
+	binary.BigEndian.PutUint32(ver[:], checkpointVersion)
+	buf.Write(ver[:])
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint encode: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses checkpoint bytes, rejecting — with an error,
+// never a panic — anything that is not a complete, intact checkpoint
+// this build can read.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	header := len(checkpointMagic) + 4
+	if len(data) < header+sha256.Size {
+		return nil, errors.New("fleet: checkpoint truncated (shorter than header and checksum)")
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, errors.New("fleet: not a cgnsimd checkpoint (bad magic)")
+	}
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, errors.New("fleet: checkpoint corrupt (checksum mismatch — truncated or damaged file)")
+	}
+	ver := binary.BigEndian.Uint32(data[len(checkpointMagic):header])
+	if ver != checkpointVersion {
+		return nil, fmt.Errorf("fleet: checkpoint format version %d; this build reads version %d", ver, checkpointVersion)
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(body[header:])).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint decode: %w", err)
+	}
+	return &ck, nil
+}
+
+// SaveCheckpoint writes the checkpoint to path atomically: a temp file
+// in the destination directory, then rename. A crash mid-write leaves
+// the previous checkpoint (if any) untouched and no partial file under
+// the destination name.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	data, err := ck.encode()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// writeFileAtomic writes via a temp file in path's directory and
+// renames into place, fsyncing before the rename. On any failure —
+// including mid-write — the temp file is removed and the destination
+// is left exactly as it was.
+func writeFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

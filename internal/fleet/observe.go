@@ -1,0 +1,79 @@
+package fleet
+
+// E21 — detection precision/recall as a function of observation
+// duration. The longitudinal observer accumulates one evidence bit per
+// carrier per day (runDay writes it into the realm's fixed-size ring:
+// CGN-active days are seen with VantageProb, any day can produce a
+// spurious positive with NoiseProb). The detector then declares a
+// carrier CGN over window W when at least max(1, W/ThresholdPer) of the
+// last W days were positive; ground truth for the same window is
+// whether the carrier actually ran CGN on any of those days. Scoring
+// the same run at several window lengths reproduces the paper's
+// longitudinal finding: recall climbs with observation duration while
+// the scaled threshold keeps precision roughly flat — a snapshot
+// measurement misses deployments a patient observer catches.
+
+// threshold is the detector's positive-day requirement for window w.
+func (o ObservationConfig) threshold(w int) int {
+	t := w / o.ThresholdPer
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// lastDays reads a day ring backward: counting from the run's final
+// day, it reports how many of the last w entries are set and whether
+// any is. days is the number of completed days (ring entries written).
+func lastDays(ring []bool, days, w int) (count int, any bool) {
+	n := len(ring)
+	if w > days {
+		w = days
+	}
+	for k := 1; k <= w; k++ {
+		if ring[(days-k)%n] {
+			count++
+			any = true
+		}
+	}
+	return count, any
+}
+
+// scoreWindows scores every configured observation window against the
+// completed days, skipping windows longer than the run.
+func (s *Sim) scoreWindows() []WindowScore {
+	obs := s.cfg.Obs
+	var out []WindowScore
+	for _, w := range obs.Windows {
+		if w > s.day {
+			continue
+		}
+		ws := WindowScore{Days: w, Threshold: obs.threshold(w)}
+		for _, r := range s.realms {
+			positives, _ := lastDays(r.evRing, s.day, w)
+			detected := positives >= ws.Threshold
+			_, truth := lastDays(r.enRing, s.day, w)
+			switch {
+			case detected && truth:
+				ws.TP++
+			case detected && !truth:
+				ws.FP++
+			case !detected && truth:
+				ws.FN++
+			default:
+				ws.TN++
+			}
+		}
+		if ws.TP+ws.FP > 0 {
+			ws.Precision = float64(ws.TP) / float64(ws.TP+ws.FP)
+		}
+		if ws.TP+ws.FN > 0 {
+			ws.Recall = float64(ws.TP) / float64(ws.TP+ws.FN)
+		}
+		if ws.Precision+ws.Recall > 0 {
+			ws.F1 = 2 * ws.Precision * ws.Recall / (ws.Precision + ws.Recall)
+		}
+		out = append(out, ws)
+	}
+	return out
+}

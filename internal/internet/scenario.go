@@ -135,7 +135,56 @@ type Scenario struct {
 	// arrivals, heavy-hitter mix, tick count. The zero profile disables
 	// the engine; see traffic.Profile for the knobs and their defaults.
 	Traffic traffic.Profile
+
+	// Observation parameterizes the E21 longitudinal detection
+	// experiment: the fleet engine replays the world's carrier NATs —
+	// plus latent carriers that may deploy CGN mid-run — over months of
+	// virtual time, and a windowed observer scores detection
+	// precision/recall as a function of how long it watched. The zero
+	// spec (Days == 0) disables the experiment.
+	Observation ObservationSpec
 }
+
+// ObservationSpec parameterizes the E21 longitudinal observation
+// experiment (internal/fleet). Deployment is a process, not a snapshot:
+// carriers enable CGN mid-run, re-provision pools and churn
+// subscribers, and the paper's longitudinal measurements ("Tracking the
+// Big NAT") show detection confidence growing with observation
+// duration. The spec sets the virtual horizon and the observer's
+// sampling model; zero-valued fields other than Days take the fleet
+// engine's defaults.
+type ObservationSpec struct {
+	// Days is the virtual horizon; 0 disables E21 entirely.
+	Days int
+	// DayTicks is the fleet tick resolution per virtual day (default
+	// 48 — coarser than E18's 288, since the longitudinal experiment
+	// trades intra-day detail for months of span).
+	DayTicks int
+	// SubscribersPerRealm caps the replayed population per carrier
+	// (default 16), keeping months of virtual time affordable inside a
+	// campaign.
+	SubscribersPerRealm int
+	// LatentCarriers is the number of carriers without day-zero CGN
+	// observed alongside the world's real deployments — the timeline
+	// enables CGN on most of them mid-run (late onset), the rest stay
+	// ground-truth negatives. 0 draws a default from the world size.
+	LatentCarriers int
+	// Windows are the observation durations (days, ascending) to score;
+	// empty takes the fleet default ladder.
+	Windows []int
+	// VantageProb / NoiseProb are the per-day probabilities of a true
+	// evidence sample from a CGN-active carrier and of a spurious
+	// positive; ThresholdPer scales the detector's evidence threshold
+	// (declare CGN at >= max(1, W/ThresholdPer) positive days in the
+	// last W). Zero means the fleet default.
+	VantageProb  float64
+	NoiseProb    float64
+	ThresholdPer int
+}
+
+// Enabled reports whether the scenario runs the longitudinal
+// observation experiment.
+func (o ObservationSpec) Enabled() bool { return o.Days > 0 }
 
 // ApplyPortOverrides narrows the scenario's CGN port provisioning: a
 // nonzero span or quota replaces the scenario's own setting. Both the
@@ -210,6 +259,9 @@ func Paper() Scenario {
 			HeavyFrac:  0.05,
 			LightFrac:  0.45,
 		},
+		// Eight weeks of longitudinal observation so the E21
+		// duration-vs-recall curve has its full window ladder.
+		Observation: ObservationSpec{Days: 56},
 	}
 }
 

@@ -27,6 +27,11 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Store overwrites the count. It exists for state restoration (resuming
+// a checkpointed engine continues its counters rather than restarting
+// them); live instrumentation should only ever Inc/Add.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
 // Gauge is a settable instantaneous value. The zero value is ready to use.
 type Gauge struct {
 	v atomic.Int64
@@ -78,6 +83,19 @@ func (s *Set) Gauge(name string) *Gauge {
 		s.gauges[name] = g
 	}
 	return g
+}
+
+// Counters returns the current value of every registered counter by
+// name. Unlike Snapshot it excludes gauges, so a serialize/restore
+// round-trip through Store cannot turn a gauge into a counter.
+func (s *Set) Counters() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Value()
+	}
+	return out
 }
 
 // Snapshot returns all metric values by name.

@@ -401,7 +401,11 @@ type extLogEntry struct {
 // NAT is one translator instance.
 type NAT struct {
 	cfg Config
-	rng *rand.Rand
+	// rng draws through rngSrc, a counting pass-through over the seeded
+	// source: the draw counts are what make the engine's random state
+	// snapshotable (see rng.go and snapshot.go).
+	rng    *rand.Rand
+	rngSrc *countingSource
 
 	// byInt and byExt are the translation tables, open-addressing hash
 	// tables specialized for the packed key shapes (table.go). byInt is
@@ -665,9 +669,11 @@ func New(cfg Config) *NAT {
 	if c.PortAlloc == RandomChunk && (c.ChunkSize&(c.ChunkSize-1)) != 0 {
 		panic(fmt.Sprintf("nat: chunk size %d is not a power of two", c.ChunkSize))
 	}
+	src := newCountingSource(c.Seed)
 	n := &NAT{
 		cfg:     c,
-		rng:     rand.New(rand.NewSource(c.Seed)),
+		rng:     rand.New(src),
+		rngSrc:  src,
 		Metrics: metrics.NewSet(),
 	}
 	n.byInt.init()

@@ -1,0 +1,52 @@
+package nat
+
+import "math/rand"
+
+// countingSource wraps the engine's seeded random source and counts how
+// many values each interface method has drawn. It is a pure pass-through
+// — every value comes verbatim from the wrapped source, so the engine's
+// draw stream (and with it every golden digest) is unchanged — but the
+// counts make the otherwise-opaque math/rand state serializable: a
+// snapshot records (seed, draws) and a restore replays that many draws
+// against a fresh source, leaving the stream positioned exactly where
+// the snapshot was taken.
+//
+// Int63 and Uint64 are counted separately because they consume the
+// underlying generator at different rates (math/rand's rngSource yields
+// one value per Int63 and two per Uint64); replaying a call count per
+// method reproduces the exact stream position regardless of how the
+// calls interleaved, since consumption is positional.
+type countingSource struct {
+	src      rand.Source64
+	n63, n64 uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n63++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n64++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n63, s.n64 = 0, 0
+}
+
+// replay advances a fresh source to a recorded position by issuing the
+// counted number of draws and discarding the values.
+func (s *countingSource) replay(n63, n64 uint64) {
+	for i := uint64(0); i < n63; i++ {
+		s.Int63()
+	}
+	for i := uint64(0); i < n64; i++ {
+		s.Uint64()
+	}
+}

@@ -1,0 +1,304 @@
+package nat
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"cgn/internal/netaddr"
+)
+
+// Snapshot is a complete serialization of one NAT engine's mutable
+// state: every live mapping with its destination set and activity
+// stamps, every subscriber's seen flag and pooling pin, the port-space
+// high-water mark and sequential cursors, the chunk-allocation table,
+// the metric counters, the Paired round-robin position and the random
+// stream position (as draw counts — see countingSource). All fields are
+// exported so the struct gob-encodes; the checkpoint codec on top adds
+// versioning, checksums and atomic writes.
+//
+// A NAT restored from its snapshot under the same Config continues
+// byte-identically to the original: same allocation draws (the RNG is
+// replayed to position), same verdicts, same StateDigest now and after
+// any further traffic. Incidental layout — hash-table probe chains,
+// slab/freelist recycling order, expiry-bucket grouping — is not
+// captured because it is unobservable: the expiry schedule, for
+// instance, is rebuilt by scheduling every mapping at its true deadline
+// (lastActive + timeout), which is exactly where lazy re-bucketing
+// would have placed it before the mapping's next state change.
+type Snapshot struct {
+	// ConfigSig fingerprints the effective (defaults-applied) Config the
+	// snapshot was taken under; restore refuses a mismatch rather than
+	// silently diverging.
+	ConfigSig string
+	// Rand63/Rand64 position the engine's random stream: how many Int63
+	// and Uint64 draws the seeded source has served.
+	Rand63, Rand64 uint64
+	// RRNext is the Paired/Arbitrary pooling round-robin cursor.
+	RRNext int
+	// PortPeak is the port-space high-water mark (PortStats.Peak).
+	PortPeak    int
+	Mappings    []MappingState
+	Subscribers []SubscriberState
+	Cursors     []SeqCursorState
+	Chunks      []ChunkState
+	Counters    map[string]uint64
+}
+
+// MappingState serializes one live mapping. The byInt key is not stored:
+// it is recomputed from (Proto, Int, Dst0), which is how translateOut
+// derived it (for symmetric NATs the key's destination half is the
+// creating flow's destination — by definition Dst0).
+type MappingState struct {
+	Proto               netaddr.Proto
+	Int, Ext            netaddr.Endpoint
+	Created, LastActive int64
+	Dst0                netaddr.Endpoint
+	ExtraDsts           []netaddr.Endpoint
+}
+
+// SubscriberState serializes one subscriber-table entry that carries
+// state beyond its existence: the ever-mapped flag and the Paired pool
+// pin. Session counts are not stored — they are reconstructed exactly
+// by replaying the mapping list.
+type SubscriberState struct {
+	Addr      netaddr.Addr
+	Seen      bool
+	HasPaired bool
+	Paired    netaddr.Addr
+}
+
+// SeqCursorState serializes one (external IP, protocol) sequential-
+// allocation cursor, including cursors whose segment currently holds no
+// ports (the position still determines the next draw).
+type SeqCursorState struct {
+	IP     netaddr.Addr
+	Proto  netaddr.Proto
+	Seq    int
+	Seeded bool
+}
+
+// ChunkState serializes one chunk-table assignment: subscriber Sub owns
+// the chunk based at Base on external IP.
+type ChunkState struct {
+	IP, Sub netaddr.Addr
+	Base    uint16
+}
+
+// configSig fingerprints the effective configuration. %#v over Config is
+// deterministic — the struct holds only value types and one slice.
+func configSig(c Config) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", c)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Snapshot captures the engine's complete mutable state. The caller
+// must not be concurrently translating (same rule as StateDigest).
+func (n *NAT) Snapshot() *Snapshot {
+	s := &Snapshot{
+		ConfigSig: configSig(n.cfg),
+		Rand63:    n.rngSrc.n63,
+		Rand64:    n.rngSrc.n64,
+		RRNext:    n.rrNext,
+		PortPeak:  n.ports.peak,
+		Counters:  n.Metrics.Counters(),
+	}
+	n.byInt.forEach(func(m *Mapping) {
+		ms := MappingState{
+			Proto:      m.Proto,
+			Int:        m.Int,
+			Ext:        m.Ext,
+			Created:    m.created,
+			LastActive: m.lastActive,
+			Dst0:       m.dst0,
+		}
+		if len(m.extraDsts) > 0 {
+			ms.ExtraDsts = make([]netaddr.Endpoint, 0, len(m.extraDsts))
+			for d := range m.extraDsts {
+				ms.ExtraDsts = append(ms.ExtraDsts, d)
+			}
+		}
+		s.Mappings = append(s.Mappings, ms)
+	})
+	n.subs.forEach(func(e *subEntry) {
+		if !e.seen && !e.hasPaired {
+			// The entry exists only because a translation attempt probed
+			// it before being dropped; it carries no observable state.
+			return
+		}
+		s.Subscribers = append(s.Subscribers, SubscriberState{
+			Addr: e.addr, Seen: e.seen, HasPaired: e.hasPaired, Paired: e.paired,
+		})
+	})
+	for i, k := range n.ports.segKeys {
+		g := n.ports.segVals[i]
+		if !g.seeded {
+			continue
+		}
+		s.Cursors = append(s.Cursors, SeqCursorState{
+			IP:    netaddr.Addr(k >> 8),
+			Proto: netaddr.Proto(k & 0xff),
+			Seq:   g.seq, Seeded: true,
+		})
+	}
+	if n.chunks != nil {
+		for k, base := range n.chunks.assigned {
+			s.Chunks = append(s.Chunks, ChunkState{IP: k.ip, Sub: k.sub, Base: base})
+		}
+	}
+	return s
+}
+
+// NewFromSnapshot rebuilds an engine from a snapshot taken under the
+// same configuration. Every error return names what is inconsistent; a
+// malformed snapshot never panics the restore.
+func NewFromSnapshot(cfg Config, s *Snapshot) (*NAT, error) {
+	if s == nil {
+		return nil, fmt.Errorf("nat: restore: nil snapshot")
+	}
+	n := New(cfg)
+	if sig := configSig(n.cfg); sig != s.ConfigSig {
+		return nil, fmt.Errorf("nat: restore: config signature %s does not match snapshot %s (the snapshot was taken under a different configuration)", sig, s.ConfigSig)
+	}
+	n.rngSrc.replay(s.Rand63, s.Rand64)
+	n.rrNext = s.RRNext
+
+	for _, ss := range s.Subscribers {
+		e, _ := n.subs.ensure(ss.Addr)
+		if ss.Seen && !e.seen {
+			e.seen = true
+			n.subs.seen++
+		}
+		e.hasPaired, e.paired = ss.HasPaired, ss.Paired
+	}
+	if n.chunks != nil {
+		for _, cs := range s.Chunks {
+			k := chunkKey{cs.IP, cs.Sub}
+			if _, dup := n.chunks.assigned[k]; dup {
+				return nil, fmt.Errorf("nat: restore: duplicate chunk assignment for %v on %v", cs.Sub, cs.IP)
+			}
+			n.chunks.assigned[k] = cs.Base
+			n.chunks.taken[baseKey{cs.IP, cs.Base}] = true
+		}
+	} else if len(s.Chunks) > 0 {
+		return nil, fmt.Errorf("nat: restore: snapshot has chunk assignments but the configuration is not chunk-allocated")
+	}
+
+	for _, ms := range s.Mappings {
+		e, eSlot := n.subs.ensure(ms.Int.Addr)
+		if !e.seen {
+			return nil, fmt.Errorf("nat: restore: mapping for subscriber %v not in the subscriber list", ms.Int.Addr)
+		}
+		k := n.intKeyFor(netaddr.Flow{Proto: ms.Proto, Src: ms.Int, Dst: ms.Dst0})
+		if n.byInt.get(k) != nil {
+			return nil, fmt.Errorf("nat: restore: duplicate mapping key for %v %v", ms.Proto, ms.Int)
+		}
+		if !n.ports.isFree(ms.Ext.Addr, ms.Proto, ms.Ext.Port) {
+			return nil, fmt.Errorf("nat: restore: external endpoint %v/%v claimed twice", ms.Ext, ms.Proto)
+		}
+		m := n.newMapping()
+		m.Proto, m.Int, m.Ext = ms.Proto, ms.Int, ms.Ext
+		m.dst0, m.lastDst = ms.Dst0, ms.Dst0
+		m.created, m.lastActive = ms.Created, ms.LastActive
+		m.key = k
+		m.subGen, m.subSlot = n.subs.gen, eSlot
+		for _, d := range ms.ExtraDsts {
+			if m.extraDsts == nil {
+				m.extraDsts = make(map[netaddr.Endpoint]bool, len(ms.ExtraDsts))
+			}
+			m.extraDsts[d] = true
+		}
+		n.byInt.put(k, m)
+		n.extLog = append(n.extLog, extLogEntry{m, m.gen})
+		n.ports.take(ms.Ext.Addr, ms.Proto, ms.Ext.Port)
+		e.sessions++
+		if e.sessions == 1 {
+			n.subs.live++
+		}
+		n.exp.push(ms.LastActive+int64(n.timeout(ms.Proto)), m, m.gen)
+	}
+
+	if s.PortPeak < n.ports.inUse {
+		return nil, fmt.Errorf("nat: restore: port peak %d below restored occupancy %d", s.PortPeak, n.ports.inUse)
+	}
+	n.ports.peak = s.PortPeak
+	for _, cs := range s.Cursors {
+		if cs.Seq < 0 || cs.Seq >= n.ports.size() {
+			return nil, fmt.Errorf("nat: restore: sequential cursor %d outside port range", cs.Seq)
+		}
+		g := n.ports.seg(cs.IP, cs.Proto)
+		g.seq, g.seeded = cs.Seq, cs.Seeded
+	}
+	for name, v := range s.Counters {
+		n.Metrics.Counter(name).Store(v)
+	}
+	n.gLive.Set(int64(n.byInt.n))
+	return n, nil
+}
+
+// RefForFlow returns a stable handle to the live mapping outbound flow f
+// currently translates through, without creating state, counting a
+// packet, or refreshing activity. It exists for checkpoint restore: a
+// driver holding MappingRefs across a serialize/rebuild boundary relinks
+// them by flow. A missing or expired-but-unswept mapping reports false —
+// the caller falls back to TranslateOutRef exactly as for any stale ref.
+func (n *NAT) RefForFlow(f netaddr.Flow) (MappingRef, bool) {
+	m := n.byInt.get(n.intKeyFor(f))
+	if m == nil || m.dead {
+		return MappingRef{}, false
+	}
+	return MappingRef{m: m, gen: m.gen}, true
+}
+
+// RefForFlow resolves the handle on the subscriber's owning lane.
+func (s *Sharded) RefForFlow(f netaddr.Flow) (MappingRef, bool) {
+	return s.lanes[s.LaneFor(f.Src.Addr)].RefForFlow(f)
+}
+
+// Snapshot serializes every lane's engine, in lane order. Lane state is
+// disjoint, so the slice is the sharded NAT's complete state.
+func (s *Sharded) Snapshot() []*Snapshot {
+	out := make([]*Snapshot, len(s.lanes))
+	for l, lane := range s.lanes {
+		out[l] = lane.Snapshot()
+	}
+	return out
+}
+
+// NewShardedFromSnapshot rebuilds a sharded NAT from per-lane snapshots
+// taken under the same configuration. The shard count is an execution
+// grouping, not state: any value restores any snapshot, and the restored
+// engine is byte-identical to the original at every shard count.
+func NewShardedFromSnapshot(cfg Config, shards int, lanes []*Snapshot) (*Sharded, error) {
+	c := cfg.withDefaults()
+	if len(lanes) != len(c.ExternalIPs) {
+		return nil, fmt.Errorf("nat: restore: %d lane snapshots for a %d-IP pool", len(lanes), len(c.ExternalIPs))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(c.ExternalIPs) {
+		shards = len(c.ExternalIPs)
+	}
+	s := &Sharded{
+		cfg:         c,
+		lanes:       make([]*NAT, len(c.ExternalIPs)),
+		shards:      shards,
+		extLaneKeys: make([]netaddr.Addr, len(c.ExternalIPs)),
+		extLaneVals: make([]int, len(c.ExternalIPs)),
+	}
+	for l := range s.lanes {
+		laneCfg := c
+		laneCfg.Name = fmt.Sprintf("%s/lane%d", c.Name, l)
+		laneCfg.ExternalIPs = []netaddr.Addr{c.ExternalIPs[l]}
+		laneCfg.Seed = c.Seed + int64(l+1)*shardedLaneSeedMix
+		lane, err := NewFromSnapshot(laneCfg, lanes[l])
+		if err != nil {
+			return nil, fmt.Errorf("lane %d: %w", l, err)
+		}
+		s.lanes[l] = lane
+		s.extLaneKeys[l] = c.ExternalIPs[l]
+		s.extLaneVals[l] = l
+	}
+	return s, nil
+}

@@ -1,0 +1,343 @@
+package nat
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cgn/internal/netaddr"
+)
+
+// snapOp is one scripted driver action; precomputing the script lets the
+// continuation tests replay ticks k..T against a restored engine with
+// exactly the traffic the uninterrupted engine saw.
+type snapOp struct {
+	f      netaddr.Flow
+	atTick int
+}
+
+// scriptOps builds a deterministic traffic script: subscribers opening
+// flows to a revisited destination set (exercising the destination-set
+// and memo paths), plus inbound probes at previously-seen external
+// endpoints via round-trips.
+func scriptOps(seed int64, subs, ticks, perTick int) []snapOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []snapOp
+	for t := 0; t < ticks; t++ {
+		for i := 0; i < perTick; i++ {
+			sub := netaddr.Addr(0x0A400001 + uint32(rng.Intn(subs)))
+			f := netaddr.Flow{
+				Proto: netaddr.UDP,
+				Src:   netaddr.Endpoint{Addr: sub, Port: uint16(1024 + rng.Intn(2000))},
+				Dst:   netaddr.Endpoint{Addr: netaddr.Addr(0x08080000 + uint32(rng.Intn(64))), Port: 443},
+			}
+			if rng.Intn(8) == 0 {
+				f.Proto = netaddr.TCP
+			}
+			ops = append(ops, snapOp{f: f, atTick: t})
+		}
+	}
+	return ops
+}
+
+// driveOps applies ops whose tick is in [fromTick, toTick), sweeping at
+// every tick boundary, and returns a per-op verdict trace.
+func driveOps(n interface {
+	TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict)
+	Sweep(now time.Time) int
+}, ops []snapOp, fromTick, toTick int) []Verdict {
+	base := time.Unix(0, 0)
+	var verdicts []Verdict
+	tick := fromTick
+	now := base.Add(time.Duration(tick) * 10 * time.Second)
+	n.Sweep(now)
+	for _, op := range ops {
+		if op.atTick < fromTick || op.atTick >= toTick {
+			continue
+		}
+		for op.atTick > tick {
+			tick++
+			now = base.Add(time.Duration(tick) * 10 * time.Second)
+			n.Sweep(now)
+		}
+		_, v := n.TranslateOut(op.f, now)
+		verdicts = append(verdicts, v)
+	}
+	return verdicts
+}
+
+func snapshotConfigs() map[string]Config {
+	pool := []netaddr.Addr{
+		netaddr.MustParseAddr("192.0.2.1"),
+		netaddr.MustParseAddr("192.0.2.2"),
+		netaddr.MustParseAddr("192.0.2.3"),
+	}
+	return map[string]Config{
+		"preservation-paired": {
+			Name: "snap-a", Type: PortRestricted, PortAlloc: Preservation,
+			Pooling: Paired, ExternalIPs: pool,
+			PortLo: 2048, PortHi: 4095, UDPTimeout: 30 * time.Second, Seed: 11,
+		},
+		"sequential-arbitrary": {
+			Name: "snap-b", Type: FullCone, PortAlloc: Sequential,
+			Pooling: Arbitrary, ExternalIPs: pool,
+			PortLo: 2048, PortHi: 2303, UDPTimeout: 25 * time.Second, Seed: 12,
+			MaxSessionsPerSubscriber: 24,
+		},
+		"random-symmetric": {
+			Name: "snap-c", Type: Symmetric, PortAlloc: Random,
+			Pooling: Paired, ExternalIPs: pool[:2],
+			PortLo: 2048, PortHi: 2175, UDPTimeout: 40 * time.Second, Seed: 13,
+			PortQuotaPerSubscriber: 12,
+		},
+		"chunk": {
+			Name: "snap-d", Type: PortRestricted, PortAlloc: RandomChunk,
+			ChunkSize: 64, Pooling: Paired, ExternalIPs: pool,
+			PortLo: 2048, PortHi: 4095, UDPTimeout: 35 * time.Second, Seed: 14,
+		},
+	}
+}
+
+// TestSnapshotContinuation is the core restore contract: serialize an
+// engine mid-run (through a gob round-trip, as the checkpoint codec
+// does), rebuild it, drive both engines through identical remaining
+// traffic, and require identical verdicts and an identical StateDigest
+// at every configuration.
+func TestSnapshotContinuation(t *testing.T) {
+	for name, cfg := range snapshotConfigs() {
+		t.Run(name, func(t *testing.T) {
+			ops := scriptOps(99, 40, 24, 30)
+			const cut = 12
+
+			ref := New(cfg)
+			driveOps(ref, ops, 0, cut)
+
+			snap := ref.Snapshot()
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			var decoded Snapshot
+			if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			restored, err := NewFromSnapshot(cfg, &decoded)
+			if err != nil {
+				t.Fatalf("NewFromSnapshot: %v", err)
+			}
+			if got, want := restored.StateDigest(), ref.StateDigest(); got != want {
+				t.Fatalf("digest diverges immediately after restore:\n got %s\nwant %s", got, want)
+			}
+
+			vRef := driveOps(ref, ops, cut, 24)
+			vRes := driveOps(restored, ops, cut, 24)
+			if len(vRef) != len(vRes) {
+				t.Fatalf("verdict trace lengths differ: %d vs %d", len(vRef), len(vRes))
+			}
+			for i := range vRef {
+				if vRef[i] != vRes[i] {
+					t.Fatalf("verdict %d diverges: uninterrupted %v, restored %v", i, vRef[i], vRes[i])
+				}
+			}
+			if got, want := restored.StateDigest(), ref.StateDigest(); got != want {
+				t.Fatalf("digest diverges after continuation:\n got %s\nwant %s", got, want)
+			}
+			if got, want := restored.PortStats(), ref.PortStats(); got != want {
+				t.Fatalf("port stats diverge: %+v vs %+v", got, want)
+			}
+			if got, want := restored.Metrics.Counters(), ref.Metrics.Counters(); len(got) != len(want) {
+				t.Fatalf("counter sets diverge: %v vs %v", got, want)
+			} else {
+				for k, v := range want {
+					if got[k] != v {
+						t.Fatalf("counter %s diverges: %d vs %d", k, got[k], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotShardedContinuation is the same contract for the sharded
+// engine, restored at a different shard count than it was snapshotted
+// under — shards are execution grouping, not state.
+func TestSnapshotShardedContinuation(t *testing.T) {
+	cfg := snapshotConfigs()["preservation-paired"]
+	ops := scriptOps(7, 48, 24, 40)
+	const cut = 10
+
+	ref := NewSharded(cfg, 3)
+	driveOps(ref, ops, 0, cut)
+	snap := ref.Snapshot()
+	restored, err := NewShardedFromSnapshot(cfg, 2, snap)
+	if err != nil {
+		t.Fatalf("NewShardedFromSnapshot: %v", err)
+	}
+	driveOps(ref, ops, cut, 24)
+	driveOps(restored, ops, cut, 24)
+	if got, want := restored.StateDigest(), ref.StateDigest(); got != want {
+		t.Fatalf("sharded digest diverges after continuation:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSnapshotRejectsMismatchedConfig pins the signature check: a
+// snapshot restored under any materially different configuration is an
+// error, not silent divergence.
+func TestSnapshotRejectsMismatchedConfig(t *testing.T) {
+	cfg := snapshotConfigs()["sequential-arbitrary"]
+	n := New(cfg)
+	driveOps(n, scriptOps(3, 8, 4, 6), 0, 4)
+	snap := n.Snapshot()
+
+	bad := cfg
+	bad.Seed++
+	if _, err := NewFromSnapshot(bad, snap); err == nil {
+		t.Fatal("restore under a different seed did not fail")
+	}
+	bad = cfg
+	bad.PortHi = 3000
+	if _, err := NewFromSnapshot(bad, snap); err == nil {
+		t.Fatal("restore under a different port range did not fail")
+	}
+	if _, err := NewFromSnapshot(cfg, nil); err == nil {
+		t.Fatal("restore from a nil snapshot did not fail")
+	}
+}
+
+// TestSnapshotRejectsCorruptState pins the internal-consistency checks:
+// duplicated external endpoints, mappings for unknown subscribers and
+// impossible high-water marks are all refused with errors.
+func TestSnapshotRejectsCorruptState(t *testing.T) {
+	cfg := snapshotConfigs()["sequential-arbitrary"]
+	n := New(cfg)
+	driveOps(n, scriptOps(3, 8, 4, 6), 0, 4)
+
+	snap := n.Snapshot()
+	if len(snap.Mappings) < 2 {
+		t.Fatalf("test script created only %d mappings", len(snap.Mappings))
+	}
+
+	dup := *n.Snapshot()
+	dup.Mappings[1].Ext = dup.Mappings[0].Ext
+	dup.Mappings[1].Proto = dup.Mappings[0].Proto
+	if _, err := NewFromSnapshot(cfg, &dup); err == nil {
+		t.Fatal("duplicate external endpoint accepted")
+	}
+
+	orphan := *n.Snapshot()
+	orphan.Subscribers = nil
+	if _, err := NewFromSnapshot(cfg, &orphan); err == nil {
+		t.Fatal("mapping without its subscriber accepted")
+	}
+
+	peak := *n.Snapshot()
+	peak.PortPeak = 0
+	if _, err := NewFromSnapshot(cfg, &peak); err == nil && len(peak.Mappings) > 0 {
+		t.Fatal("peak below occupancy accepted")
+	}
+
+	cursor := *n.Snapshot()
+	cursor.Cursors = append(cursor.Cursors, SeqCursorState{
+		IP: cfg.ExternalIPs[0], Proto: netaddr.UDP, Seq: 1 << 20, Seeded: true,
+	})
+	if _, err := NewFromSnapshot(cfg, &cursor); err == nil {
+		t.Fatal("out-of-range sequential cursor accepted")
+	}
+}
+
+// TestCountingSourceTransparent pins the pass-through property the
+// golden digests depend on: an engine drawing through countingSource
+// produces exactly the stream a bare math/rand source would.
+func TestCountingSourceTransparent(t *testing.T) {
+	plain := rand.New(rand.NewSource(42))
+	counted := rand.New(newCountingSource(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Int63(), counted.Int63(); a != b {
+				t.Fatalf("Int63 draw %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := plain.Intn(997), counted.Intn(997); a != b {
+				t.Fatalf("Intn draw %d: %d vs %d", i, a, b)
+			}
+		case 2:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("Float64 draw %d: %g vs %g", i, a, b)
+			}
+		case 3:
+			if a, b := plain.Uint64(), counted.Uint64(); a != b {
+				t.Fatalf("Uint64 draw %d: %d vs %d", i, a, b)
+			}
+		}
+	}
+}
+
+// TestCountingSourceReplay pins the replay property restore depends on:
+// a fresh source replayed to a recorded position continues with exactly
+// the draws the original source would have produced next, regardless of
+// how Int63 and Uint64 calls interleaved before the snapshot.
+func TestCountingSourceReplay(t *testing.T) {
+	src := newCountingSource(7)
+	r := rand.New(src)
+	for i := 0; i < 500; i++ {
+		if i%3 == 0 {
+			r.Uint64()
+		} else {
+			r.Intn(100 + i)
+		}
+	}
+	n63, n64 := src.n63, src.n64
+
+	replayed := newCountingSource(7)
+	replayed.replay(n63, n64)
+	r2 := rand.New(replayed)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Int63(), r2.Int63(); a != b {
+			t.Fatalf("draw %d after replay: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestSnapshotRefRelink pins RefForFlow, the handle-relink primitive the
+// fleet checkpoint uses: a handle resolved on the restored engine
+// refreshes the same mapping the original handle did.
+func TestSnapshotRefRelink(t *testing.T) {
+	cfg := snapshotConfigs()["preservation-paired"]
+	n := New(cfg)
+	now := time.Unix(100, 0)
+	f := netaddr.Flow{
+		Proto: netaddr.UDP,
+		Src:   netaddr.Endpoint{Addr: netaddr.MustParseAddr("10.64.0.9"), Port: 5000},
+		Dst:   netaddr.Endpoint{Addr: netaddr.MustParseAddr("8.8.8.8"), Port: 443},
+	}
+	out, _, v := n.TranslateOutRef(f, now)
+	if v != Ok {
+		t.Fatalf("translate: %v", v)
+	}
+
+	restored, err := NewFromSnapshot(cfg, n.Snapshot())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	ref, ok := restored.RefForFlow(f)
+	if !ok {
+		t.Fatal("RefForFlow missed the restored mapping")
+	}
+	if !restored.Refresh(ref, f.Dst, now.Add(time.Second)) {
+		t.Fatal("relinked ref did not refresh")
+	}
+	out2, _, v := restored.TranslateOutRef(f, now.Add(2*time.Second))
+	if v != Ok || out2 != out {
+		t.Fatalf("restored translation %v/%v, want %v/Ok", out2, v, out)
+	}
+
+	if _, ok := restored.RefForFlow(netaddr.Flow{
+		Proto: netaddr.UDP,
+		Src:   netaddr.Endpoint{Addr: netaddr.MustParseAddr("10.64.0.200"), Port: 1}, Dst: f.Dst,
+	}); ok {
+		t.Fatal("RefForFlow resolved a never-mapped flow")
+	}
+}

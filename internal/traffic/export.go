@@ -1,0 +1,42 @@
+package traffic
+
+// Exported state accessors for the engine's reusable building blocks.
+// The fleet engine (internal/fleet) drives months of virtual time over
+// an evolving carrier population on top of this package's primitives —
+// Hist, LiveCounts, FastRand, the diurnal curve and the class rates —
+// and checkpoints mid-run, which needs histogram and RNG state to be
+// serializable. Everything here is a plain copy in or out; none of it
+// is on a hot path.
+
+// Count returns the number of samples recorded.
+func (h *Hist) Count() uint64 { return h.n }
+
+// State returns a copy of the histogram's dense bucket counts (index =
+// sample value) and its sample count, trimmed of the trailing zero
+// buckets growth leaves behind.
+func (h *Hist) State() ([]uint64, uint64) {
+	top := len(h.counts)
+	for top > 0 && h.counts[top-1] == 0 {
+		top--
+	}
+	out := make([]uint64, top)
+	copy(out, h.counts)
+	return out, h.n
+}
+
+// HistFromState rebuilds a histogram from State output. It is the
+// identity round-trip: quantiles, max and future merges behave exactly
+// as on the original.
+func HistFromState(counts []uint64, n uint64) Hist {
+	h := Hist{n: n}
+	if len(counts) > 0 {
+		h.counts = make([]uint64, len(counts))
+		copy(h.counts, counts)
+	}
+	return h
+}
+
+// NewFastRand returns a fast draw stream seeded at s. FastRand's whole
+// state is its uint64 value, so serializing one is a cast: save
+// uint64(r), restore FastRand(saved).
+func NewFastRand(s uint64) FastRand { return FastRand(s) }

@@ -40,10 +40,10 @@ type shardState struct {
 	lanes     []int
 	subIdx    []int32
 	classSubs [3]int
-	lc        *liveCounts
+	lc        *LiveCounts
 	// Private accumulators, merged in shard-index order after the run.
-	classHists [3]hist
-	allHist    hist
+	classHists [3]Hist
+	allHist    Hist
 	refreshes  uint64
 	// pend buffers the driver phase's arrivals for this shard's
 	// subscribers, in draw (ascending-subscriber) order.
@@ -70,16 +70,16 @@ type arrival struct {
 	f    netaddr.Flow
 }
 
-// fastRand is the sharded driver's arrival-draw stream: a SplitMix64
+// FastRand is the sharded driver's arrival-draw stream: a SplitMix64
 // generator, statistically sound for simulation draws at a fraction of
 // math/rand's per-draw cost — the driver phase is the engine's serial
 // section, and it draws one Poisson gate per subscriber per tick. The
 // sharded engine is its own deterministic universe (see Config.Shards),
 // so its draw stream only has to be deterministic, not match the legacy
 // engine's generator.
-type fastRand uint64
+type FastRand uint64
 
-func (r *fastRand) next() uint64 {
+func (r *FastRand) Next() uint64 {
 	*r += 0x9E3779B97F4A7C15
 	z := uint64(*r)
 	z ^= z >> 30
@@ -89,22 +89,22 @@ func (r *fastRand) next() uint64 {
 	return z ^ z>>31
 }
 
-// float64 returns a uniform variate in [0, 1).
-func (r *fastRand) float64() float64 {
-	return float64(r.next()>>11) * (1.0 / (1 << 53))
+// Float64 returns a uniform variate in [0, 1).
+func (r *FastRand) Float64() float64 {
+	return float64(r.Next()>>11) * (1.0 / (1 << 53))
 }
 
-// intn returns a uniform variate in [0, n) by Lemire's multiply-shift.
-func (r *fastRand) intn(n uint32) uint32 {
-	return uint32(uint64(uint32(r.next())) * uint64(n) >> 32)
+// Intn returns a uniform variate in [0, n) by Lemire's multiply-shift.
+func (r *FastRand) Intn(n uint32) uint32 {
+	return uint32(uint64(uint32(r.Next())) * uint64(n) >> 32)
 }
 
-// poisson draws a Poisson variate by Knuth's method, like the package
+// Poisson draws a Poisson variate by Knuth's method, like the package
 // poisson but on the fast stream.
-func (r *fastRand) poisson(expNegLambda float64) int {
+func (r *FastRand) Poisson(expNegLambda float64) int {
 	k, p := 0, 1.0
 	for {
-		p *= r.float64()
+		p *= r.Float64()
 		if p <= expNegLambda {
 			return k
 		}
@@ -132,7 +132,7 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 
 	var rates [3]float64
 	for c := Class(0); c < numClasses; c++ {
-		rates[c] = p.FlowsPerTick * classRate(p, c)
+		rates[c] = p.FlowsPerTick * ClassRate(p, c)
 	}
 
 	base := subscriberBase
@@ -164,7 +164,7 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		st.classSubs[subs[j].class]++
 	}
 	for _, st := range shards {
-		st.lc = newLiveCounts(st.classSubs)
+		st.lc = NewLiveCounts(st.classSubs)
 		st.arena = make([]flowNode, 0, 4*len(st.subIdx))
 	}
 
@@ -178,14 +178,14 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			func(m *nat.Mapping) {
 				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 					sub := &subs[j]
-					st.lc.move(sub.class, sub.live, sub.live+1)
+					st.lc.Move(sub.class, sub.live, sub.live+1)
 					sub.live++
 				}
 			},
 			func(m *nat.Mapping) {
 				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 					sub := &subs[j]
-					st.lc.move(sub.class, sub.live, sub.live-1)
+					st.lc.Move(sub.class, sub.live, sub.live-1)
 					sub.live--
 				}
 			},
@@ -287,19 +287,19 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			st.active, st.scratch = sc, st.active[:0]
 			st.fresh = st.fresh[:0]
 		}
-		st.lc.fold(&st.classHists, &st.allHist)
+		st.lc.Fold(&st.classHists, &st.allHist)
 	}
 
 	// The arrival-draw stream, seeded once from the realm RNG so realms
 	// stay decorrelated; hold spans 1..2*FlowHoldTicks-1 like the legacy
 	// engine's draw.
-	fr := fastRand(rng.Uint64())
+	fr := FastRand(rng.Uint64())
 	holdSpan := uint32(2*p.FlowHoldTicks - 1)
 	epoch := time.Unix(0, 0)
 	var dstSeq uint64
 	for t := 0; t < p.Ticks; t++ {
 		now := epoch.Add(time.Duration(t) * p.TickStep)
-		df := diurnalFactor(p, t)
+		df := DiurnalFactor(p, t)
 		var expNegLambda [3]float64
 		var gated [3]bool
 		for c := range rates {
@@ -315,13 +315,13 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			if !gated[cl] {
 				continue
 			}
-			k := fr.poisson(expNegLambda[cl])
+			k := fr.Poisson(expNegLambda[cl])
 			for ; k > 0; k-- {
 				dstSeq++
 				f := netaddr.FlowOf(netaddr.UDP,
-					netaddr.EndpointOf(base+netaddr.Addr(j), uint16(1024+fr.intn(64512))),
+					netaddr.EndpointOf(base+netaddr.Addr(j), uint16(1024+fr.Intn(64512))),
 					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(dstSeq)), uint16(443+(dstSeq>>32))))
-				hold := 1 + fr.intn(holdSpan)
+				hold := 1 + fr.Intn(holdSpan)
 				st := shards[sn.ShardOf(int(laneOf[j]))]
 				st.pend = append(st.pend, arrival{j: int32(j), hold: int32(hold), f: f})
 			}
@@ -369,9 +369,9 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	for _, st := range shards {
 		out.refreshes += st.refreshes
 		for c := range out.classHists {
-			out.classHists[c].merge(&st.classHists[c])
+			out.classHists[c].Merge(&st.classHists[c])
 		}
-		out.allHist.merge(&st.allHist)
+		out.allHist.Merge(&st.allHist)
 	}
 	return out
 }

@@ -160,15 +160,15 @@ type subscriber struct {
 	live       int32
 }
 
-// hist is an exact integer histogram of concurrent-port samples; counts
+// Hist is an exact integer histogram of concurrent-port samples; counts
 // are small (bounded by quota or port space), so percentiles come from a
 // dense array walk.
-type hist struct {
+type Hist struct {
 	counts []uint64
 	n      uint64
 }
 
-func (h *hist) add(v int) {
+func (h *Hist) Add(v int) {
 	if v < 0 {
 		v = 0
 	}
@@ -179,9 +179,9 @@ func (h *hist) add(v int) {
 	h.n++
 }
 
-// addN records k samples of value v at once — the bulk form the
+// AddN records k samples of value v at once — the bulk form the
 // live-count fold uses. Equivalent to k calls of add(v).
-func (h *hist) addN(v int, k uint64) {
+func (h *Hist) AddN(v int, k uint64) {
 	if k == 0 {
 		return
 	}
@@ -199,7 +199,7 @@ func (h *hist) addN(v int, k uint64) {
 // rising maximum costs O(log max) reallocations rather than one per new
 // peak. Values beyond the previous length stay zero, so nothing
 // observable changes.
-func (h *hist) grow(size int) {
+func (h *Hist) grow(size int) {
 	newLen := 2 * len(h.counts)
 	if newLen < size {
 		newLen = size
@@ -209,11 +209,11 @@ func (h *hist) grow(size int) {
 	h.counts = grown
 }
 
-// merge folds o into h. The parallel engine accumulates one hist set per
+// Merge folds o into h. The parallel engine accumulates one Hist set per
 // realm and merges them in realm input order; counts are plain sums, so
 // the merged histogram is identical to one filled by a single
 // sequential run.
-func (h *hist) merge(o *hist) {
+func (h *Hist) Merge(o *Hist) {
 	if len(o.counts) > len(h.counts) {
 		h.grow(len(o.counts))
 	}
@@ -223,9 +223,9 @@ func (h *hist) merge(o *hist) {
 	h.n += o.n
 }
 
-// quantile returns the smallest value whose cumulative count reaches
+// Quantile returns the smallest value whose cumulative count reaches
 // rank ceil(q*n); 0 on an empty histogram.
-func (h *hist) quantile(q float64) int {
+func (h *Hist) Quantile(q float64) int {
 	if h.n == 0 {
 		return 0
 	}
@@ -246,7 +246,7 @@ func (h *hist) quantile(q float64) int {
 	return len(h.counts) - 1
 }
 
-func (h *hist) max() int {
+func (h *Hist) Max() int {
 	for v := len(h.counts) - 1; v >= 0; v-- {
 		if h.counts[v] > 0 {
 			return v
@@ -263,18 +263,18 @@ var (
 	dstBase        = netaddr.MustParseAddr("8.0.0.0")
 )
 
-// liveCounts tracks, per class, how many tracked subscribers currently
+// LiveCounts tracks, per class, how many tracked subscribers currently
 // hold exactly v live mappings. The NAT's create/expire hooks move
 // subscribers between buckets as mappings come and go, and the per-tick
 // sampling fold adds each bucket's population to the histograms in one
 // addN — the same sample multiset the per-subscriber loop would record,
 // for O(distinct values) work per tick instead of O(subscribers).
-type liveCounts struct {
+type LiveCounts struct {
 	cnt [3][]uint64
 }
 
-func newLiveCounts(classSubs [3]int) *liveCounts {
-	lc := &liveCounts{}
+func NewLiveCounts(classSubs [3]int) *LiveCounts {
+	lc := &LiveCounts{}
 	for c := range lc.cnt {
 		lc.cnt[c] = make([]uint64, 8)
 		lc.cnt[c][0] = uint64(classSubs[c])
@@ -282,10 +282,10 @@ func newLiveCounts(classSubs [3]int) *liveCounts {
 	return lc
 }
 
-// move shifts one class-c subscriber from bucket from to bucket to.
+// Move shifts one class-c subscriber from bucket from to bucket to.
 // Hooks only ever move by one, so after the doubling grow, to is always
 // in range.
-func (lc *liveCounts) move(c Class, from, to int32) {
+func (lc *LiveCounts) Move(c Class, from, to int32) {
 	s := lc.cnt[c]
 	s[from]--
 	if int(to) >= len(s) {
@@ -297,14 +297,14 @@ func (lc *liveCounts) move(c Class, from, to int32) {
 	s[to]++
 }
 
-// fold samples every tracked subscriber once — at its current bucket
+// Fold samples every tracked subscriber once — at its current bucket
 // value — into the class and aggregate histograms.
-func (lc *liveCounts) fold(classHists *[3]hist, all *hist) {
+func (lc *LiveCounts) Fold(classHists *[3]Hist, all *Hist) {
 	for c := range lc.cnt {
 		for v, k := range lc.cnt[c] {
 			if k != 0 {
-				classHists[c].addN(v, k)
-				all.addN(v, k)
+				classHists[c].AddN(v, k)
+				all.AddN(v, k)
 			}
 		}
 	}
@@ -336,9 +336,9 @@ func buildSubscribers(rng *rand.Rand, p Profile, spec RealmSpec, base netaddr.Ad
 	return subs
 }
 
-// diurnalFactor modulates arrival rates over the day: trough (1-Amp) at
+// DiurnalFactor modulates arrival rates over the day: trough (1-Amp) at
 // tick 0 of each period, peak (1+Amp) mid-period.
-func diurnalFactor(p Profile, tick int) float64 {
+func DiurnalFactor(p Profile, tick int) float64 {
 	if p.DiurnalAmp == 0 || p.DayTicks == 0 {
 		return 1
 	}
@@ -370,8 +370,8 @@ func poisson(rng *rand.Rand, expNegLambda float64) int {
 	}
 }
 
-// classRate is the per-class multiplier on the median arrival rate.
-func classRate(p Profile, c Class) float64 {
+// ClassRate is the per-class multiplier on the median arrival rate.
+func ClassRate(p Profile, c Class) float64 {
 	switch c {
 	case Light:
 		return 0.2
@@ -390,8 +390,8 @@ func classRate(p Profile, c Class) float64 {
 type realmOut struct {
 	stat       RealmStat
 	classSubs  [3]int
-	classHists [3]hist
-	allHist    hist
+	classHists [3]Hist
+	allHist    Hist
 	// util[t] is this realm's instantaneous port-space utilization at
 	// tick t (the realm's addend into Result.MeanUtil).
 	util      []float64
@@ -462,8 +462,8 @@ func Run(cfg Config) *Result {
 	// Ordered merge: realm input order, whatever order the workers
 	// finished in.
 	res.MeanUtil = make([]float64, p.Ticks)
-	var classHists [3]hist
-	var allHist hist
+	var classHists [3]Hist
+	var allHist Hist
 	for _, o := range outs {
 		res.Realms = append(res.Realms, o.stat)
 		res.Subscribers += o.stat.Subscribers
@@ -473,9 +473,9 @@ func Run(cfg Config) *Result {
 		res.Refreshes += o.refreshes
 		for c := range classHists {
 			res.ByClass[c].Subscribers += o.classSubs[c]
-			classHists[c].merge(&o.classHists[c])
+			classHists[c].Merge(&o.classHists[c])
 		}
-		allHist.merge(&o.allHist)
+		allHist.Merge(&o.allHist)
 		for t, u := range o.util {
 			res.MeanUtil[t] += u
 		}
@@ -492,15 +492,15 @@ func Run(cfg Config) *Result {
 		h := &classHists[c]
 		res.ByClass[c].Class = c
 		res.ByClass[c].Samples = h.n
-		res.ByClass[c].Median = h.quantile(0.5)
-		res.ByClass[c].P99 = h.quantile(0.99)
-		res.ByClass[c].Max = h.max()
+		res.ByClass[c].Median = h.Quantile(0.5)
+		res.ByClass[c].P99 = h.Quantile(0.99)
+		res.ByClass[c].Max = h.Max()
 	}
 	res.All = ClassStat{
 		Samples: allHist.n,
-		Median:  allHist.quantile(0.5),
-		P99:     allHist.quantile(0.99),
-		Max:     allHist.max(),
+		Median:  allHist.Quantile(0.5),
+		P99:     allHist.Quantile(0.99),
+		Max:     allHist.Max(),
 	}
 	res.All.Subscribers = res.Subscribers
 	return res
@@ -523,7 +523,7 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 	// per-tick λ hoist below so both see bit-identical values.
 	var rates [3]float64
 	for c := Class(0); c < numClasses; c++ {
-		rates[c] = p.FlowsPerTick * classRate(p, c)
+		rates[c] = p.FlowsPerTick * ClassRate(p, c)
 	}
 
 	base := subscriberBase
@@ -534,19 +534,19 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 	// hooks maintain subscriber.live and the class-keyed bucket counts
 	// the per-tick sampling fold reads. Subscriber addresses are dense
 	// above base, so a hook resolves the owner with one subtraction.
-	lc := newLiveCounts(out.classSubs)
+	lc := NewLiveCounts(out.classSubs)
 	n.SetMappingHooks(
 		func(m *nat.Mapping) {
 			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 				sub := &subs[j]
-				lc.move(sub.class, sub.live, sub.live+1)
+				lc.Move(sub.class, sub.live, sub.live+1)
 				sub.live++
 			}
 		},
 		func(m *nat.Mapping) {
 			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 				sub := &subs[j]
-				lc.move(sub.class, sub.live, sub.live-1)
+				lc.Move(sub.class, sub.live, sub.live-1)
 				sub.live--
 			}
 		},
@@ -564,7 +564,7 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 	for t := 0; t < p.Ticks; t++ {
 		now := epoch.Add(time.Duration(t) * p.TickStep)
 		n.Sweep(now)
-		df := diurnalFactor(p, t)
+		df := DiurnalFactor(p, t)
 		// λ = rate·df takes one value per class per tick; hoist the
 		// exponential Knuth's method needs out of the subscriber loop.
 		var expNegLambda [3]float64
@@ -651,7 +651,7 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 		// Sample: one per-subscriber concurrent-port sample each (the
 		// hook-maintained live-count buckets, folded in bulk) and the
 		// realm's instantaneous port-space utilization.
-		lc.fold(&out.classHists, &out.allHist)
+		lc.Fold(&out.classHists, &out.allHist)
 		// The engine generates UDP flows only, so utilization divides by
 		// the UDP share of the capacity (PortStats counts UDP and TCP
 		// segments); against the full dual-protocol capacity a fully

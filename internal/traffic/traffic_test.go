@@ -108,16 +108,16 @@ func TestDiurnalModulation(t *testing.T) {
 // TestDiurnalFactorShape pins the curve's endpoints and symmetry.
 func TestDiurnalFactorShape(t *testing.T) {
 	p := Profile{DayTicks: 100, DiurnalAmp: 0.5}
-	if f := diurnalFactor(p, 0); f > 0.51 {
+	if f := DiurnalFactor(p, 0); f > 0.51 {
 		t.Errorf("tick 0 should be the trough, factor %v", f)
 	}
-	if f := diurnalFactor(p, 50); f < 1.49 {
+	if f := DiurnalFactor(p, 50); f < 1.49 {
 		t.Errorf("mid-day should be the peak, factor %v", f)
 	}
-	if f := diurnalFactor(p, 100); f > 0.51 {
+	if f := DiurnalFactor(p, 100); f > 0.51 {
 		t.Errorf("next day's tick 0 should be the trough again, factor %v", f)
 	}
-	if f := diurnalFactor(Profile{DayTicks: 100}, 50); f != 1 {
+	if f := DiurnalFactor(Profile{DayTicks: 100}, 50); f != 1 {
 		t.Errorf("zero amplitude must not modulate, factor %v", f)
 	}
 }
@@ -209,26 +209,26 @@ func TestProfileValidate(t *testing.T) {
 // parallel engine's ordered merge rests on.
 func TestHistMerge(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	var a, b, all hist
+	var a, b, all Hist
 	for i := 0; i < 4096; i++ {
 		v := rng.Intn(200)
 		if rng.Intn(2) == 0 {
-			a.add(v)
+			a.Add(v)
 		} else {
-			b.add(v)
+			b.Add(v)
 		}
-		all.add(v)
+		all.Add(v)
 	}
-	a.merge(&b)
+	a.Merge(&b)
 	if a.n != all.n {
 		t.Fatalf("merged n = %d, want %d", a.n, all.n)
 	}
 	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
-		if got, want := a.quantile(q), all.quantile(q); got != want {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
 			t.Errorf("quantile(%v) = %d after merge, want %d", q, got, want)
 		}
 	}
-	if got, want := a.max(), all.max(); got != want {
+	if got, want := a.Max(), all.Max(); got != want {
 		t.Errorf("max = %d after merge, want %d", got, want)
 	}
 	for v := 0; v < 200; v++ {
@@ -246,10 +246,10 @@ func TestHistMerge(t *testing.T) {
 
 	// Merging into an empty histogram and merging an empty one are both
 	// exact.
-	var empty, dst hist
-	dst.merge(&all)
-	dst.merge(&empty)
-	if dst.n != all.n || dst.quantile(0.5) != all.quantile(0.5) || dst.max() != all.max() {
+	var empty, dst Hist
+	dst.Merge(&all)
+	dst.Merge(&empty)
+	if dst.n != all.n || dst.Quantile(0.5) != all.Quantile(0.5) || dst.Max() != all.Max() {
 		t.Errorf("empty-merge changed the histogram: %+v vs %+v", dst, all)
 	}
 }
@@ -257,11 +257,11 @@ func TestHistMerge(t *testing.T) {
 // TestHistGeometricGrowth: a rising maximum must cost O(log max)
 // reallocations, not one per new peak.
 func TestHistGeometricGrowth(t *testing.T) {
-	var h hist
+	var h Hist
 	grows := 0
 	prevLen := 0
 	for v := 0; v <= 4096; v++ {
-		h.add(v)
+		h.Add(v)
 		if len(h.counts) != prevLen {
 			grows++
 			prevLen = len(h.counts)
@@ -270,7 +270,7 @@ func TestHistGeometricGrowth(t *testing.T) {
 	if grows > 16 {
 		t.Errorf("counts reallocated %d times for max 4096; growth is not geometric", grows)
 	}
-	if got := h.max(); got != 4096 {
+	if got := h.Max(); got != 4096 {
 		t.Errorf("max = %d, want 4096", got)
 	}
 	if h.n != 4097 {
@@ -280,21 +280,21 @@ func TestHistGeometricGrowth(t *testing.T) {
 
 // TestHistQuantiles pins the histogram's percentile arithmetic.
 func TestHistQuantiles(t *testing.T) {
-	var h hist
+	var h Hist
 	for v := 1; v <= 100; v++ {
-		h.add(v)
+		h.Add(v)
 	}
-	if got := h.quantile(0.5); got != 50 {
+	if got := h.Quantile(0.5); got != 50 {
 		t.Errorf("median of 1..100 = %d, want 50", got)
 	}
-	if got := h.quantile(0.99); got != 99 {
+	if got := h.Quantile(0.99); got != 99 {
 		t.Errorf("p99 of 1..100 = %d, want 99", got)
 	}
-	if got := h.max(); got != 100 {
+	if got := h.Max(); got != 100 {
 		t.Errorf("max of 1..100 = %d, want 100", got)
 	}
-	var empty hist
-	if empty.quantile(0.5) != 0 || empty.max() != 0 {
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
 		t.Error("empty histogram must report zeros")
 	}
 }
