@@ -416,6 +416,11 @@ func BenchmarkTrafficMetro(b *testing.B) { perf.TrafficMetro(b) }
 // perf.TrafficMetroSharded).
 func BenchmarkTrafficMetroSharded(b *testing.B) { perf.TrafficMetroSharded(b) }
 
+// BenchmarkTrafficMetroShardedMP4 pins GOMAXPROCS=4 for the sharded
+// metro day — the multicore point of the perf trajectory (see
+// perf.TrafficMetroShardedMP4).
+func BenchmarkTrafficMetroShardedMP4(b *testing.B) { perf.TrafficMetroShardedMP4(b) }
+
 // BenchmarkE17PortLoad measures the port-pressure analysis over the
 // cached campaign's carrier NATs.
 func BenchmarkE17PortLoad(b *testing.B) {

@@ -41,12 +41,18 @@ type result struct {
 	// shards per realm; absent for single-threaded bodies.
 	Workers int `json:"workers,omitempty"`
 	Shards  int `json:"shards,omitempty"`
+	// GOMAXPROCS (schema 3) is set when the benchmark pinned its own
+	// GOMAXPROCS for the measurement (multicore variants); absent means
+	// the entry ran at the document-level gomaxprocs.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // document is the emitted file layout.
 type document struct {
 	// Schema versions the layout for future tooling. Schema 2 added the
-	// top-level gomaxprocs and the per-benchmark workers/shards fields.
+	// top-level gomaxprocs and the per-benchmark workers/shards fields;
+	// schema 3 added the per-benchmark gomaxprocs override for variants
+	// that pin their own parallelism.
 	Schema    int    `json:"schema"`
 	Generated string `json:"generated"`
 	GoVersion string `json:"go_version"`
@@ -73,7 +79,7 @@ func main() {
 	}
 
 	doc := document{
-		Schema:     2,
+		Schema:     3,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -95,6 +101,7 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Workers:     bm.Workers,
 			Shards:      bm.Shards,
+			GOMAXPROCS:  bm.Procs,
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()

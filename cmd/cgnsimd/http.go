@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"cgn/internal/fleet"
@@ -11,8 +12,20 @@ import (
 // newMux builds the daemon's observability surface. Handlers read the
 // atomically published snapshot and never touch the simulation, so
 // serving stays safe and wait-free while the day loop runs.
-func newMux(st *obs) *http.ServeMux {
+//
+// withPprof additionally mounts the net/http/pprof handlers under
+// /debug/pprof/ — explicit registrations on this private mux rather
+// than the package's http.DefaultServeMux side effect, so profiling is
+// opt-in per process (-pprof) and the default surface stays minimal.
+func newMux(st *obs, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

@@ -73,6 +73,7 @@ func run(args []string, stdout io.Writer) error {
 		resume      = fs.Bool("resume", false, "restore state from -checkpoint and continue")
 		listen      = fs.String("listen", "", "serve /metrics, /status and /healthz on this address (e.g. 127.0.0.1:9400)")
 		digests     = fs.String("digests", "", "write final per-realm state digests and E21 scores to this file")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the -listen mux")
 		throttle    = fs.Duration("throttle", 0, "wall-clock sleep per virtual day (keeps a demo or smoke-test run observable)")
 		stopAfter   = fs.Int("stop-after-days", 0, "checkpoint and exit after this many virtual days of this process's run (0 = run to the horizon); an operations/test hook equivalent to a well-timed SIGTERM")
 	)
@@ -128,8 +129,12 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer ln.Close()
-		fmt.Fprintf(stdout, "listening on http://%s (/metrics /status /healthz)\n", ln.Addr())
-		srv := &http.Server{Handler: newMux(st)}
+		surface := "/metrics /status /healthz"
+		if *pprofOn {
+			surface += " /debug/pprof"
+		}
+		fmt.Fprintf(stdout, "listening on http://%s (%s)\n", ln.Addr(), surface)
+		srv := &http.Server{Handler: newMux(st, *pprofOn)}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}

@@ -87,6 +87,88 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 	}
 }
 
+// waitForAddr polls the daemon's output until it announces its bound
+// listener address.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its listener:\n%s", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "listening on http://") {
+			s = s[strings.Index(s, "listening on http://")+len("listening on http://"):]
+			return strings.TrimSpace(s[:strings.IndexAny(s, " \n")])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sigterm terminates a daemon started in a goroutine and waits for its
+// run() to return cleanly.
+func sigterm(t *testing.T, done <-chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+}
+
+// TestPprofEndpoints is the -pprof smoke: with the flag, the profiling
+// surface under /debug/pprof/ must serve (index, cmdline, and a short
+// CPU profile — seconds=1, since the handler treats an absent/zero
+// seconds as its 30s default); without the flag it must stay unmounted.
+func TestPprofEndpoints(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	args := append(baseArgs(), "-days", "100000", "-throttle", "25ms",
+		"-listen", "127.0.0.1:0", "-pprof")
+	go func() { done <- run(args, &out) }()
+	addr := waitForAddr(t, &out)
+
+	status := func(path string) int {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/profile?seconds=1",
+	} {
+		if code := status(path); code != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, code)
+		}
+	}
+	if !strings.Contains(out.String(), "/debug/pprof") {
+		t.Errorf("listener line does not advertise pprof:\n%s", out.String())
+	}
+	sigterm(t, done)
+
+	// Same daemon without -pprof: the profiling surface must 404.
+	out = syncBuffer{}
+	done = make(chan error, 1)
+	args = append(baseArgs(), "-days", "100000", "-throttle", "25ms",
+		"-listen", "127.0.0.1:0")
+	go func() { done <- run(args, &out) }()
+	addr = waitForAddr(t, &out)
+	if code := status("/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("GET /debug/pprof/ without -pprof: status %d, want 404", code)
+	}
+	sigterm(t, done)
+}
+
 // TestServesMetricsWhileRunning drives the daemon with a throttled day
 // loop, scrapes /metrics, /status and /healthz while it advances, then
 // terminates it with SIGTERM and checks it checkpointed on the way out.

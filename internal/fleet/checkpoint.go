@@ -23,9 +23,12 @@ import (
 // clean load errors instead of gob panics or — worse — silently wrong
 // state; the version gates decoding across incompatible layouts; the
 // magic keeps cgnsimd from gobbling arbitrary files handed to -resume.
+// Version history: 1 was the original layout; 2 added the sharded
+// universe's per-lane arrival-stream state (RealmCkpt.FrLanes/DstSeqs)
+// when arrival generation moved onto per-lane streams.
 const (
 	checkpointMagic   = "CGNFLEET"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // Checkpoint is the serialized fleet state at a day boundary. Together
@@ -82,6 +85,13 @@ type RealmCkpt struct {
 
 	Fr     uint64
 	DstSeq uint64
+
+	// FrLanes and DstSeqs are the sharded universe's per-lane arrival
+	// streams and destination sequences, in lane order — set exactly
+	// when EngineLanes is, one entry per lane. The legacy universe
+	// leaves them nil (it draws arrivals from Fr/DstSeq).
+	FrLanes []uint64
+	DstSeqs []uint64
 
 	Created    uint64
 	Expired    uint64
@@ -155,6 +165,11 @@ func (s *Sim) Checkpoint() *Checkpoint {
 			rc.Engine = e.Snapshot()
 		case *nat.Sharded:
 			rc.EngineLanes = e.Snapshot()
+			rc.FrLanes = make([]uint64, len(r.frLanes))
+			for l := range r.frLanes {
+				rc.FrLanes[l] = uint64(r.frLanes[l])
+			}
+			rc.DstSeqs = append([]uint64(nil), r.dstSeqs...)
 		}
 		ck.Realms = append(ck.Realms, rc)
 	}
@@ -240,6 +255,14 @@ func Resume(cfg Config, ck *Checkpoint) (*Sim, error) {
 				if err != nil {
 					return nil, fmt.Errorf("fleet: realm %d: %w", i, err)
 				}
+				if lanes := eng.NumLanes(); len(rc.FrLanes) != lanes || len(rc.DstSeqs) != lanes {
+					return nil, fmt.Errorf("fleet: realm %d carries %d/%d per-lane arrival streams, engine has %d lanes", i, len(rc.FrLanes), len(rc.DstSeqs), lanes)
+				}
+				r.frLanes = make([]traffic.FastRand, len(rc.FrLanes))
+				for l, s := range rc.FrLanes {
+					r.frLanes[l] = traffic.NewFastRand(s)
+				}
+				r.dstSeqs = append([]uint64(nil), rc.DstSeqs...)
 				r.eng = eng
 			case d.Shards <= 0 && rc.Engine != nil:
 				eng, err := nat.NewFromSnapshot(ecfg, rc.Engine)
@@ -255,7 +278,7 @@ func Resume(cfg Config, ck *Checkpoint) (*Sim, error) {
 			for j := range r.subs {
 				r.subs[j].live = int32(r.eng.Sessions(subAddr(j)))
 			}
-		} else if rc.Engine != nil || rc.EngineLanes != nil || len(rc.Flows) != 0 {
+		} else if rc.Engine != nil || rc.EngineLanes != nil || len(rc.Flows) != 0 || len(rc.FrLanes) != 0 {
 			return nil, fmt.Errorf("fleet: realm %d disabled but carries engine or flow state", i)
 		}
 		r.rebuildLC()

@@ -84,6 +84,16 @@ type realmSim struct {
 	fr        traffic.FastRand
 	dstSeq    uint64
 
+	// Sharded-universe arrival state: one draw stream and destination
+	// sequence per lane of the sharded engine (nil in the legacy
+	// universe), plus the per-lane, per-class active-subscriber lists
+	// the skip-sampling decode walks. The streams are seeded from the
+	// realm stream at provisioning and checkpointed, so resume
+	// continues the exact draw sequences.
+	frLanes  []traffic.FastRand
+	dstSeqs  []uint64
+	laneSubs [][3][]int32
+
 	lc         *traffic.LiveCounts
 	classHists [3]traffic.Hist
 	allHist    traffic.Hist
@@ -194,6 +204,37 @@ func (r *realmSim) rebuildLC() {
 			r.lc.Move(sub.class, 0, sub.live)
 		}
 	}
+	r.rebuildLaneSubs()
+}
+
+// rebuildLaneSubs reconstructs the sharded universe's per-lane,
+// per-class subscriber lists (ascending by index — the skip-sampling
+// decode order). A no-op holding nil lists when the realm runs the
+// legacy engine or is disabled.
+func (r *realmSim) rebuildLaneSubs() {
+	sn, ok := r.eng.(*nat.Sharded)
+	if !ok {
+		r.laneSubs = nil
+		return
+	}
+	lanes := sn.NumLanes()
+	if len(r.laneSubs) != lanes {
+		r.laneSubs = make([][3][]int32, lanes)
+	} else {
+		for l := range r.laneSubs {
+			for c := range r.laneSubs[l] {
+				r.laneSubs[l][c] = r.laneSubs[l][c][:0]
+			}
+		}
+	}
+	for j := range r.subs {
+		if !r.subs[j].active {
+			continue
+		}
+		l := sn.LaneFor(subAddr(j))
+		c := r.subs[j].class
+		r.laneSubs[l][c] = append(r.laneSubs[l][c], int32(j))
+	}
 }
 
 // teardown discards the realm's engine: counters fold into the realm's
@@ -206,6 +247,7 @@ func (r *realmSim) teardown() {
 	}
 	r.failFolded += r.eng.PortStats().Failures()
 	r.eng = nil
+	r.frLanes, r.dstSeqs = nil, nil
 	r.arena = r.arena[:0]
 	r.freeHead = -1
 	for j := range r.subs {
@@ -215,11 +257,23 @@ func (r *realmSim) teardown() {
 }
 
 // provisionEngine builds and wires a fresh engine for the realm's
-// current configuration.
+// current configuration. In the sharded universe it also seeds the
+// per-lane arrival streams from the realm stream — a fixed draw count
+// per provisioning, in lane order, so the sequence is deterministic and
+// survives checkpointing through the serialized realm stream.
 func (r *realmSim) provisionEngine(shards int) {
 	r.epoch++
 	r.eng = newEngine(r.engineConfig(), shards)
 	r.installHooks()
+	if sn, ok := r.eng.(*nat.Sharded); ok {
+		lanes := sn.NumLanes()
+		r.frLanes = make([]traffic.FastRand, lanes)
+		for l := range r.frLanes {
+			r.frLanes[l] = traffic.NewFastRand(r.fr.Next())
+		}
+		r.dstSeqs = make([]uint64, lanes)
+		r.rebuildLaneSubs()
+	}
 }
 
 // addSubscribers appends n fresh active subscribers, drawing classes
@@ -296,100 +350,17 @@ func (r *realmSim) activeSubscribers() int {
 // runDay drives the realm through one virtual day: the same
 // refresh/arrive/sample tick the traffic engine runs, against the
 // realm's live engine, then the day's observation bits into the rings.
+// The two engine universes have distinct tick bodies: the legacy one
+// gates every subscriber on the realm stream (byte-identical to every
+// prior release), the sharded one skip-samples arrivals on per-lane
+// streams like the sharded traffic engine.
 func (r *realmSim) runDay(day int, p traffic.Profile, obs ObservationConfig, seed int64) {
 	r.dayBaseCreated = r.created
 	if r.eng != nil {
-		var rates [3]float64
-		for c := 0; c < 3; c++ {
-			rates[c] = p.FlowsPerTick * traffic.ClassRate(p, traffic.Class(c))
-		}
-		holdSpan := uint32(2*p.FlowHoldTicks - 1)
-		epoch := time.Unix(0, 0)
-		for t := day * p.DayTicks; t < (day+1)*p.DayTicks; t++ {
-			now := epoch.Add(time.Duration(t) * p.TickStep)
-			r.eng.Sweep(now)
-			df := traffic.DiurnalFactor(p, t)
-			var expNegLambda [3]float64
-			for c := range rates {
-				expNegLambda[c] = math.Exp(-(rates[c] * df))
-			}
-			for j := range r.subs {
-				sub := &r.subs[j]
-				if !sub.active {
-					continue
-				}
-				addr := subAddr(j)
-				// Refresh live flows; stale handles fall back to the full
-				// translation path, and flows that can get no mapping die.
-				prev := int32(-1)
-				for idx := sub.head; idx >= 0; {
-					nd := &r.arena[idx]
-					next := nd.next
-					ok := r.eng.Refresh(nd.ref, nd.f.Dst, now)
-					if !ok {
-						var v nat.Verdict
-						_, nd.ref, v = r.eng.TranslateOutRef(nd.f, now)
-						ok = v == nat.Ok
-					}
-					if ok {
-						r.refreshes++
-					}
-					nd.ticksLeft--
-					if nd.ticksLeft > 0 && ok {
-						prev = idx
-					} else {
-						if prev >= 0 {
-							r.arena[prev].next = next
-						} else {
-							sub.head = next
-						}
-						if next < 0 {
-							sub.tail = prev
-						}
-						nd.next = r.freeHead
-						r.freeHead = idx
-					}
-					idx = next
-				}
-				// Poisson arrivals under the diurnal curve, one gate per
-				// subscriber, from the realm's private draw stream.
-				k := 0
-				if rates[sub.class]*df > 0 {
-					k = r.fr.Poisson(expNegLambda[sub.class])
-				}
-				for ; k > 0; k-- {
-					r.dstSeq++
-					f := netaddr.FlowOf(netaddr.UDP,
-						netaddr.EndpointOf(addr, uint16(1024+r.fr.Intn(64512))),
-						netaddr.EndpointOf(trafficDstBase+netaddr.Addr(uint32(r.dstSeq)), uint16(443+(r.dstSeq>>32))))
-					hold := 1 + r.fr.Intn(holdSpan)
-					if _, ref, v := r.eng.TranslateOutRef(f, now); v == nat.Ok {
-						var ni int32
-						if r.freeHead >= 0 {
-							ni = r.freeHead
-							r.freeHead = r.arena[ni].next
-						} else {
-							r.arena = append(r.arena, flowNode{})
-							ni = int32(len(r.arena) - 1)
-						}
-						r.arena[ni] = flowNode{f: f, ref: ref, ticksLeft: int32(hold), next: -1}
-						if sub.tail >= 0 {
-							r.arena[sub.tail].next = ni
-						} else {
-							sub.head = ni
-						}
-						sub.tail = ni
-					}
-				}
-			}
-			// Sample concurrent-port distribution and utilization.
-			r.lc.Fold(&r.classHists, &r.allHist)
-			ps := r.eng.PortStats()
-			if udpCapacity := ps.Capacity / 2; udpCapacity > 0 {
-				if u := float64(ps.InUse) / float64(udpCapacity); u > r.peakUtil {
-					r.peakUtil = u
-				}
-			}
+		if _, ok := r.eng.(*nat.Sharded); ok {
+			r.runDaySharded(day, p)
+		} else {
+			r.runDayLegacy(day, p)
 		}
 	}
 	// The day's observation bits. A CGN-active day (enabled, traffic
@@ -402,6 +373,177 @@ func (r *realmSim) runDay(day int, p traffic.Profile, obs ObservationConfig, see
 		ev = ev || hash01(seed, r.idx, day, noiseSalt) < obs.NoiseProb
 		r.evRing[day%n] = ev
 		r.enRing[day%n] = r.enabled
+	}
+}
+
+// runDayLegacy is the legacy universe's day: one Poisson gate per
+// subscriber per tick on the realm's private draw stream — the draw
+// sequence every Shards == 0 golden depends on, kept verbatim.
+func (r *realmSim) runDayLegacy(day int, p traffic.Profile) {
+	var rates [3]float64
+	for c := 0; c < 3; c++ {
+		rates[c] = p.FlowsPerTick * traffic.ClassRate(p, traffic.Class(c))
+	}
+	holdSpan := uint32(2*p.FlowHoldTicks - 1)
+	epoch := time.Unix(0, 0)
+	for t := day * p.DayTicks; t < (day+1)*p.DayTicks; t++ {
+		now := epoch.Add(time.Duration(t) * p.TickStep)
+		r.eng.Sweep(now)
+		df := traffic.DiurnalFactor(p, t)
+		var expNegLambda [3]float64
+		for c := range rates {
+			expNegLambda[c] = math.Exp(-(rates[c] * df))
+		}
+		for j := range r.subs {
+			sub := &r.subs[j]
+			if !sub.active {
+				continue
+			}
+			addr := subAddr(j)
+			r.refreshFlows(sub, now)
+			// Poisson arrivals under the diurnal curve, one gate per
+			// subscriber, from the realm's private draw stream.
+			k := 0
+			if rates[sub.class]*df > 0 {
+				k = r.fr.Poisson(expNegLambda[sub.class])
+			}
+			for ; k > 0; k-- {
+				r.dstSeq++
+				f := netaddr.FlowOf(netaddr.UDP,
+					netaddr.EndpointOf(addr, uint16(1024+r.fr.Intn(64512))),
+					netaddr.EndpointOf(trafficDstBase+netaddr.Addr(uint32(r.dstSeq)), uint16(443+(r.dstSeq>>32))))
+				hold := 1 + r.fr.Intn(holdSpan)
+				r.openFlow(sub, f, int32(hold), now)
+			}
+		}
+		r.sampleTick()
+	}
+}
+
+// runDaySharded is the sharded universe's day: arrivals decode by
+// geometric skip-sampling over the per-lane, per-class subscriber lists
+// on per-lane streams — tick cost scales with arrivals and live flows,
+// not population, and the draw sequences are lane-confined exactly like
+// the sharded traffic engine's (fleet drives a realm sequentially, so
+// shard count still never shows in results).
+func (r *realmSim) runDaySharded(day int, p traffic.Profile) {
+	var rates [3]float64
+	for c := 0; c < 3; c++ {
+		rates[c] = p.FlowsPerTick * traffic.ClassRate(p, traffic.Class(c))
+	}
+	holdSpan := uint32(2*p.FlowHoldTicks - 1)
+	epoch := time.Unix(0, 0)
+	for t := day * p.DayTicks; t < (day+1)*p.DayTicks; t++ {
+		now := epoch.Add(time.Duration(t) * p.TickStep)
+		r.eng.Sweep(now)
+		df := traffic.DiurnalFactor(p, t)
+		var lambda, expNeg [3]float64
+		for c := range rates {
+			lambda[c] = rates[c] * df
+			expNeg[c] = math.Exp(-lambda[c])
+		}
+		for j := range r.subs {
+			sub := &r.subs[j]
+			if !sub.active || sub.head < 0 {
+				continue
+			}
+			r.refreshFlows(sub, now)
+		}
+		for l := range r.laneSubs {
+			fr := &r.frLanes[l]
+			for c := 0; c < 3; c++ {
+				if lambda[c] <= 0 {
+					continue
+				}
+				list := r.laneSubs[l][c]
+				traffic.ForEachArrival(fr, len(list), lambda[c], expNeg[c], func(i, k int) {
+					j := list[i]
+					sub := &r.subs[j]
+					addr := subAddr(int(j))
+					for ; k > 0; k-- {
+						r.dstSeqs[l]++
+						seq := r.dstSeqs[l]
+						f := netaddr.FlowOf(netaddr.UDP,
+							netaddr.EndpointOf(addr, uint16(1024+fr.Intn(64512))),
+							netaddr.EndpointOf(trafficDstBase+netaddr.Addr(uint32(seq)), uint16(443+(seq>>32))))
+						hold := 1 + fr.Intn(holdSpan)
+						r.openFlow(sub, f, int32(hold), now)
+					}
+				})
+			}
+		}
+		r.sampleTick()
+	}
+}
+
+// refreshFlows walks one subscriber's flow list: live flows refresh
+// their mappings (stale handles fall back to the full translation
+// path), and flows that expire or can get no mapping die back to the
+// freelist.
+func (r *realmSim) refreshFlows(sub *fleetSub, now time.Time) {
+	prev := int32(-1)
+	for idx := sub.head; idx >= 0; {
+		nd := &r.arena[idx]
+		next := nd.next
+		ok := r.eng.Refresh(nd.ref, nd.f.Dst, now)
+		if !ok {
+			var v nat.Verdict
+			_, nd.ref, v = r.eng.TranslateOutRef(nd.f, now)
+			ok = v == nat.Ok
+		}
+		if ok {
+			r.refreshes++
+		}
+		nd.ticksLeft--
+		if nd.ticksLeft > 0 && ok {
+			prev = idx
+		} else {
+			if prev >= 0 {
+				r.arena[prev].next = next
+			} else {
+				sub.head = next
+			}
+			if next < 0 {
+				sub.tail = prev
+			}
+			nd.next = r.freeHead
+			r.freeHead = idx
+		}
+		idx = next
+	}
+}
+
+// openFlow translates a fresh flow and, on success, links it onto the
+// subscriber's list from the arena freelist.
+func (r *realmSim) openFlow(sub *fleetSub, f netaddr.Flow, hold int32, now time.Time) {
+	if _, ref, v := r.eng.TranslateOutRef(f, now); v == nat.Ok {
+		var ni int32
+		if r.freeHead >= 0 {
+			ni = r.freeHead
+			r.freeHead = r.arena[ni].next
+		} else {
+			r.arena = append(r.arena, flowNode{})
+			ni = int32(len(r.arena) - 1)
+		}
+		r.arena[ni] = flowNode{f: f, ref: ref, ticksLeft: hold, next: -1}
+		if sub.tail >= 0 {
+			r.arena[sub.tail].next = ni
+		} else {
+			sub.head = ni
+		}
+		sub.tail = ni
+	}
+}
+
+// sampleTick records the tick's concurrent-port distribution sample and
+// utilization peak.
+func (r *realmSim) sampleTick() {
+	r.lc.Fold(&r.classHists, &r.allHist)
+	ps := r.eng.PortStats()
+	if udpCapacity := ps.Capacity / 2; udpCapacity > 0 {
+		if u := float64(ps.InUse) / float64(udpCapacity); u > r.peakUtil {
+			r.peakUtil = u
+		}
 	}
 }
 

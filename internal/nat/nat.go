@@ -1195,6 +1195,11 @@ func (n *NAT) PortStats() PortStats {
 	}
 }
 
+// InUsePorts returns the ports currently held — PortStats().InUse as a
+// single O(1) load. The sharded traffic engine folds it per lane per
+// tick instead of assembling a full PortStats per tick.
+func (n *NAT) InUsePorts() int { return n.ports.inUse }
+
 // Sessions returns the live mapping count — equivalently, the external
 // ports currently held — for internal IP a, including mappings idle past
 // their deadline that no Sweep or translation has dropped yet. The

@@ -35,6 +35,11 @@ type Bench struct {
 	// bodies) or runs the legacy unsharded engine.
 	Workers int
 	Shards  int
+	// Procs is the GOMAXPROCS the benchmark pins for its own duration
+	// (zero = inherit the process value). Multicore variants set it so a
+	// trajectory file records which entries measured parallel speedup
+	// rather than the host's default parallelism.
+	Procs int
 }
 
 // All returns the registered hot-path benchmarks in report order.
@@ -50,6 +55,7 @@ func All() []Bench {
 		{Name: "TrafficWeek", F: TrafficWeek, Workers: 4},
 		{Name: "TrafficMetro", F: TrafficMetro, Workers: procs},
 		{Name: "TrafficMetroSharded", F: TrafficMetroSharded, Workers: procs, Shards: procs},
+		{Name: "TrafficMetroSharded/mp4", F: TrafficMetroShardedMP4, Workers: 4, Shards: 4, Procs: 4},
 		{Name: "BencodeDecode", F: BencodeDecode},
 		{Name: "KRPCParseFindNodeResponse", F: KRPCParseFindNodeResponse},
 		{Name: "STUNParse", F: STUNParse},
@@ -297,6 +303,20 @@ func TrafficMetro(b *testing.B) { trafficMetro(b, 0) }
 // — per-lane table locality single-core, a second parallelism axis when
 // cores outnumber realms.
 func TrafficMetroSharded(b *testing.B) { trafficMetro(b, runtime.GOMAXPROCS(0)) }
+
+// TrafficMetroShardedMP4 is the sharded metro day pinned to
+// GOMAXPROCS=4 with four workers × four shards — the multicore point of
+// the trajectory. Since the single-phase tick loop removed the serial
+// driver phase, per-tick work is lane-confined end to end, so this
+// variant is what the persistent-worker barrier actually buys on a
+// multicore host; on fewer physical cores it degrades to the 1-core
+// number (the pinned GOMAXPROCS only caps, it cannot mint cores — read
+// it next to the host's core count).
+func TrafficMetroShardedMP4(b *testing.B) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	trafficMetro(b, 4)
+}
 
 func trafficMetro(b *testing.B, shards int) {
 	const (

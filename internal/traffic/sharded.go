@@ -3,7 +3,7 @@ package traffic
 import (
 	"math"
 	"math/rand"
-	"sync"
+	"slices"
 	"time"
 
 	"cgn/internal/nat"
@@ -13,46 +13,51 @@ import (
 // The intra-realm sharded engine. One realm's work splits across the
 // lanes of a nat.Sharded — one lane per external pool IP, subscribers
 // pinned to lanes by address hash — and lanes group into shards, each
-// driven by its own goroutine. Every tick has two phases:
+// driven by a persistent worker goroutine. A tick is a single parallel
+// phase: every shard, over its owned lanes in ascending lane order,
+// sweeps the lane, refreshes its live flows, draws the tick's arrivals
+// from the lane's own RNG stream and applies them immediately, then
+// folds its sampling buckets and port occupancy. There is no serial
+// driver section — arrival generation is lane-confined, so nothing has
+// to be drawn centrally or handed across shards.
 //
-//  1. Driver phase (sequential, calling goroutine): draw the tick's
-//     flow arrivals from the realm RNG — Poisson gate, source port,
-//     hold time, destination sequence — in ascending subscriber order,
-//     exactly the sequence the legacy engine draws, and buffer each
-//     arrival on its subscriber's shard. Arrival draws never read NAT
-//     state, so drawing before the NAT moves is safe.
-//  2. Shard phase (parallel): each shard sweeps its lanes in ascending
-//     lane order, refreshes its subscribers' live flows in ascending
-//     subscriber order, applies its buffered arrivals in driver order,
-//     and folds its live-count buckets into its private histograms.
+// Arrivals are decoded by geometric skip-sampling (ForEachArrival): for
+// each (lane, class) the decoder jumps straight from arriving subscriber
+// to arriving subscriber, so a tick costs O(arrivals + live flows), not
+// O(population) — at light per-subscriber rates (the common case) that
+// is an order of magnitude fewer draws than one Poisson gate per
+// subscriber.
 //
-// A barrier separates the phases; aggregation (utilization, Observer)
-// runs after it. Determinism at any shard count follows from lane
-// confinement: every operation on lane l happens in a fixed order —
-// sweep, then l's subscribers' refreshes ascending, then l's arrivals
-// ascending — whatever shard drives it, and all RNG a lane consumes is
-// its own stream. Shard-private accumulators merge in shard-index
-// order, and all merged quantities are integers, so the merged realm
-// output is identical at any shard count too.
+// Determinism at any shard count follows from lane confinement: every
+// operation on lane l — sweep, refreshes of l's subscribers ascending,
+// l's arrival decode per class ascending — happens in a fixed order
+// whatever shard drives it, and all RNG a lane consumes is its own
+// stream, seeded in lane order from the realm RNG before the run.
+// Shard-private accumulators merge in shard-index order, and all merged
+// quantities are integers, so the merged realm output is identical at
+// any shard count too.
 type shardState struct {
-	// lanes this shard owns (ascending); subIdx lists the realm indices
-	// of the subscribers those lanes own (ascending).
+	// lanes this shard owns (ascending); nsubs counts the subscribers
+	// those lanes own and classSubs splits them by rate class.
 	lanes     []int
-	subIdx    []int32
+	nsubs     int
 	classSubs [3]int
 	lc        *LiveCounts
 	// Private accumulators, merged in shard-index order after the run.
 	classHists [3]Hist
 	allHist    Hist
 	refreshes  uint64
-	// pend buffers the driver phase's arrivals for this shard's
-	// subscribers, in draw (ascending-subscriber) order.
-	pend []arrival
+	// inUse is the shard's per-tick port-occupancy fold over its owned
+	// lanes; the driver sums the S values after the barrier instead of
+	// assembling a full PortStats every tick.
+	inUse int
 	// active lists the shard's subscribers currently holding live flows,
 	// ascending — the refresh loop's worklist, so a tick's cost scales
 	// with flow-holding subscribers, not population. fresh collects the
-	// tick's empty-to-nonempty transitions (ascending, pend order);
-	// scratch is the merge buffer the two swap through.
+	// tick's empty-to-nonempty transitions (sorted before the merge —
+	// the per-lane, per-class arrival passes emit them out of global
+	// subscriber order); scratch is the merge buffer the two swap
+	// through.
 	active, fresh, scratch []int32
 	// The shard flow arena: the shard's subscribers' flow lists live in
 	// one slice, dead nodes chain through the freelist, exactly like the
@@ -61,19 +66,20 @@ type shardState struct {
 	// one).
 	arena    []flowNode
 	freeHead int32
+	// emit is the shard's arrival sink, allocated once at setup and
+	// parameterized through curLane/curList/curLn/curFr so the per-tick
+	// decode passes allocate nothing.
+	curLane int
+	curList []int32
+	curLn   *nat.NAT
+	curFr   *FastRand
+	emit    func(i, k int)
 }
 
-// arrival is one driver-phase flow draw awaiting its shard.
-type arrival struct {
-	j    int32
-	hold int32
-	f    netaddr.Flow
-}
-
-// FastRand is the sharded driver's arrival-draw stream: a SplitMix64
+// FastRand is the sharded engine's arrival-draw stream: a SplitMix64
 // generator, statistically sound for simulation draws at a fraction of
-// math/rand's per-draw cost — the driver phase is the engine's serial
-// section, and it draws one Poisson gate per subscriber per tick. The
+// math/rand's per-draw cost. Each lane owns one, so arrival draws are
+// lane-confined and byte-identical at any shards × workers split. The
 // sharded engine is its own deterministic universe (see Config.Shards),
 // so its draw stream only has to be deterministic, not match the legacy
 // engine's generator.
@@ -92,6 +98,12 @@ func (r *FastRand) Next() uint64 {
 // Float64 returns a uniform variate in [0, 1).
 func (r *FastRand) Float64() float64 {
 	return float64(r.Next()>>11) * (1.0 / (1 << 53))
+}
+
+// OpenFloat64 returns a uniform variate in (0, 1] — the zero-excluding
+// form the skip-sampling decoder feeds to log.
+func (r *FastRand) OpenFloat64() float64 {
+	return float64(r.Next()>>11+1) * (1.0 / (1 << 53))
 }
 
 // Intn returns a uniform variate in [0, n) by Lemire's multiply-shift.
@@ -115,13 +127,69 @@ func (r *FastRand) Poisson(expNegLambda float64) int {
 	}
 }
 
+// PoissonGE1 draws a Poisson(lambda) variate conditioned on being >= 1,
+// by inversion on one uniform: the target is uniform on
+// (exp(-lambda), 1] — the CDF mass above zero — and the walk adds terms
+// of the Poisson pmf until the cumulative reaches it. Skip-sampling uses
+// it for the flow count at a subscriber the geometric jump selected:
+// selection already conditioned on "at least one arrival".
+func (r *FastRand) PoissonGE1(lambda, expNegLambda float64) int {
+	target := expNegLambda + r.OpenFloat64()*(1-expNegLambda)
+	k := 0
+	p := expNegLambda
+	cum := p
+	for cum < target && k < 1024 {
+		k++
+		p *= lambda / float64(k)
+		cum += p
+	}
+	if k == 0 { // only reachable when 1-expNegLambda underflows to 0
+		k = 1
+	}
+	return k
+}
+
+// ForEachArrival decodes one (lane, class, tick) arrival set by
+// geometric skip-sampling over a list of n subscribers, calling
+// emit(i, k) for each arriving position i (ascending) with its flow
+// count k >= 1.
+//
+// The arrival process is: each subscriber independently receives
+// Poisson(lambda) flows this tick, so it arrives (>= 1 flow) with
+// probability p = 1 - exp(-lambda). Instead of gating all n subscribers,
+// the decoder draws the geometric gap to the next arriving one —
+// floor(log(u)/log(1-p)) failures before a success, and log(1-p) is
+// exactly -lambda — then the conditional flow count at that position.
+// Cost is O(arrivals + 1) draws, never worse than per-subscriber gating,
+// and the emitted multiset follows the exact same distribution.
+//
+// n == 0 or lambda <= 0 consumes no draws. This decode IS the sharded
+// universe's arrival process (always on, no rate threshold); the
+// differential test pins its jump arithmetic against a transparent
+// per-subscriber walk over the same stream.
+func ForEachArrival(r *FastRand, n int, lambda, expNegLambda float64, emit func(i, k int)) {
+	if n <= 0 || lambda <= 0 {
+		return
+	}
+	invLambda := 1 / lambda
+	for i := 0; i < n; {
+		g := -math.Log(r.OpenFloat64()) * invLambda
+		if g >= float64(n-i) {
+			return
+		}
+		i += int(g)
+		emit(i, r.PoissonGE1(lambda, expNegLambda))
+		i++
+	}
+}
+
 // runRealmSharded drives one realm through every tick against a fresh
 // sharded NAT built from the realm's configuration. Same signature and
 // accumulator contract as runRealm; engine selection happens in Run.
 func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 	// Same realm-stream seed mix as the legacy engine: the realm RNG
-	// serves only traffic draws (classes, arrivals); the lanes draw
-	// allocation randomness from their own per-lane streams.
+	// serves the class draws and seeds the per-lane arrival streams; the
+	// lanes draw allocation randomness from their own per-lane streams.
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(realmIdx+1)*-0x61c8864680b583eb))
 	sn := nat.NewSharded(spec.NAT, cfg.Shards)
 	S := sn.NumShards()
@@ -137,16 +205,11 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 
 	base := subscriberBase
 	subs := buildSubscribers(rng, p, spec, base, &out.classSubs)
-	// Dense class array for the driver loop: one byte per subscriber, so
-	// the per-tick gate scan streams through population-sized cache
-	// lines instead of subscriber structs.
-	classOf := make([]Class, len(subs))
-	for j := range subs {
-		classOf[j] = subs[j].class
-	}
 
 	// Partition: lane l belongs to shard l % S; a subscriber belongs to
-	// its lane's shard. laneOf memoizes the address hash.
+	// its lane's shard. laneOf memoizes the address hash; laneSubs lists
+	// each lane's subscribers per class, ascending — the skip-sampling
+	// decode's index space.
 	shards := make([]*shardState, S)
 	for s := range shards {
 		shards[s] = &shardState{freeHead: -1}
@@ -156,16 +219,18 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		st.lanes = append(st.lanes, l)
 	}
 	laneOf := make([]int32, len(subs))
+	laneSubs := make([][numClasses][]int32, sn.NumLanes())
 	for j := range subs {
 		l := sn.LaneFor(subs[j].addr)
 		laneOf[j] = int32(l)
+		laneSubs[l][subs[j].class] = append(laneSubs[l][subs[j].class], int32(j))
 		st := shards[sn.ShardOf(l)]
-		st.subIdx = append(st.subIdx, int32(j))
+		st.nsubs++
 		st.classSubs[subs[j].class]++
 	}
 	for _, st := range shards {
 		st.lc = NewLiveCounts(st.classSubs)
-		st.arena = make([]flowNode, 0, 4*len(st.subIdx))
+		st.arena = make([]flowNode, 0, 4*st.nsubs)
 	}
 
 	// Per-lane mapping hooks maintain the owning shard's live-count
@@ -192,10 +257,71 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		)
 	}
 
-	// shardTick is one shard's slice of a tick: sweep owned lanes,
-	// refresh owned subscribers' flows, apply buffered arrivals, fold
-	// the sampling buckets.
-	shardTick := func(st *shardState, now time.Time) {
+	// Per-lane arrival streams, seeded from the realm RNG in lane order
+	// — a fixed count of draws, independent of the shard partition —
+	// plus a per-lane destination sequence. Destination collisions
+	// across lanes are harmless (source addresses differ across lanes,
+	// so 5-tuples stay distinct); within a lane the counter keeps them
+	// distinct.
+	frLane := make([]FastRand, sn.NumLanes())
+	for l := range frLane {
+		frLane[l] = FastRand(rng.Uint64())
+	}
+	dstSeq := make([]uint64, sn.NumLanes())
+	holdSpan := uint32(2*p.FlowHoldTicks - 1)
+
+	// Per-tick inputs: written by the driver goroutine before the start
+	// barrier, read by shard workers after it (the channel send/receive
+	// orders the accesses).
+	var (
+		curNow               time.Time
+		curLambda, curExpNeg [3]float64
+	)
+
+	// One arrival sink per shard, allocated once: ForEachArrival calls
+	// it for every arriving subscriber of the pass set up in the cur*
+	// fields. Hold spans 1..2*FlowHoldTicks-1 like the legacy engine's
+	// draw.
+	for _, st := range shards {
+		st.emit = func(i, k int) {
+			j := st.curList[i]
+			sub := &subs[j]
+			fr := st.curFr
+			for ; k > 0; k-- {
+				dstSeq[st.curLane]++
+				seq := dstSeq[st.curLane]
+				f := netaddr.FlowOf(netaddr.UDP,
+					netaddr.EndpointOf(sub.addr, uint16(1024+fr.Intn(64512))),
+					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(seq)), uint16(443+(seq>>32))))
+				hold := 1 + fr.Intn(holdSpan)
+				if _, ref, v := st.curLn.TranslateOutRef(f, curNow); v == nat.Ok {
+					var ni int32
+					if st.freeHead >= 0 {
+						ni = st.freeHead
+						st.freeHead = st.arena[ni].next
+					} else {
+						st.arena = append(st.arena, flowNode{})
+						ni = int32(len(st.arena) - 1)
+					}
+					st.arena[ni] = flowNode{f: f, ref: ref, ticksLeft: int32(hold), next: -1}
+					if sub.tail >= 0 {
+						st.arena[sub.tail].next = ni
+					} else {
+						sub.head = ni
+						// Empty-to-nonempty: enters next tick's worklist.
+						st.fresh = append(st.fresh, j)
+					}
+					sub.tail = ni
+				}
+			}
+		}
+	}
+
+	// shardTick is one shard's whole tick: sweep owned lanes, refresh
+	// owned subscribers' flows, decode and apply the tick's arrivals
+	// lane by lane, fold the sampling buckets and port occupancy.
+	shardTick := func(st *shardState) {
+		now := curNow
 		for _, l := range st.lanes {
 			sn.Lane(l).Sweep(now)
 		}
@@ -242,35 +368,31 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			}
 		}
 		st.active = act[:w]
-		for _, a := range st.pend {
-			sub := &subs[a.j]
-			ln := sn.Lane(int(laneOf[a.j]))
-			if _, ref, v := ln.TranslateOutRef(a.f, now); v == nat.Ok {
-				var ni int32
-				if st.freeHead >= 0 {
-					ni = st.freeHead
-					st.freeHead = st.arena[ni].next
-				} else {
-					st.arena = append(st.arena, flowNode{})
-					ni = int32(len(st.arena) - 1)
+		// Arrivals: per owned lane ascending, per class ascending,
+		// skip-sampled on the lane's stream and applied immediately —
+		// the single-phase replacement for the old sequential driver.
+		for _, l := range st.lanes {
+			st.curLane = l
+			st.curLn = sn.Lane(l)
+			st.curFr = &frLane[l]
+			for c := Class(0); c < numClasses; c++ {
+				if curLambda[c] <= 0 {
+					continue
 				}
-				st.arena[ni] = flowNode{f: a.f, ref: ref, ticksLeft: a.hold, next: -1}
-				if sub.tail >= 0 {
-					st.arena[sub.tail].next = ni
-				} else {
-					sub.head = ni
-					// Empty-to-nonempty: enters next tick's worklist.
-					// pend is ascending by subscriber and a list refills
-					// at most once per tick, so fresh stays sorted and
-					// duplicate-free.
-					st.fresh = append(st.fresh, a.j)
+				list := laneSubs[l][c]
+				if len(list) == 0 {
+					continue
 				}
-				sub.tail = ni
+				st.curList = list
+				ForEachArrival(st.curFr, len(list), curLambda[c], curExpNeg[c], st.emit)
 			}
 		}
-		st.pend = st.pend[:0]
-		// Merge the newly active (both lists ascending, disjoint).
+		// Merge the newly active. The per-lane, per-class passes emit
+		// fresh out of global subscriber order, so sort first; entries
+		// are unique (a subscriber goes empty-to-nonempty at most once a
+		// tick) and disjoint from active.
 		if len(st.fresh) > 0 {
+			slices.Sort(st.fresh)
 			sc := st.scratch[:0]
 			i, k := 0, 0
 			for i < len(st.active) && k < len(st.fresh) {
@@ -288,75 +410,75 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			st.fresh = st.fresh[:0]
 		}
 		st.lc.Fold(&st.classHists, &st.allHist)
+		inUse := 0
+		for _, l := range st.lanes {
+			inUse += sn.Lane(l).InUsePorts()
+		}
+		st.inUse = inUse
 	}
 
-	// The arrival-draw stream, seeded once from the realm RNG so realms
-	// stay decorrelated; hold spans 1..2*FlowHoldTicks-1 like the legacy
-	// engine's draw.
-	fr := FastRand(rng.Uint64())
-	holdSpan := uint32(2*p.FlowHoldTicks - 1)
+	// Persistent shard workers: S-1 goroutines spawned once for the
+	// whole realm run. Each tick the driver publishes the tick inputs,
+	// releases every worker through its start channel, runs shard 0
+	// itself, then collects the done signals — a reusable two-phase
+	// barrier in place of per-tick goroutine spawns and WaitGroups. The
+	// channels are buffered so the driver never blocks on the fan-out.
+	type shardWorker struct {
+		start chan struct{}
+		done  chan struct{}
+	}
+	var workers []shardWorker
+	if S > 1 {
+		workers = make([]shardWorker, S-1)
+		for i := range workers {
+			workers[i] = shardWorker{start: make(chan struct{}, 1), done: make(chan struct{}, 1)}
+			go func(st *shardState, w *shardWorker) {
+				for range w.start {
+					shardTick(st)
+					w.done <- struct{}{}
+				}
+			}(shards[i+1], &workers[i])
+		}
+	}
+
+	// Pool capacity is immutable; hoist it so per-tick aggregation is a
+	// sum of S integers instead of a full PortStats assembly.
+	capacity := sn.PortStats().Capacity
 	epoch := time.Unix(0, 0)
-	var dstSeq uint64
 	for t := 0; t < p.Ticks; t++ {
-		now := epoch.Add(time.Duration(t) * p.TickStep)
+		curNow = epoch.Add(time.Duration(t) * p.TickStep)
 		df := DiurnalFactor(p, t)
-		var expNegLambda [3]float64
-		var gated [3]bool
 		for c := range rates {
-			expNegLambda[c] = math.Exp(-(rates[c] * df))
-			gated[c] = rates[c]*df > 0
+			curLambda[c] = rates[c] * df
+			curExpNeg[c] = math.Exp(-curLambda[c])
 		}
-
-		// Driver phase: one Poisson gate per subscriber in ascending
-		// order, then per-flow source-port and hold draws — the legacy
-		// engine's draw sequence, on the fast stream, over the dense
-		// class array.
-		for j, cl := range classOf {
-			if !gated[cl] {
-				continue
-			}
-			k := fr.Poisson(expNegLambda[cl])
-			for ; k > 0; k-- {
-				dstSeq++
-				f := netaddr.FlowOf(netaddr.UDP,
-					netaddr.EndpointOf(base+netaddr.Addr(j), uint16(1024+fr.Intn(64512))),
-					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(dstSeq)), uint16(443+(dstSeq>>32))))
-				hold := 1 + fr.Intn(holdSpan)
-				st := shards[sn.ShardOf(int(laneOf[j]))]
-				st.pend = append(st.pend, arrival{j: int32(j), hold: int32(hold), f: f})
-			}
+		for i := range workers {
+			workers[i].start <- struct{}{}
 		}
-
-		// Shard phase: shard 0 on the calling goroutine, the rest on
-		// their own; the WaitGroup is the tick barrier.
-		if S == 1 {
-			shardTick(shards[0], now)
-		} else {
-			var wg sync.WaitGroup
-			for s := 1; s < S; s++ {
-				wg.Add(1)
-				go func(st *shardState) {
-					defer wg.Done()
-					shardTick(st, now)
-				}(shards[s])
-			}
-			shardTick(shards[0], now)
-			wg.Wait()
+		shardTick(shards[0])
+		for i := range workers {
+			<-workers[i].done
 		}
 
 		// Aggregation, after the barrier. See runRealm for the UDP
 		// capacity share.
-		ps := sn.PortStats()
-		if udpCapacity := ps.Capacity / 2; udpCapacity > 0 {
-			u := float64(ps.InUse) / float64(udpCapacity)
+		inUse := 0
+		for _, st := range shards {
+			inUse += st.inUse
+		}
+		if udpCapacity := capacity / 2; udpCapacity > 0 {
+			u := float64(inUse) / float64(udpCapacity)
 			out.util[t] = u
 			if u > out.stat.PeakUtil {
 				out.stat.PeakUtil = u
 			}
 		}
 		if cfg.Observer != nil {
-			cfg.Observer(spec, t, now, sn)
+			cfg.Observer(spec, t, curNow, sn)
 		}
+	}
+	for i := range workers {
+		close(workers[i].start)
 	}
 
 	final := sn.PortStats()

@@ -13,6 +13,7 @@ package traffic_test
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -49,8 +50,13 @@ func runShardedDiff(profile traffic.Profile, seed int64, specs []traffic.RealmSp
 	return res, digests
 }
 
-// TestShardedShardCountInvariance is the shards=1 vs shards=N
-// differential over every registry traffic scenario.
+// TestShardedShardCountInvariance is the workers × shards differential
+// over every registry traffic scenario: the full shards {1,2,3,5,16} ×
+// workers {1,3,4} grid against the workers=1 shards=1 baseline. With the
+// single-phase tick loop every arrival draw comes from a per-lane
+// stream, so invariance here pins exactly the property that makes the
+// persistent-worker barrier safe: no draw order depends on which shard
+// or worker runs a lane.
 func TestShardedShardCountInvariance(t *testing.T) {
 	for _, name := range trafficScenarios(t) {
 		t.Run(name, func(t *testing.T) {
@@ -73,19 +79,126 @@ func TestShardedShardCountInvariance(t *testing.T) {
 				t.Fatalf("scenario %q built a world without carrier NATs", name)
 			}
 
-			oneRes, oneDig := runShardedDiff(sc.Traffic, sc.Seed^0x7AFF1C0DE, specs, 1, 1)
-			nRes, nDig := runShardedDiff(sc.Traffic, sc.Seed^0x7AFF1C0DE, specs, 1, 4)
-
-			if !reflect.DeepEqual(oneRes, nRes) {
-				t.Errorf("shards=1 vs shards=4 Results differ:\n%+v\nvs\n%+v", oneRes, nRes)
+			baseRes, baseDig := runShardedDiff(sc.Traffic, sc.Seed^0x7AFF1C0DE, specs, 1, 1)
+			if len(baseRes.Realms) > 0 && baseRes.Created == 0 {
+				t.Fatalf("scenario %q loaded %d realms but drove no flows", name, len(baseRes.Realms))
 			}
-			if !reflect.DeepEqual(oneDig, nDig) {
-				t.Errorf("shards=1 vs shards=4 NAT state digests differ:\n%v\nvs\n%v", oneDig, nDig)
-			}
-			if len(oneRes.Realms) > 0 && oneRes.Created == 0 {
-				t.Fatalf("scenario %q loaded %d realms but drove no flows", name, len(oneRes.Realms))
+			for _, workers := range []int{1, 3, 4} {
+				for _, shards := range []int{1, 2, 3, 5, 16} {
+					if workers == 1 && shards == 1 {
+						continue
+					}
+					res, dig := runShardedDiff(sc.Traffic, sc.Seed^0x7AFF1C0DE, specs, workers, shards)
+					if !reflect.DeepEqual(baseRes, res) {
+						t.Errorf("workers=%d shards=%d: Result differs from baseline:\n%+v\nvs\n%+v",
+							workers, shards, baseRes, res)
+					}
+					if !reflect.DeepEqual(baseDig, dig) {
+						t.Errorf("workers=%d shards=%d: NAT state digests differ from baseline:\n%v\nvs\n%v",
+							workers, shards, baseDig, dig)
+					}
+				}
 			}
 		})
+	}
+}
+
+// directGateArrivals is the transparent reference decoder for the
+// skip-sampling differential: it visits all n subscriber positions one
+// by one — the O(n) per-subscriber gating shape the old driver phase
+// had — while consuming the stream exactly as ForEachArrival's
+// geometric jumps do (one exponential gap draw per arrival run, one
+// conditional flow-count draw per arrival). Same stream in, same
+// arrival set out, or the jump arithmetic is wrong.
+func directGateArrivals(r *traffic.FastRand, n int, lambda, expNegLambda float64, emit func(i, k int)) {
+	if n <= 0 || lambda <= 0 {
+		return
+	}
+	invLambda := 1 / lambda
+	gap := -1 // subscribers still to skip before the next arrival; -1 = undrawn
+	for i := 0; i < n; i++ {
+		if gap < 0 {
+			g := -math.Log(r.OpenFloat64()) * invLambda
+			if g >= float64(n-i) {
+				return
+			}
+			gap = int(g)
+		}
+		if gap == 0 {
+			emit(i, r.PoissonGE1(lambda, expNegLambda))
+			gap = -1
+		} else {
+			gap--
+		}
+	}
+}
+
+// TestSkipSamplingMatchesDirectGating is the skip-sampling equivalence
+// differential: over a sweep of population sizes and per-subscriber
+// rates, the geometric decoder and the per-subscriber reference walk fed
+// the same per-lane stream must emit identical arrival sets and leave
+// the stream in the same state. A statistical guard then checks the
+// decoded arrival frequency against the analytic p = 1 - exp(-lambda),
+// so the pair cannot drift together into a wrong distribution.
+func TestSkipSamplingMatchesDirectGating(t *testing.T) {
+	type arrival struct{ i, k int }
+	for _, n := range []int{0, 1, 7, 100, 4096} {
+		for _, lambda := range []float64{0, 0.01, 0.2, 1.0, 2.5} {
+			expNeg := math.Exp(-lambda)
+			fa := traffic.NewFastRand(uint64(n)*0x9E37 + math.Float64bits(lambda))
+			fb := fa
+			var fast, direct []arrival
+			var arrivals, flows int
+			const trials = 200
+			for trial := 0; trial < trials; trial++ {
+				fast, direct = fast[:0], direct[:0]
+				traffic.ForEachArrival(&fa, n, lambda, expNeg, func(i, k int) {
+					fast = append(fast, arrival{i, k})
+				})
+				directGateArrivals(&fb, n, lambda, expNeg, func(i, k int) {
+					direct = append(direct, arrival{i, k})
+				})
+				if !reflect.DeepEqual(fast, direct) {
+					t.Fatalf("n=%d lambda=%g trial %d: arrival sets diverge\nskip-sampled %v\ndirect-gated %v",
+						n, lambda, trial, fast, direct)
+				}
+				if fa != fb {
+					t.Fatalf("n=%d lambda=%g trial %d: stream states diverge after identical arrival sets", n, lambda, trial)
+				}
+				for _, a := range fast {
+					if a.i < 0 || a.i >= n {
+						t.Fatalf("n=%d lambda=%g: arrival position %d out of range", n, lambda, a.i)
+					}
+					if a.k < 1 {
+						t.Fatalf("n=%d lambda=%g: arrival with %d flows (conditioned >= 1)", n, lambda, a.k)
+					}
+					arrivals++
+					flows += a.k
+				}
+			}
+			if n == 0 || lambda == 0 {
+				if arrivals != 0 {
+					t.Fatalf("n=%d lambda=%g: %d arrivals from an empty process", n, lambda, arrivals)
+				}
+				continue
+			}
+			// Mean arrivals per trial is Binomial(n, p): check within 6
+			// sigma so the test never flakes but a broken decoder (wrong
+			// p, off-by-one jumps) still trips it.
+			p := 1 - expNeg
+			want := float64(trials) * float64(n) * p
+			sigma := math.Sqrt(float64(trials) * float64(n) * p * (1 - p))
+			if diff := math.Abs(float64(arrivals) - want); diff > 6*sigma+1 {
+				t.Errorf("n=%d lambda=%g: %d arrivals over %d trials, want %.1f ± %.1f",
+					n, lambda, arrivals, trials, want, 6*sigma)
+			}
+			// Flow volume: unconditional mean is n·lambda per trial.
+			wantFlows := float64(trials) * float64(n) * lambda
+			if n >= 100 && math.Abs(float64(flows)-wantFlows) > 0.1*wantFlows {
+				t.Errorf("n=%d lambda=%g: %d flows over %d trials, want ~%.0f",
+					n, lambda, flows, trials, wantFlows)
+			}
+		}
 	}
 }
 
