@@ -3,7 +3,8 @@
 // BitTorrent DHT crawl and the Netalyzr measurement campaign against it,
 // executes both detection pipelines and every property analysis, and
 // prints all of the paper's tables and figures (E01..E18, plus the
-// longitudinal E21) and the ground-truth scoring.
+// adversarial E19 and the longitudinal E21) and the ground-truth
+// scoring.
 //
 // Usage:
 //
@@ -26,6 +27,7 @@ import (
 
 	"cgn/internal/campaign"
 	"cgn/internal/internet"
+	"cgn/internal/nat"
 	"cgn/internal/report"
 )
 
@@ -38,6 +40,12 @@ func main() {
 	portQuota := flag.Int("portquota", 0, "per-subscriber CGN port quota (0 keeps the scenario's setting)")
 	trafficWorkers := flag.Int("traffic-workers", 0, "traffic-engine (E18) realm worker pool; 0 or 1 replays realms sequentially (results are byte-identical at any value)")
 	trafficShards := flag.Int("traffic-shards", 0, "traffic-engine (E18) NAT shards per realm; 0 keeps the legacy engine, >=1 uses the intra-realm sharded engine (identical at any shard count, distinct universe from 0)")
+	attackFrac := flag.Float64("attackers", -1, "E19 override: fraction of subscribers acting as port-flood attackers (negative keeps the scenario's setting)")
+	attackFlows := flag.Float64("attack-flows", -1, "E19 override: flood flows per attacker per tick (negative keeps the scenario's setting)")
+	scanProbes := flag.Float64("scan-probes", -1, "E19 override: external scanner probes per pool IP per tick (negative keeps the scenario's setting)")
+	allocRate := flag.Float64("alloc-rate", -1, "defense override: per-subscriber allocation token-bucket rate in tokens/sec (negative keeps the scenario's setting, 0 disarms)")
+	allocBurst := flag.Int("alloc-burst", -1, "defense override: token-bucket burst capacity (negative keeps the scenario's setting)")
+	evict := flag.String("evict", "", "defense override: CGN eviction policy, none or oldest-idle (empty keeps the scenario's setting)")
 	sweep := flag.Bool("sweep", false, "run a multi-world sweep instead of a single campaign")
 	scenarios := flag.String("scenarios", "small", "sweep mode: comma-separated scenario names")
 	replicates := flag.Int("replicates", 8, "sweep mode: replicate worlds (seeds) per scenario")
@@ -93,6 +101,32 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.ApplyPortOverrides(*portSpan, *portQuota)
+	if *attackFrac >= 0 {
+		sc.Traffic.AttackerFrac = *attackFrac
+	}
+	if *attackFlows >= 0 {
+		sc.Traffic.AttackerFlowsPerTick = *attackFlows
+	}
+	if *scanProbes >= 0 {
+		sc.Traffic.ScannerProbesPerTick = *scanProbes
+	}
+	if *allocRate >= 0 {
+		sc.CGNAllocRatePerSec = *allocRate
+	}
+	if *allocBurst >= 0 {
+		sc.CGNAllocBurst = *allocBurst
+	}
+	switch *evict {
+	case "":
+	case "none":
+		sc.CGNEviction = nat.EvictNone
+	case "oldest-idle":
+		sc.CGNEviction = nat.EvictOldestIdle
+	default:
+		fmt.Fprintf(os.Stderr, "cgnsim: -evict %q: want none or oldest-idle\n", *evict)
+		stopProfiles()
+		os.Exit(2)
+	}
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "cgnsim: %v\n", err)
 		stopProfiles()
@@ -166,11 +200,11 @@ func renderOne(b *report.Bundle, name string) (string, error) {
 		"E05": b.E05, "E06": b.E06, "E07": b.E07, "E08": b.E08,
 		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12,
 		"E13": b.E13, "E14": b.E14, "E15": b.E15, "E16": b.E16,
-		"E17": b.E17, "E18": b.E18, "E21": b.E21, "SCORES": b.Scores,
+		"E17": b.E17, "E18": b.E18, "E19": b.E19, "E21": b.E21, "SCORES": b.Scores,
 	}
 	fn, ok := renderers[name]
 	if !ok {
-		return "", fmt.Errorf("unknown experiment %q (E01..E18, E21 or scores)", name)
+		return "", fmt.Errorf("unknown experiment %q (E01..E19, E21 or scores)", name)
 	}
 	return fn(), nil
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cgn/internal/fleet"
+	"cgn/internal/nat"
 	"cgn/internal/traffic"
 )
 
@@ -74,6 +75,9 @@ func run(args []string, stdout io.Writer) error {
 		listen      = fs.String("listen", "", "serve /metrics, /status and /healthz on this address (e.g. 127.0.0.1:9400)")
 		digests     = fs.String("digests", "", "write final per-realm state digests and E21 scores to this file")
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the -listen mux")
+		allocRate   = fs.Float64("alloc-rate", 0, "arm a per-subscriber allocation token bucket on every carrier (tokens/sec; 0 leaves the fleet undefended)")
+		allocBurst  = fs.Int("alloc-burst", 0, "token-bucket burst capacity (0 = engine default; only meaningful with -alloc-rate)")
+		evict       = fs.String("evict", "", "eviction policy on every carrier: none or oldest-idle (empty keeps the default refuse behavior)")
 		throttle    = fs.Duration("throttle", 0, "wall-clock sleep per virtual day (keeps a demo or smoke-test run observable)")
 		stopAfter   = fs.Int("stop-after-days", 0, "checkpoint and exit after this many virtual days of this process's run (0 = run to the horizon); an operations/test hook equivalent to a well-timed SIGTERM")
 	)
@@ -81,6 +85,27 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	specs := fleet.SyntheticFleet(*seed, *carriers, *subscribers)
+	// Defense knobs apply fleet-wide. They are part of the checkpoint's
+	// config signature, so a -resume must repeat them — armoring half a
+	// run would silently fork the determinism contract otherwise.
+	var evictPolicy nat.EvictionPolicy
+	switch *evict {
+	case "", "none":
+		evictPolicy = nat.EvictNone
+	case "oldest-idle":
+		evictPolicy = nat.EvictOldestIdle
+	default:
+		return fmt.Errorf("-evict %q: want none or oldest-idle", *evict)
+	}
+	for i := range specs {
+		if *allocRate > 0 {
+			specs[i].NAT.AllocRatePerSec = *allocRate
+			specs[i].NAT.AllocBurst = *allocBurst
+		}
+		if *evict != "" {
+			specs[i].NAT.Eviction = evictPolicy
+		}
+	}
 	cfg := fleet.Config{
 		Seed:     *seed,
 		Days:     *days,

@@ -44,6 +44,16 @@ type ScenarioAgg struct {
 	TrafficMax      float64
 	TrafficPeak     stats.MeanCI
 	TrafficFailRate stats.MeanCI
+	// Adversarial collateral (E19) across replicates, present when the
+	// scenario's traffic profile carries attackers: the legitimate
+	// allocation-failure rate undefended vs with the token bucket
+	// armed, plus mean defense-counter totals per world.
+	AdversarialEnabled   bool
+	AdversarialAttackers float64
+	AdvUndefendedFail    stats.MeanCI
+	AdvDefendedFail      stats.MeanCI
+	AdvRateLimited       float64
+	AdvEvictions         float64
 	// Longitudinal observation (E21) across replicates, present when the
 	// scenario runs the fleet engine: detection recall and precision at
 	// the shortest and longest observation windows.
@@ -73,6 +83,8 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 		agg := ScenarioAgg{Scenario: name, Replicates: len(reps)}
 		var utils, fails, tp99, tpeak, tfail []float64
 		var tmed, tmax float64
+		var advUnd, advDef []float64
+		var advAtk, advRL, advEv float64
 		var osRec, olRec, olPrec []float64
 		for _, w := range reps {
 			agg.ASes += float64(w.ASes) / float64(len(reps))
@@ -88,6 +100,14 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 				tp99 = append(tp99, float64(w.Traffic.P99Ports))
 				tpeak = append(tpeak, w.Traffic.PeakUtilization)
 				tfail = append(tfail, w.Traffic.FailureRate)
+			}
+			if w.Adversarial.Enabled {
+				agg.AdversarialEnabled = true
+				advAtk += float64(w.Adversarial.Attackers)
+				advUnd = append(advUnd, w.Adversarial.UndefendedLegitFailRate)
+				advDef = append(advDef, w.Adversarial.DefendedLegitFailRate)
+				advRL += float64(w.Adversarial.RateLimited)
+				advEv += float64(w.Adversarial.Evictions)
 			}
 			if w.Observe.Enabled {
 				agg.ObserveEnabled = true
@@ -110,6 +130,15 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 		agg.TrafficP99 = stats.MeanConfidence(tp99)
 		agg.TrafficPeak = stats.MeanConfidence(tpeak)
 		agg.TrafficFailRate = stats.MeanConfidence(tfail)
+		// Adversarial means likewise divide by the adversarial-enabled
+		// replicate count only.
+		if n := len(advUnd); n > 0 {
+			agg.AdversarialAttackers = advAtk / float64(n)
+			agg.AdvRateLimited = advRL / float64(n)
+			agg.AdvEvictions = advEv / float64(n)
+		}
+		agg.AdvUndefendedFail = stats.MeanConfidence(advUnd)
+		agg.AdvDefendedFail = stats.MeanConfidence(advDef)
 		agg.ObserveShortRecall = stats.MeanConfidence(osRec)
 		agg.ObserveLongRecall = stats.MeanConfidence(olRec)
 		agg.ObserveLongPrec = stats.MeanConfidence(olPrec)
@@ -159,6 +188,13 @@ func Render(aggs []ScenarioAgg) string {
 		if agg.TrafficEnabled {
 			sb.WriteString(fmt.Sprintf("E18 traffic: concurrent ports/subscriber median %.1f, p99 %s, max %.1f; peak utilization %s, allocation-failure rate %s\n",
 				agg.TrafficMedian, agg.TrafficP99, agg.TrafficMax, agg.TrafficPeak, agg.TrafficFailRate))
+		}
+		if agg.AdversarialEnabled {
+			sb.WriteString(fmt.Sprintf("E19 adversarial: %.1f attackers/world, legit alloc-failure rate %.2f%% ± %.2f%% undefended -> %.2f%% ± %.2f%% with token bucket (mean %.0f rate-limited, %.0f evicted per world)\n",
+				agg.AdversarialAttackers,
+				100*agg.AdvUndefendedFail.Mean, 100*agg.AdvUndefendedFail.Half,
+				100*agg.AdvDefendedFail.Mean, 100*agg.AdvDefendedFail.Half,
+				agg.AdvRateLimited, agg.AdvEvictions))
 		}
 		if agg.ObserveEnabled {
 			sb.WriteString(fmt.Sprintf("E21 longitudinal: recall %s at %dd -> %s at %dd, precision %s at %dd\n",

@@ -92,6 +92,10 @@ type WorldResult struct {
 	// port percentiles and peak utilization under the scenario's
 	// traffic profile); Enabled is false when the scenario has none.
 	Traffic report.TrafficPressure
+	// Adversarial is the E19 attack x defense summary (legitimate
+	// failure rates undefended vs token-bucket-defended); Enabled is
+	// false when the scenario's traffic profile has no adversaries.
+	Adversarial report.AdversarialPressure
 	// Observe is the E21 longitudinal summary (detection recall and
 	// precision at the shortest and longest observation windows);
 	// Enabled is false when the scenario has no observation horizon.
@@ -208,16 +212,17 @@ func runWorld(cfg Config, job Job) WorldResult {
 	truth := w.CGNTruth()
 	sum := sha256.Sum256([]byte(b.All()))
 	res := WorldResult{
-		Scenario: job.Scenario,
-		Seed:     job.Seed,
-		Scores:   make(map[string]detect.Score, 4),
-		Digest:   hex.EncodeToString(sum[:]),
-		Ports:    b.Load.Pressure(),
-		Traffic:  b.Traffic.Pressure(),
-		Observe:  b.Observe.Pressure(),
-		ASes:     w.DB.Len(),
-		TrueCGN:  len(truth),
-		Elapsed:  time.Since(start),
+		Scenario:    job.Scenario,
+		Seed:        job.Seed,
+		Scores:      make(map[string]detect.Score, 4),
+		Digest:      hex.EncodeToString(sum[:]),
+		Ports:       b.Load.Pressure(),
+		Traffic:     b.Traffic.Pressure(),
+		Adversarial: b.Adversarial.Pressure(),
+		Observe:     b.Observe.Pressure(),
+		ASes:        w.DB.Len(),
+		TrueCGN:     len(truth),
+		Elapsed:     time.Since(start),
 	}
 	for _, v := range []detect.MethodView{b.BTV, b.CellV, b.NonCellV, b.UnionV} {
 		res.Scores[v.Name] = v.ScoreAgainstTruth(truth)

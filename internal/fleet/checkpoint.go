@@ -25,10 +25,15 @@ import (
 // magic keeps cgnsimd from gobbling arbitrary files handed to -resume.
 // Version history: 1 was the original layout; 2 added the sharded
 // universe's per-lane arrival-stream state (RealmCkpt.FrLanes/DstSeqs)
-// when arrival generation moved onto per-lane streams.
+// when arrival generation moved onto per-lane streams; 3 added the
+// allocation-defense state to nat.Snapshot subscriber records (token
+// bucket level and refill timestamp) when the per-subscriber rate
+// limiter and eviction policies landed — a version-2 checkpoint would
+// decode but restore every bucket full, diverging from the run it was
+// cut from.
 const (
 	checkpointMagic   = "CGNFLEET"
-	checkpointVersion = 2
+	checkpointVersion = 3
 )
 
 // Checkpoint is the serialized fleet state at a day boundary. Together

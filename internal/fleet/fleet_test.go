@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"cgn/internal/nat"
 	"cgn/internal/traffic"
 )
 
@@ -111,6 +112,83 @@ func TestResumeDeterminism(t *testing.T) {
 						}
 					}
 					t.Fatalf("cut %d: resumed result differs from uninterrupted run:\n got %+v\nwant %+v", cut, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// defendedConfig arms the allocation defenses on every carrier — a
+// tight token bucket plus evict-oldest-idle over a squeezed port space —
+// so checkpoint cuts cross live bucket levels and eviction state.
+func defendedConfig(workers, shards int) Config {
+	cfg := testConfig(workers, shards)
+	for i := range cfg.Carriers {
+		nc := &cfg.Carriers[i].NAT
+		nc.PortLo, nc.PortHi = 2048, 2048+63
+		nc.AllocRatePerSec = 0.02
+		nc.AllocBurst = 4
+		nc.Eviction = nat.EvictOldestIdle
+	}
+	return cfg
+}
+
+// TestResumeDeterminismDefended extends the resume pin to the defense
+// machinery: with the token bucket and eviction policy active, a cut
+// must serialize bucket levels and the eviction counters such that the
+// resumed run stays byte-identical to the uninterrupted one — in both
+// engine universes. The reference run must actually exercise both
+// defenses, or the pin proves nothing.
+func TestResumeDeterminismDefended(t *testing.T) {
+	for _, universe := range []struct {
+		name                          string
+		refShards, ckShards, reShards int
+	}{
+		{"legacy", 0, 0, 0},
+		{"sharded", 1, 2, 1},
+	} {
+		t.Run(universe.name, func(t *testing.T) {
+			refSim, err := New(defendedConfig(1, universe.refShards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !refSim.Done() {
+				refSim.StepDay()
+			}
+			var rateLimited, evictions uint64
+			for _, r := range refSim.Metrics().Realms {
+				rateLimited += r.RateLimited
+				evictions += r.Evictions
+			}
+			if rateLimited == 0 || evictions == 0 {
+				t.Fatalf("defenses idle in reference run: rate-limited %d, evictions %d", rateLimited, evictions)
+			}
+			ref := refSim.Result()
+			for _, cut := range []int{2, 6} {
+				s, err := New(defendedConfig(2, universe.ckShards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s.Day() < cut {
+					s.StepDay()
+				}
+				data, err := s.Checkpoint().encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ck, err := DecodeCheckpoint(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resumed, err := Resume(defendedConfig(3, universe.reShards), ck)
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				for !resumed.Done() {
+					resumed.StepDay()
+				}
+				if got := resumed.Result(); !reflect.DeepEqual(got, ref) {
+					t.Fatalf("cut %d: defended resume diverged:\n got %+v\nwant %+v", cut, got, ref)
 				}
 			}
 		})
@@ -365,6 +443,8 @@ func TestPrometheusExposition(t *testing.T) {
 		"cgnsimd_virtual_day 3",
 		"cgnsimd_port_utilization{realm=",
 		"cgnsimd_mappings_created_total{realm=",
+		"cgnsimd_quota_refusals_total{realm=",
+		"cgnsimd_rate_limited_total{realm=",
 		"cgnsimd_quota_evictions_total{realm=",
 		"cgnsimd_carrier_cgn_enabled{realm=",
 		"cgnsimd_timeline_events_applied_total",

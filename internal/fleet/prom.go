@@ -18,7 +18,12 @@ type RealmMetrics struct {
 	Live            int
 	// Cumulative over the run, spanning engine re-provisionings.
 	Created, Expired, Refreshes, Failures uint64
-	QuotaDrops                            uint64
+	// QuotaDrops counts allocations refused by the per-subscriber port
+	// quota; RateLimited counts token-bucket refusals; Evictions counts
+	// idle mappings reclaimed by the evict-oldest-idle policy.
+	QuotaDrops  uint64
+	RateLimited uint64
+	Evictions   uint64
 }
 
 // MetricsSnapshot is the simulation's instantaneous observability
@@ -69,6 +74,8 @@ func (s *Sim) Metrics() MetricsSnapshot {
 			}
 			rm.Live = r.eng.NumMappings()
 			rm.QuotaDrops = ps.QuotaDrops
+			rm.RateLimited = ps.RateLimited
+			rm.Evictions = ps.Evictions
 			m.ActiveCGN++
 		}
 		m.Subscribers += rm.Subscribers
@@ -170,10 +177,28 @@ func WritePrometheus(w io.Writer, m MetricsSnapshot) {
 			fmt.Fprintf(w, "cgnsimd_allocation_failures_total{realm=%q} %d\n", promLabel(r.ID), r.Failures)
 		}
 	})
-	counter("cgnsimd_quota_evictions_total", "Allocations refused by the per-subscriber port quota, per realm.", func() {
+	// Historical note: quota refusals were exported as
+	// cgnsimd_quota_evictions_total before the eviction policy existed —
+	// a misnomer, since a quota drop refuses the allocation and evicts
+	// nothing. The family below carries the refusal count under its
+	// correct name; cgnsimd_quota_evictions_total now reports actual
+	// evictions (EvictOldestIdle reclamations).
+	counter("cgnsimd_quota_refusals_total", "Allocations refused by the per-subscriber port quota, per realm.", func() {
 		for i := range m.Realms {
 			r := &m.Realms[i]
-			fmt.Fprintf(w, "cgnsimd_quota_evictions_total{realm=%q} %d\n", promLabel(r.ID), r.QuotaDrops)
+			fmt.Fprintf(w, "cgnsimd_quota_refusals_total{realm=%q} %d\n", promLabel(r.ID), r.QuotaDrops)
+		}
+	})
+	counter("cgnsimd_rate_limited_total", "Allocations refused by the per-subscriber token-bucket rate limiter, per realm.", func() {
+		for i := range m.Realms {
+			r := &m.Realms[i]
+			fmt.Fprintf(w, "cgnsimd_rate_limited_total{realm=%q} %d\n", promLabel(r.ID), r.RateLimited)
+		}
+	})
+	counter("cgnsimd_quota_evictions_total", "Idle mappings evicted to make room for new allocations (EvictOldestIdle policy), per realm.", func() {
+		for i := range m.Realms {
+			r := &m.Realms[i]
+			fmt.Fprintf(w, "cgnsimd_quota_evictions_total{realm=%q} %d\n", promLabel(r.ID), r.Evictions)
 		}
 	})
 	gauge("cgnsimd_subscribers_by_realm", "Active subscribers, per realm.", func() {

@@ -473,6 +473,9 @@ func (w *World) buildCGNRealms(as *asdb.AS, truth *Truth, pubAlloc *addrAllocato
 			RefreshOnInbound:       true,
 			Hairpin:                hairpin,
 			PortQuotaPerSubscriber: sc.CGNPortQuota,
+			AllocRatePerSec:        sc.CGNAllocRatePerSec,
+			AllocBurst:             sc.CGNAllocBurst,
+			Eviction:               sc.CGNEviction,
 			Seed:                   w.rng.Int63(),
 		}
 		if sc.CGNPortSpan > 0 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cgn/internal/asdb"
+	"cgn/internal/nat"
 	"cgn/internal/traffic"
 )
 
@@ -28,6 +29,9 @@ func FuzzScenarioValidate(f *testing.F) {
 			sc.CGNPoolSize.Min, sc.CGNPoolSize.Max, int64(sc.CGNUDPTimeout),
 			sc.Traffic.Ticks, sc.Traffic.DayTicks, int64(sc.Traffic.TickStep),
 			sc.Traffic.DiurnalAmp, sc.Traffic.HeavyFrac, sc.Traffic.LightFrac,
+			sc.Traffic.AttackerFrac, sc.Traffic.AttackerFlowsPerTick,
+			sc.Traffic.ScannerProbesPerTick,
+			sc.CGNAllocRatePerSec, sc.CGNAllocBurst, int(sc.CGNEviction),
 		)
 	}
 	for _, name := range Names() {
@@ -42,7 +46,9 @@ func FuzzScenarioValidate(f *testing.F) {
 		eyeball, cellular, btMin, btMax, nlMin, nlMax int,
 		lowVantage, bareFrac, hairpinP, hairpinT, chunkFrac float64,
 		portSpan, portQuota, poolMin, poolMax int, udpTimeout int64,
-		tticks, tday int, tstep int64, tamp, theavy, tlight float64) {
+		tticks, tday int, tstep int64, tamp, theavy, tlight float64,
+		atkFrac, atkFlows, scanProbes float64,
+		allocRate float64, allocBurst, eviction int) {
 
 		sc := Small()
 		// One fuzzed region; zero-count regions are valid and must build
@@ -63,7 +69,12 @@ func FuzzScenarioValidate(f *testing.F) {
 		sc.Traffic = traffic.Profile{
 			Ticks: tticks, DayTicks: tday, TickStep: time.Duration(tstep),
 			DiurnalAmp: tamp, HeavyFrac: theavy, LightFrac: tlight,
+			AttackerFrac: atkFrac, AttackerFlowsPerTick: atkFlows,
+			ScannerProbesPerTick: scanProbes,
 		}
+		sc.CGNAllocRatePerSec = allocRate
+		sc.CGNAllocBurst = allocBurst
+		sc.CGNEviction = nat.EvictionPolicy(eviction)
 
 		if err := sc.Validate(); err != nil {
 			return // rejected: the contract is satisfied

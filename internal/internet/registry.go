@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cgn/internal/asdb"
+	"cgn/internal/nat"
 	"cgn/internal/traffic"
 )
 
@@ -24,6 +25,8 @@ var builders = map[string]func() Scenario{
 	"p2p-dense":         P2PDense,
 	"diurnal-week":      DiurnalWeek,
 	"mobile-churn-week": MobileChurnWeek,
+	"flood-attack":      FloodAttack,
+	"flood-defended":    FloodDefended,
 }
 
 // Lookup resolves a scenario by registry name.
@@ -242,6 +245,51 @@ func MobileChurnWeek() Scenario {
 	return sc
 }
 
+// FloodAttack returns the undefended adversarial world: tight CGN port
+// provisioning (the PortStarved regime) with a fifth of every realm's
+// subscribers running a port-allocation flood and an external scanner
+// tickling the inbound filter. No heavy-hitter class — rate separation
+// between legitimate users and flooders is what the defended variant's
+// limiter discriminates on — and no defenses, so the flood's collateral
+// damage on legitimate subscribers (E19's undefended column) is maximal.
+func FloodAttack() Scenario {
+	sc := Small()
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.6
+	}
+	sc.BTPeers = Span{24, 40}
+	sc.CGNPoolSize = Span{1, 1}
+	sc.CGNPortSpan = 256
+	// Pinned above the 30 s tick: drawn carrier timeouts can undercut
+	// the tick, which would turn every legitimate refresh into a fresh
+	// allocation and charge it against the defended cells' token
+	// buckets — the defense would then hurt the users it protects.
+	sc.CGNUDPTimeout = 65 * time.Second
+	sc.Traffic = traffic.Profile{
+		Ticks:                288,
+		DayTicks:             288,
+		DiurnalAmp:           0.5,
+		LightFrac:            0.45,
+		AttackerFrac:         0.2,
+		AttackerFlowsPerTick: 12,
+		ScannerProbesPerTick: 2,
+	}
+	return sc
+}
+
+// FloodDefended is FloodAttack with both defenses armed: a
+// per-subscriber token-bucket allocation limiter pitched above the
+// legitimate rate ceiling but far under the flood, and oldest-idle
+// eviction instead of refusal on port exhaustion. E19's defended columns
+// show the legitimate failure rate recovering against FloodAttack's.
+func FloodDefended() Scenario {
+	sc := FloodAttack()
+	sc.CGNAllocRatePerSec = 0.06
+	sc.CGNAllocBurst = 8
+	sc.CGNEviction = nat.EvictOldestIdle
+	return sc
+}
+
 // frac01 names one [0,1] fraction field for validation.
 type frac01 struct {
 	name string
@@ -327,6 +375,15 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.CGNUDPTimeout < 0 {
 		return fmt.Errorf("internet: negative CGNUDPTimeout %v", sc.CGNUDPTimeout)
+	}
+	if sc.CGNAllocRatePerSec < 0 {
+		return fmt.Errorf("internet: negative CGNAllocRatePerSec %v", sc.CGNAllocRatePerSec)
+	}
+	if sc.CGNAllocBurst < 0 {
+		return fmt.Errorf("internet: negative CGNAllocBurst %d", sc.CGNAllocBurst)
+	}
+	if sc.CGNEviction != nat.EvictNone && sc.CGNEviction != nat.EvictOldestIdle {
+		return fmt.Errorf("internet: unknown CGNEviction policy %d", sc.CGNEviction)
 	}
 	if ps := sc.CGNPoolSize; ps != (Span{}) && (ps.Min < 1 || ps.Max < ps.Min) {
 		return fmt.Errorf("internet: CGNPoolSize = [%d,%d], want a positive ordered span",

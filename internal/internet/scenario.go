@@ -130,6 +130,21 @@ type Scenario struct {
 	// tens of seconds on mobile carriers) that maximize mapping churn.
 	CGNUDPTimeout time.Duration
 
+	// Defense knobs (the E19 attack x defense matrix). All default to
+	// zero — no rate limiter, refuse on allocation failure — which is
+	// the undefended deployment every prior scenario modeled.
+
+	// CGNAllocRatePerSec, when positive, arms every CGN realm's
+	// per-subscriber token-bucket allocation rate limiter
+	// (nat.Config.AllocRatePerSec); CGNAllocBurst sets the bucket depth
+	// (0 takes the engine default).
+	CGNAllocRatePerSec float64
+	CGNAllocBurst      int
+	// CGNEviction selects what a CGN realm does when port allocation
+	// fails: refuse the flow (nat.EvictNone, the default) or evict the
+	// oldest idle mapping and retry (nat.EvictOldestIdle).
+	CGNEviction nat.EvictionPolicy
+
 	// Traffic parameterizes the time-driven subscriber load engine
 	// behind the E18 temporal analysis (§6.2 Figure 8): diurnal flow
 	// arrivals, heavy-hitter mix, tick count. The zero profile disables

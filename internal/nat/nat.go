@@ -126,6 +126,37 @@ func (p Pooling) String() string {
 	}
 }
 
+// EvictionPolicy selects what a NAT does when a new mapping needs a
+// port and allocation fails: refuse the packet (the default, and the
+// only pre-defense behavior), or reclaim the longest-idle mapping and
+// retry once. Eviction is the "induced mapping drop" defense/failure
+// trade-off ReDAN-style flooding forces: refusing starves the attacker
+// and the victim alike, evicting keeps allocations flowing at the cost
+// of cutting short whoever has been quiet longest.
+type EvictionPolicy uint8
+
+// Eviction policies.
+const (
+	// EvictNone refuses the allocation (DropNoPorts).
+	EvictNone EvictionPolicy = iota
+	// EvictOldestIdle drops the live mapping with the earliest expiry
+	// deadline (the longest-idle one, timeout-adjusted) and retries the
+	// allocation once.
+	EvictOldestIdle
+)
+
+// String names the eviction policy.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictNone:
+		return "refuse"
+	case EvictOldestIdle:
+		return "evict-oldest-idle"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", p)
+	}
+}
+
 // HairpinMode controls how packets addressed from inside to the NAT's own
 // external addresses are handled (§3 "Hairpinning").
 type HairpinMode uint8
@@ -196,19 +227,42 @@ type Config struct {
 	// 0 means unlimited. The survey reports limits as low as 512 (§2).
 	MaxSessionsPerSubscriber int
 
-	// PortQuotaPerSubscriber caps the external ports one internal IP may
-	// hold concurrently; 0 means unlimited. This models the per-subscriber
-	// port-block provisioning of §6.2 (and the quotas "Tracking the Big
-	// NAT" observes): unlike the session limit — an abuse bound on the
-	// translation table — the quota is a resource reservation, and
-	// exceeding it yields the distinct DropPortQuota exhaustion verdict
-	// that the port-pressure reports account separately.
+	// PortQuotaPerSubscriber caps the distinct external port numbers one
+	// internal IP may hold concurrently; 0 means unlimited. This models
+	// the per-subscriber port-block provisioning of §6.2 (and the quotas
+	// "Tracking the Big NAT" observes): unlike the session limit — an
+	// abuse bound on the translation table — the quota is a resource
+	// reservation, so a UDP and a TCP mapping sharing one port number
+	// consume one unit of it, and exceeding it yields the distinct
+	// DropPortQuota exhaustion verdict that the port-pressure reports
+	// account separately.
 	PortQuotaPerSubscriber int
 
 	// PortLo and PortHi bound the allocatable external port range,
 	// inclusive. Zero values default to 1024 and 65535. CGNs translating
 	// ports use the whole space, which is the Fig 8(a) signal.
 	PortLo, PortHi uint16
+
+	// AllocRatePerSec, when positive, rate-limits mapping creation per
+	// subscriber through a token bucket: a subscriber earns
+	// AllocRatePerSec tokens per (virtual) second up to AllocBurst, and
+	// every new-mapping attempt spends one. Exhausted buckets yield
+	// DropRateLimited. This is the flood defense: a port-allocation
+	// flood runs orders of magnitude above legitimate arrival rates, so
+	// a bucket sized above the legitimate rate caps the attacker's port
+	// consumption without touching well-behaved subscribers. Bucket
+	// state rides the subscriber table and is captured by Snapshot, so
+	// checkpoint/restore cuts stay byte-identical.
+	AllocRatePerSec float64
+
+	// AllocBurst is the token-bucket depth; 0 defaults to 16 when the
+	// limiter is enabled.
+	AllocBurst int
+
+	// Eviction selects the behavior when port allocation fails: refuse
+	// (EvictNone, the default) or evict the longest-idle mapping and
+	// retry once (EvictOldestIdle).
+	Eviction EvictionPolicy
 
 	// Seed makes the NAT's random choices reproducible.
 	Seed int64
@@ -230,6 +284,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.ChunkSize == 0 {
 		out.ChunkSize = 2048
+	}
+	if out.AllocRatePerSec > 0 && out.AllocBurst == 0 {
+		out.AllocBurst = 16
 	}
 	return out
 }
@@ -254,6 +311,9 @@ const (
 	// DropPortQuota: outbound packet rejected because the subscriber
 	// exhausted its per-subscriber port quota.
 	DropPortQuota
+	// DropRateLimited: outbound packet rejected because the subscriber's
+	// allocation token bucket (AllocRatePerSec) is empty.
+	DropRateLimited
 )
 
 // String names the verdict.
@@ -273,6 +333,8 @@ func (v Verdict) String() string {
 		return "drop-hairpin"
 	case DropPortQuota:
 		return "drop-port-quota"
+	case DropRateLimited:
+		return "drop-rate-limited"
 	default:
 		return fmt.Sprintf("Verdict(%d)", v)
 	}
@@ -481,6 +543,7 @@ type NAT struct {
 	cDropSession, cDropQuota, cDropNoPorts *metrics.Counter
 	cDropNoMapping, cDropFiltered          *metrics.Counter
 	cDropHairpin                           *metrics.Counter
+	cDropRateLimited, cEvicted             *metrics.Counter
 	gLive                                  *metrics.Gauge
 }
 
@@ -691,6 +754,8 @@ func New(cfg Config) *NAT {
 	n.cDropNoMapping = n.Metrics.Counter("drop_no_mapping")
 	n.cDropFiltered = n.Metrics.Counter("drop_filtered")
 	n.cDropHairpin = n.Metrics.Counter("drop_hairpin")
+	n.cDropRateLimited = n.Metrics.Counter("drop_rate_limited")
+	n.cEvicted = n.Metrics.Counter("mappings_evicted")
 	n.gLive = n.Metrics.Gauge("mappings_live")
 	n.ports = newPortSpace(c.PortLo, c.PortHi)
 	// Two transport protocols (UDP, TCP) each carry a full port range per
@@ -764,6 +829,7 @@ func (n *NAT) drop(m *Mapping) {
 	if e.sessions == 0 {
 		n.subs.live--
 	}
+	n.notePortFreed(e, m.Ext.Port)
 	n.cMapExpired.Inc()
 	n.gLive.Set(int64(n.byInt.n))
 	n.freeMaps = append(n.freeMaps, m)
@@ -924,20 +990,46 @@ func (n *NAT) translateOut(f netaddr.Flow, now time.Time) (*Mapping, Verdict) {
 	}
 	if m == nil {
 		// One probe resolves everything per-subscriber: session count for
-		// the limit and quota checks, the seen flag, the pooling pin.
+		// the limit and quota checks, the seen flag, the pooling pin, the
+		// token bucket.
 		e, eSlot := n.subs.ensure(f.Src.Addr)
 		if lim := n.cfg.MaxSessionsPerSubscriber; lim > 0 && int(e.sessions) >= lim {
 			n.cDropSession.Inc()
 			return nil, DropSessionLimit
 		}
-		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && int(e.sessions) >= q {
-			n.cDropQuota.Inc()
-			return nil, DropPortQuota
+		if n.cfg.AllocRatePerSec > 0 && !n.tbAllow(e, nowNano) {
+			n.cDropRateLimited.Inc()
+			return nil, DropRateLimited
 		}
-		ext, ok := n.allocate(f, e)
-		if !ok {
-			n.cDropNoPorts.Inc()
-			return nil, DropNoPorts
+		var ext netaddr.Endpoint
+		var ok bool
+		if q := n.cfg.PortQuotaPerSubscriber; q > 0 && int(e.heldPorts) >= q {
+			// At quota, one side-effect-free escape remains: under port
+			// preservation, reusing a port number the subscriber already
+			// holds (on the other protocol) reserves nothing new, so it
+			// is granted when the external IP is determined without a
+			// draw and the slot is free. Anything else is a refusal.
+			if ip, pinned := n.pinnedExternalIP(e); pinned &&
+				n.cfg.PortAlloc == Preservation &&
+				e.portRefs[f.Src.Port] > 0 &&
+				n.ports.isFree(ip, f.Proto, f.Src.Port) {
+				n.ports.take(ip, f.Proto, f.Src.Port)
+				ext, ok = netaddr.EndpointOf(ip, f.Src.Port), true
+			} else {
+				n.cDropQuota.Inc()
+				return nil, DropPortQuota
+			}
+		} else {
+			ext, ok = n.allocate(f, e)
+			if !ok && n.cfg.Eviction == EvictOldestIdle && n.evictOldest() {
+				ext, ok = n.allocate(f, e)
+			}
+			if !ok {
+				// Counted once, after any eviction retry: an eviction
+				// followed by a successful retry is not a failure.
+				n.cDropNoPorts.Inc()
+				return nil, DropNoPorts
+			}
 		}
 		m = n.newMapping()
 		m.Proto, m.Int, m.Ext = f.Proto, f.Src, ext
@@ -954,6 +1046,7 @@ func (n *NAT) translateOut(f netaddr.Flow, now time.Time) (*Mapping, Verdict) {
 		if e.sessions == 1 {
 			n.subs.live++
 		}
+		n.notePortHeld(e, ext.Port)
 		if !e.seen {
 			e.seen = true
 			n.subs.seen++
@@ -1083,6 +1176,130 @@ func (n *NAT) allocate(f netaddr.Flow, e *subEntry) (netaddr.Endpoint, bool) {
 	return netaddr.Endpoint{}, false
 }
 
+// notePortHeld and notePortFreed maintain the subscriber's distinct
+// held-port-number refcounts — the quantity PortQuotaPerSubscriber
+// bounds. A quota-less NAT skips the map entirely.
+func (n *NAT) notePortHeld(e *subEntry, port uint16) {
+	if n.cfg.PortQuotaPerSubscriber <= 0 {
+		return
+	}
+	if e.portRefs == nil {
+		e.portRefs = make(map[uint16]uint16, 4)
+	}
+	e.portRefs[port]++
+	if e.portRefs[port] == 1 {
+		e.heldPorts++
+	}
+}
+
+func (n *NAT) notePortFreed(e *subEntry, port uint16) {
+	if n.cfg.PortQuotaPerSubscriber <= 0 {
+		return
+	}
+	if c := e.portRefs[port]; c > 1 {
+		e.portRefs[port] = c - 1
+	} else if c == 1 {
+		delete(e.portRefs, port)
+		e.heldPorts--
+	}
+}
+
+// tbAllow refills the subscriber's allocation token bucket to nowNano
+// and spends one token, reporting whether one was available. Pure
+// virtual-time arithmetic on per-subscriber state: deterministic at any
+// engine partition, and snapshot/restore-exact.
+func (n *NAT) tbAllow(e *subEntry, nowNano int64) bool {
+	burst := float64(n.cfg.AllocBurst)
+	if !e.tbInit {
+		e.tbInit = true
+		e.tbTokens = burst
+		e.tbLast = nowNano
+	}
+	if dt := nowNano - e.tbLast; dt > 0 {
+		e.tbTokens += float64(dt) * n.cfg.AllocRatePerSec / 1e9
+		if e.tbTokens > burst {
+			e.tbTokens = burst
+		}
+	}
+	e.tbLast = nowNano
+	if e.tbTokens < 1 {
+		return false
+	}
+	e.tbTokens--
+	return true
+}
+
+// pinnedExternalIP resolves the external IP a new mapping for e would
+// use, but only when that resolution has no side effects — a one-IP
+// pool, or a Paired subscriber already pinned. Arbitrary pooling and
+// first-contact Paired assignment draw state and report false.
+func (n *NAT) pinnedExternalIP(e *subEntry) (netaddr.Addr, bool) {
+	if pool := n.cfg.ExternalIPs; len(pool) == 1 {
+		return pool[0], true
+	}
+	if n.cfg.Pooling == Paired && e.hasPaired {
+		return e.paired, true
+	}
+	return 0, false
+}
+
+// evictOldest drops the live mapping with the earliest expiry deadline
+// — the longest-idle one, timeout-adjusted — and reports whether a
+// victim was found. It drains the expiry schedule in deadline order,
+// exactly like Sweep: an entry's bucket key never exceeds its mapping's
+// true deadline, so the first live entry found sitting at its own
+// bucket key is a global minimum. Entries passed over re-bucket at
+// their true deadlines, which is where lazy re-keying would have moved
+// them anyway.
+func (n *NAT) evictOldest() bool {
+	for len(n.exp.times) > 0 {
+		at := n.exp.times[0]
+		bucket := n.exp.takeBucket()
+		victim := -1
+		for i, e := range bucket {
+			if e.m.dead || e.m.gen != e.gen {
+				continue
+			}
+			deadline := e.m.lastActive + int64(n.timeout(e.m.Proto))
+			if deadline > at {
+				// Refreshed since its entry was pushed.
+				n.exp.push(deadline, e.m, e.gen)
+				continue
+			}
+			// Equal-deadline candidates tie-break on the canonical
+			// external-endpoint key, not bucket position: snapshot
+			// restore rebuilds the schedule in mapping-table order, so
+			// insertion order is not resume-stable but the key is.
+			if victim < 0 || evictionKey(e.m) < evictionKey(bucket[victim].m) {
+				if victim >= 0 {
+					v := bucket[victim]
+					n.exp.push(v.m.lastActive+int64(n.timeout(v.m.Proto)), v.m, v.gen)
+				}
+				victim = i
+			} else {
+				n.exp.push(deadline, e.m, e.gen)
+			}
+		}
+		if victim >= 0 {
+			m := bucket[victim].m
+			n.exp.release(bucket)
+			n.drop(m)
+			n.cEvicted.Inc()
+			return true
+		}
+		n.exp.release(bucket)
+	}
+	return false
+}
+
+// evictionKey orders equal-deadline eviction candidates. The external
+// (proto, IP, port) triple is unique among live mappings, so the key is
+// total — and it is pure mapping state, independent of how the expiry
+// schedule was populated.
+func evictionKey(m *Mapping) uint64 {
+	return uint64(m.Ext.Addr)<<24 | uint64(m.Ext.Port)<<8 | uint64(m.Proto)
+}
+
 func (n *NAT) chooseExternalIP(e *subEntry) netaddr.Addr {
 	pool := n.cfg.ExternalIPs
 	if len(pool) == 1 {
@@ -1152,14 +1369,21 @@ type PortStats struct {
 	// Subscribers counts distinct internal IPs that ever held a mapping.
 	Subscribers int
 	// Allocs is successful mapping creations; NoPorts and QuotaDrops are
-	// the two exhaustion outcomes.
-	Allocs     uint64
-	NoPorts    uint64
-	QuotaDrops uint64
+	// the two exhaustion outcomes, RateLimited the token-bucket refusal.
+	Allocs      uint64
+	NoPorts     uint64
+	QuotaDrops  uint64
+	RateLimited uint64
+	// Evictions counts mappings reclaimed by the EvictOldestIdle policy
+	// to make room for a new allocation. An eviction is not a failure —
+	// the retried allocation usually succeeds — but it is collateral
+	// damage on whoever held the evicted mapping.
+	Evictions uint64
 }
 
-// Failures returns all allocation failures (space plus quota exhaustion).
-func (s PortStats) Failures() uint64 { return s.NoPorts + s.QuotaDrops }
+// Failures returns all allocation failures: space and quota exhaustion
+// plus token-bucket refusals.
+func (s PortStats) Failures() uint64 { return s.NoPorts + s.QuotaDrops + s.RateLimited }
 
 // FailureRate returns failed / attempted allocations, 0 when idle.
 func (s PortStats) FailureRate() float64 {
@@ -1192,6 +1416,8 @@ func (n *NAT) PortStats() PortStats {
 		Allocs:      n.cMapCreated.Value(),
 		NoPorts:     n.cDropNoPorts.Value(),
 		QuotaDrops:  n.cDropQuota.Value(),
+		RateLimited: n.cDropRateLimited.Value(),
+		Evictions:   n.cEvicted.Value(),
 	}
 }
 

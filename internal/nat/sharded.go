@@ -276,6 +276,8 @@ func (s *Sharded) PortStats() PortStats {
 		out.Allocs += ps.Allocs
 		out.NoPorts += ps.NoPorts
 		out.QuotaDrops += ps.QuotaDrops
+		out.RateLimited += ps.RateLimited
+		out.Evictions += ps.Evictions
 	}
 	return out
 }

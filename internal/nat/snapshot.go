@@ -58,14 +58,20 @@ type MappingState struct {
 }
 
 // SubscriberState serializes one subscriber-table entry that carries
-// state beyond its existence: the ever-mapped flag and the Paired pool
-// pin. Session counts are not stored — they are reconstructed exactly
-// by replaying the mapping list.
+// state beyond its existence: the ever-mapped flag, the Paired pool
+// pin and the allocation token bucket. Session and held-port counts
+// are not stored — they are reconstructed exactly by replaying the
+// mapping list.
 type SubscriberState struct {
 	Addr      netaddr.Addr
 	Seen      bool
 	HasPaired bool
 	Paired    netaddr.Addr
+	// TBInit/TBTokens/TBLast carry the AllocRatePerSec token bucket; all
+	// zero when the limiter is off or the subscriber never allocated.
+	TBInit   bool
+	TBTokens float64
+	TBLast   int64
 }
 
 // SeqCursorState serializes one (external IP, protocol) sequential-
@@ -121,13 +127,14 @@ func (n *NAT) Snapshot() *Snapshot {
 		s.Mappings = append(s.Mappings, ms)
 	})
 	n.subs.forEach(func(e *subEntry) {
-		if !e.seen && !e.hasPaired {
+		if !e.seen && !e.hasPaired && !e.tbInit {
 			// The entry exists only because a translation attempt probed
 			// it before being dropped; it carries no observable state.
 			return
 		}
 		s.Subscribers = append(s.Subscribers, SubscriberState{
 			Addr: e.addr, Seen: e.seen, HasPaired: e.hasPaired, Paired: e.paired,
+			TBInit: e.tbInit, TBTokens: e.tbTokens, TBLast: e.tbLast,
 		})
 	})
 	for i, k := range n.ports.segKeys {
@@ -170,6 +177,7 @@ func NewFromSnapshot(cfg Config, s *Snapshot) (*NAT, error) {
 			n.subs.seen++
 		}
 		e.hasPaired, e.paired = ss.HasPaired, ss.Paired
+		e.tbInit, e.tbTokens, e.tbLast = ss.TBInit, ss.TBTokens, ss.TBLast
 	}
 	if n.chunks != nil {
 		for _, cs := range s.Chunks {
@@ -215,6 +223,7 @@ func NewFromSnapshot(cfg Config, s *Snapshot) (*NAT, error) {
 		if e.sessions == 1 {
 			n.subs.live++
 		}
+		n.notePortHeld(e, ms.Ext.Port)
 		n.exp.push(ms.LastActive+int64(n.timeout(ms.Proto)), m, m.gen)
 	}
 

@@ -233,11 +233,26 @@ type subEntry struct {
 	// pooling.
 	hasPaired bool
 	paired    netaddr.Addr
-	// sessions counts live mappings, for the session limit and port
-	// quota. Unlike the old map the entry survives at zero — the
-	// subscriber's paired IP must persist across idle periods — so
-	// observable "live subscriber" counts derive from sessions > 0.
+	// sessions counts live mappings, for the session limit. Unlike the
+	// old map the entry survives at zero — the subscriber's paired IP
+	// must persist across idle periods — so observable "live subscriber"
+	// counts derive from sessions > 0.
 	sessions int32
+	// heldPorts counts the distinct external port numbers the
+	// subscriber's live mappings hold, and portRefs refcounts them: a
+	// UDP and a TCP mapping on the same number are one held port, which
+	// is what the port quota reserves. Maintained only when
+	// PortQuotaPerSubscriber is enabled; rebuilt from the mapping list
+	// on snapshot restore.
+	heldPorts int32
+	portRefs  map[uint16]uint16
+	// Token-bucket state for the AllocRatePerSec limiter, initialized
+	// lazily on the subscriber's first allocation attempt. tbLast is the
+	// last refill stamp in Unix nanoseconds; the state is virtual-time
+	// arithmetic only, so it snapshots and restores exactly.
+	tbInit   bool
+	tbTokens float64
+	tbLast   int64
 }
 
 // subTable maps internal IPs to their subEntry. Entries are never

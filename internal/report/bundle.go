@@ -42,6 +42,9 @@ type Bundle struct {
 	// Traffic is the E18 temporal port-usage analysis: the traffic
 	// engine's run over replicas of every carrier NAT.
 	Traffic *TrafficLoad
+	// Adversarial is the E19 attack x defense matrix; disabled unless
+	// the scenario's traffic profile offers adversarial load.
+	Adversarial *AdversarialRun
 	// Observe is the E21 longitudinal observation analysis: the fleet
 	// engine's evolving-carrier run scored per observation window.
 	Observe *ObservationRun
@@ -142,6 +145,7 @@ func collect(w *internet.World, parallel bool, opts CollectOptions) *Bundle {
 		func() { b.STUN = props.AnalyzeSTUN(filtered, cgn) },
 		func() { b.Load = AnalyzePortLoad(w) },
 		func() { b.Traffic = AnalyzeTrafficOpts(w, opts.TrafficWorkers, opts.TrafficShards) },
+		func() { b.Adversarial = AnalyzeAdversarial(w, opts.TrafficWorkers, opts.TrafficShards) },
 		func() { b.Observe = AnalyzeObservation(w, opts.TrafficWorkers) },
 	)
 	return b

@@ -26,7 +26,8 @@ func TestAllRendersEveryExperiment(t *testing.T) {
 		"E05 / Figure 4", "E06 / Table 4", "E07 / Figure 5", "E08 / Table 5",
 		"E09 / Figure 6", "E10 / Figure 7", "E11 / Figure 8", "E12 / Figure 9",
 		"E13 / Table 7", "E14 / Figure 11", "E15 / Figure 12", "E16 / Figure 13",
-		"E17 / beyond the paper", "E18 / Figure 8", "Ground truth scoring",
+		"E17 / beyond the paper", "E18 / Figure 8",
+		"E19 — adversarial traffic x defense matrix", "Ground truth scoring",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("All() output missing %q", want)

@@ -77,6 +77,33 @@ type Profile struct {
 	// tick; afterwards the mapping idles out via the NAT's timeout.
 	// Defaults to 3.
 	FlowHoldTicks int
+
+	// AttackerFrac in [0,1] turns the leading fraction of each realm's
+	// subscribers into malicious port-allocation flooders (the ReDAN
+	// mapping-table exhaustion attack): designation is by subscriber
+	// index, so it perturbs no random draw, and at 0 the engine is
+	// byte-identical to a profile without the field. Attackers replace
+	// their legitimate traffic with flood flows and are excluded from
+	// the legitimate class statistics; their collateral damage on the
+	// rest of the population is what Result.Adversarial measures.
+	AttackerFrac float64
+	// AttackerFlowsPerTick is the mean flood flows one attacker opens
+	// per tick — each on a fresh source port, so each demands a fresh
+	// external port, and none is ever refreshed (the flood sustains
+	// occupancy by rate x timeout, like the real attack). Not diurnally
+	// modulated: bots do not sleep. Defaults to 40 when AttackerFrac is
+	// set.
+	AttackerFlowsPerTick float64
+	// ScannerProbesPerTick is the mean inbound probes per external pool
+	// IP per tick from an external scanner sweeping the NAT's port
+	// range — the inbound-filtering tickle. 0 disables the scanner.
+	ScannerProbesPerTick float64
+}
+
+// AttacksEnabled reports whether the profile offers any adversarial
+// load (flooders or scanners).
+func (p Profile) AttacksEnabled() bool {
+	return (p.AttackerFrac > 0 && p.AttackerFlowsPerTick > 0) || p.ScannerProbesPerTick > 0
 }
 
 // Enabled reports whether the profile asks for any simulated time.
@@ -103,6 +130,9 @@ func (p Profile) WithDefaults() Profile {
 	if p.FlowHoldTicks == 0 {
 		p.FlowHoldTicks = 3
 	}
+	if p.AttackerFrac > 0 && p.AttackerFlowsPerTick == 0 {
+		p.AttackerFlowsPerTick = 40
+	}
 	return p
 }
 
@@ -128,6 +158,7 @@ func (p Profile) Validate() error {
 	}{
 		{"HeavyFrac", p.HeavyFrac},
 		{"LightFrac", p.LightFrac},
+		{"AttackerFrac", p.AttackerFrac},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("traffic: %s = %v outside [0,1]", f.name, f.v)
@@ -144,6 +175,12 @@ func (p Profile) Validate() error {
 	}
 	if p.FlowHoldTicks < 0 {
 		return fmt.Errorf("traffic: negative FlowHoldTicks %d", p.FlowHoldTicks)
+	}
+	if p.AttackerFlowsPerTick < 0 {
+		return fmt.Errorf("traffic: negative AttackerFlowsPerTick %v", p.AttackerFlowsPerTick)
+	}
+	if p.ScannerProbesPerTick < 0 {
+		return fmt.Errorf("traffic: negative ScannerProbesPerTick %v", p.ScannerProbesPerTick)
 	}
 	return nil
 }

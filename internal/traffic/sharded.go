@@ -68,12 +68,18 @@ type shardState struct {
 	freeHead int32
 	// emit is the shard's arrival sink, allocated once at setup and
 	// parameterized through curLane/curList/curLn/curFr so the per-tick
-	// decode passes allocate nothing.
+	// decode passes allocate nothing. atkEmit is its adversarial twin:
+	// flood flows through the same decoder, but fire-and-forget (no
+	// arena node, never refreshed).
 	curLane int
 	curList []int32
 	curLn   *nat.NAT
 	curFr   *FastRand
 	emit    func(i, k int)
+	atkEmit func(i, k int)
+	// adv is the shard's adversarial accumulator, merged in shard-index
+	// order after the run; zero when the profile offers no adversaries.
+	adv advAccum
 }
 
 // FastRand is the sharded engine's arrival-draw stream: a SplitMix64
@@ -205,11 +211,15 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 
 	base := subscriberBase
 	subs := buildSubscribers(rng, p, spec, base, &out.classSubs)
+	numAtk := attackerCount(p, len(subs))
+	markAttackers(subs, numAtk, &out.classSubs)
+	attacks := p.AttacksEnabled()
 
 	// Partition: lane l belongs to shard l % S; a subscriber belongs to
 	// its lane's shard. laneOf memoizes the address hash; laneSubs lists
 	// each lane's subscribers per class, ascending — the skip-sampling
-	// decode's index space.
+	// decode's index space. Attackers land in laneAtk instead: they
+	// receive no legitimate arrivals and stay out of the class census.
 	shards := make([]*shardState, S)
 	for s := range shards {
 		shards[s] = &shardState{freeHead: -1}
@@ -220,9 +230,14 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	}
 	laneOf := make([]int32, len(subs))
 	laneSubs := make([][numClasses][]int32, sn.NumLanes())
+	laneAtk := make([][]int32, sn.NumLanes())
 	for j := range subs {
 		l := sn.LaneFor(subs[j].addr)
 		laneOf[j] = int32(l)
+		if subs[j].attacker {
+			laneAtk[l] = append(laneAtk[l], int32(j))
+			continue
+		}
 		laneSubs[l][subs[j].class] = append(laneSubs[l][subs[j].class], int32(j))
 		st := shards[sn.ShardOf(l)]
 		st.nsubs++
@@ -243,14 +258,18 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			func(m *nat.Mapping) {
 				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 					sub := &subs[j]
-					st.lc.Move(sub.class, sub.live, sub.live+1)
+					if !sub.attacker {
+						st.lc.Move(sub.class, sub.live, sub.live+1)
+					}
 					sub.live++
 				}
 			},
 			func(m *nat.Mapping) {
 				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 					sub := &subs[j]
-					st.lc.Move(sub.class, sub.live, sub.live-1)
+					if !sub.attacker {
+						st.lc.Move(sub.class, sub.live, sub.live-1)
+					}
 					sub.live--
 				}
 			},
@@ -270,6 +289,32 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	dstSeq := make([]uint64, sn.NumLanes())
 	holdSpan := uint32(2*p.FlowHoldTicks - 1)
 
+	// Per-lane adversarial streams and flood destination sequences,
+	// seeded only when the profile offers attacks — a disabled profile
+	// consumes no extra realm-RNG draw, keeping zero-attacker runs
+	// byte-identical to pre-adversarial builds. Flood rates are not
+	// diurnal, so their λ terms hoist out of the tick loop entirely.
+	var (
+		atkFrLane               []FastRand
+		atkSeqLane              []uint64
+		floodLambda             float64
+		expNegFlood, expNegScan float64
+		scanLo, scanSpan        uint32
+	)
+	if attacks {
+		atkFrLane = make([]FastRand, sn.NumLanes())
+		for l := range atkFrLane {
+			atkFrLane[l] = FastRand(rng.Uint64())
+		}
+		atkSeqLane = make([]uint64, sn.NumLanes())
+		floodLambda = p.AttackerFlowsPerTick
+		expNegFlood = math.Exp(-floodLambda)
+		expNegScan = math.Exp(-p.ScannerProbesPerTick)
+		eff := sn.Config()
+		scanLo = uint32(eff.PortLo)
+		scanSpan = uint32(eff.PortHi) - uint32(eff.PortLo) + 1
+	}
+
 	// Per-tick inputs: written by the driver goroutine before the start
 	// barrier, read by shard workers after it (the channel send/receive
 	// orders the accesses).
@@ -283,6 +328,21 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	// fields. Hold spans 1..2*FlowHoldTicks-1 like the legacy engine's
 	// draw.
 	for _, st := range shards {
+		st.atkEmit = func(i, k int) {
+			sub := &subs[st.curList[i]]
+			fr := st.curFr
+			st.adv.attackerAttempts += uint64(k)
+			for ; k > 0; k-- {
+				atkSeqLane[st.curLane]++
+				seq := atkSeqLane[st.curLane]
+				f := netaddr.FlowOf(netaddr.UDP,
+					netaddr.EndpointOf(sub.addr, uint16(1024+fr.Intn(64512))),
+					netaddr.EndpointOf(atkDstBase+netaddr.Addr(uint32(seq)), uint16(9+(seq>>32))))
+				if _, v := st.curLn.TranslateOut(f, curNow); v != nat.Ok {
+					st.adv.attackerFailures++
+				}
+			}
+		}
 		st.emit = func(i, k int) {
 			j := st.curList[i]
 			sub := &subs[j]
@@ -294,7 +354,14 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 					netaddr.EndpointOf(sub.addr, uint16(1024+fr.Intn(64512))),
 					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(seq)), uint16(443+(seq>>32))))
 				hold := 1 + fr.Intn(holdSpan)
-				if _, ref, v := st.curLn.TranslateOutRef(f, curNow); v == nat.Ok {
+				_, ref, v := st.curLn.TranslateOutRef(f, curNow)
+				if attacks {
+					st.adv.legitAttempts++
+					if v != nat.Ok {
+						st.adv.legitFailures++
+					}
+				}
+				if v == nat.Ok {
 					var ni int32
 					if st.freeHead >= 0 {
 						ni = st.freeHead
@@ -371,6 +438,9 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		// Arrivals: per owned lane ascending, per class ascending,
 		// skip-sampled on the lane's stream and applied immediately —
 		// the single-phase replacement for the old sequential driver.
+		// The adversarial pass rides the same per-lane order, after the
+		// legitimate classes (matching the legacy engine), on the
+		// lane's own attack stream.
 		for _, l := range st.lanes {
 			st.curLane = l
 			st.curLn = sn.Lane(l)
@@ -385,6 +455,28 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 				}
 				st.curList = list
 				ForEachArrival(st.curFr, len(list), curLambda[c], curExpNeg[c], st.emit)
+			}
+			if attacks {
+				fr := &atkFrLane[l]
+				st.curFr = fr
+				if list := laneAtk[l]; len(list) > 0 && floodLambda > 0 {
+					st.curList = list
+					ForEachArrival(fr, len(list), floodLambda, expNegFlood, st.atkEmit)
+				}
+				// Scanner probes against this lane's external IP — the
+				// lane-confined slice of the pool-wide sweep.
+				if p.ScannerProbesPerTick > 0 {
+					ip := sn.Config().ExternalIPs[l]
+					for k := fr.Poisson(expNegScan); k > 0; k-- {
+						probe := netaddr.FlowOf(netaddr.UDP,
+							netaddr.EndpointOf(scannerAddr, uint16(1024+fr.Intn(64512))),
+							netaddr.EndpointOf(ip, uint16(scanLo+fr.Intn(scanSpan))))
+						st.adv.scannerProbes++
+						if _, v := st.curLn.TranslateIn(probe, now); v != nat.Ok {
+							st.adv.scannerBlocked++
+						}
+					}
+				}
 			}
 		}
 		// Merge the newly active. The per-lane, per-class passes emit
@@ -410,6 +502,16 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			st.fresh = st.fresh[:0]
 		}
 		st.lc.Fold(&st.classHists, &st.allHist)
+		if attacks {
+			// Attacker concurrent-port samples: walked directly — the
+			// population is a small fraction of the shard, and its live
+			// counts are hook-maintained like everyone else's.
+			for _, l := range st.lanes {
+				for _, j := range laneAtk[l] {
+					st.adv.attackerHist.Add(int(subs[j].live))
+				}
+			}
+		}
 		inUse := 0
 		for _, l := range st.lanes {
 			inUse += sn.Lane(l).InUsePorts()
@@ -494,6 +596,14 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 			out.classHists[c].Merge(&st.classHists[c])
 		}
 		out.allHist.Merge(&st.allHist)
+		out.adv.merge(&st.adv)
+	}
+	if attacks {
+		out.adv.attackers = numAtk
+		out.adv.quotaDrops = final.QuotaDrops
+		out.adv.noPorts = final.NoPorts
+		out.adv.rateLimited = final.RateLimited
+		out.adv.evictions = final.Evictions
 	}
 	return out
 }

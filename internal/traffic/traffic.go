@@ -131,6 +131,57 @@ type Result struct {
 	PeakTick int
 	// Flow accounting over all realms.
 	Created, Expired, Refreshes, Failures uint64
+	// Adversarial is the E19 collateral-damage dataset; entirely zero
+	// (Enabled false) unless the profile offers adversarial load.
+	Adversarial AdversarialStats
+}
+
+// AdversarialStats is the E19 dataset: what adversarial load does to the
+// legitimate population, with both sides' books kept separately. With
+// adversaries enabled, Result.ByClass / Result.All cover the legitimate
+// subscribers only — attackers are censused here instead.
+type AdversarialStats struct {
+	// Enabled mirrors Profile.AttacksEnabled(); when false every other
+	// field is exactly zero.
+	Enabled bool
+	// Attackers is the flooder population summed over realms.
+	Attackers int
+	// LegitAttempts counts legitimate new-flow allocation attempts
+	// (refreshes and their fallback re-creations excluded) and
+	// LegitFailures the ones the NAT refused for any reason — the ratio
+	// is the collateral-damage headline E19 reports.
+	LegitAttempts, LegitFailures uint64
+	// AttackerAttempts / AttackerFailures keep the same books for flood
+	// flows: a well-tuned defense starves these, not the legit column.
+	AttackerAttempts, AttackerFailures uint64
+	// ScannerProbes counts inbound scanner probes offered and
+	// ScannerBlocked how many the NAT's inbound filtering dropped.
+	ScannerProbes, ScannerBlocked uint64
+	// Defense and exhaustion counters summed over realms: quota
+	// refusals, port-space exhaustion, token-bucket rate-limit drops and
+	// idle-mapping evictions (both sides' traffic combined — the NAT
+	// does not know who is evil).
+	QuotaDrops, NoPorts, RateLimited, Evictions uint64
+	// AttackerPorts summarizes attacker concurrent-port samples, the
+	// counterpart of Result.All for the flooder population; p99
+	// inflation shows up as the gap between the two.
+	AttackerPorts ClassStat
+}
+
+// LegitFailRate is LegitFailures over LegitAttempts (0 when idle).
+func (a AdversarialStats) LegitFailRate() float64 {
+	if a.LegitAttempts == 0 {
+		return 0
+	}
+	return float64(a.LegitFailures) / float64(a.LegitAttempts)
+}
+
+// AttackerFailRate is AttackerFailures over AttackerAttempts.
+func (a AdversarialStats) AttackerFailRate() float64 {
+	if a.AttackerAttempts == 0 {
+		return 0
+	}
+	return float64(a.AttackerFailures) / float64(a.AttackerAttempts)
 }
 
 // Enabled reports whether the run simulated any time.
@@ -158,6 +209,10 @@ type subscriber struct {
 	class      Class
 	head, tail int32
 	live       int32
+	// attacker marks a flooder: it offers no legitimate flows and its
+	// live count samples into the adversarial histogram, not the class
+	// buckets.
+	attacker bool
 }
 
 // Hist is an exact integer histogram of concurrent-port samples; counts
@@ -261,7 +316,45 @@ func (h *Hist) Max() int {
 var (
 	subscriberBase = netaddr.MustParseAddr("10.64.0.1")
 	dstBase        = netaddr.MustParseAddr("8.0.0.0")
+	// atkDstBase anchors the flood flows' synthetic destination space
+	// (disjoint from dstBase so attack traffic reads distinctly in
+	// digests); scannerAddr is the external scanner's source.
+	atkDstBase  = netaddr.MustParseAddr("6.0.0.0")
+	scannerAddr = netaddr.MustParseAddr("203.0.113.7")
 )
+
+// atkSeedMix derives the adversarial RNG stream's per-realm seed. It
+// differs from the realm-stream constant, and the adversarial stream is
+// never drawn from the realm RNG, so enabling attacks perturbs no
+// legitimate draw — a zero-attacker run is byte-identical to one built
+// before the knobs existed.
+const atkSeedMix int64 = 0x6A09E667F3BCC909
+
+// attackerCount returns how many of a realm's n subscribers the profile
+// designates as flooders: the leading int(AttackerFrac·n) by subscriber
+// index. Designation by index costs no random draw.
+func attackerCount(p Profile, n int) int {
+	if p.AttackerFrac <= 0 || p.AttackerFlowsPerTick <= 0 {
+		return 0
+	}
+	k := int(p.AttackerFrac * float64(n))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// markAttackers flags the leading numAtk subscribers and removes them
+// from the legitimate class census. They keep their class draw — the
+// shared draw sequence must not shift — but every legitimate statistic
+// (class subscriber counts, live-count buckets, histograms) excludes
+// them from here on.
+func markAttackers(subs []subscriber, numAtk int, classSubs *[3]int) {
+	for j := 0; j < numAtk; j++ {
+		subs[j].attacker = true
+		classSubs[subs[j].class]--
+	}
+}
 
 // LiveCounts tracks, per class, how many tracked subscribers currently
 // hold exactly v live mappings. The NAT's create/expire hooks move
@@ -396,6 +489,34 @@ type realmOut struct {
 	// tick t (the realm's addend into Result.MeanUtil).
 	util      []float64
 	refreshes uint64
+	adv       advAccum
+}
+
+// advAccum is the adversarial accumulator — per realm in the legacy
+// engine, per shard in the sharded one (merged in shard order, then in
+// realm order). All zero when the profile offers no adversaries.
+type advAccum struct {
+	attackers                                   int
+	legitAttempts, legitFailures                uint64
+	attackerAttempts, attackerFailures          uint64
+	scannerProbes, scannerBlocked               uint64
+	quotaDrops, noPorts, rateLimited, evictions uint64
+	attackerHist                                Hist
+}
+
+func (a *advAccum) merge(o *advAccum) {
+	a.attackers += o.attackers
+	a.legitAttempts += o.legitAttempts
+	a.legitFailures += o.legitFailures
+	a.attackerAttempts += o.attackerAttempts
+	a.attackerFailures += o.attackerFailures
+	a.scannerProbes += o.scannerProbes
+	a.scannerBlocked += o.scannerBlocked
+	a.quotaDrops += o.quotaDrops
+	a.noPorts += o.noPorts
+	a.rateLimited += o.rateLimited
+	a.evictions += o.evictions
+	a.attackerHist.Merge(&o.attackerHist)
 }
 
 // Run executes the engine: every realm on the worker pool (input order
@@ -464,6 +585,7 @@ func Run(cfg Config) *Result {
 	res.MeanUtil = make([]float64, p.Ticks)
 	var classHists [3]Hist
 	var allHist Hist
+	var adv advAccum
 	for _, o := range outs {
 		res.Realms = append(res.Realms, o.stat)
 		res.Subscribers += o.stat.Subscribers
@@ -476,6 +598,7 @@ func Run(cfg Config) *Result {
 			classHists[c].Merge(&o.classHists[c])
 		}
 		allHist.Merge(&o.allHist)
+		adv.merge(&o.adv)
 		for t, u := range o.util {
 			res.MeanUtil[t] += u
 		}
@@ -502,7 +625,33 @@ func Run(cfg Config) *Result {
 		P99:     allHist.Quantile(0.99),
 		Max:     allHist.Max(),
 	}
-	res.All.Subscribers = res.Subscribers
+	// All covers the tracked (legitimate) population — identical to
+	// res.Subscribers except when adversaries carve attackers out.
+	res.All.Subscribers = res.ByClass[0].Subscribers +
+		res.ByClass[1].Subscribers + res.ByClass[2].Subscribers
+	if p.AttacksEnabled() {
+		res.Adversarial = AdversarialStats{
+			Enabled:          true,
+			Attackers:        adv.attackers,
+			LegitAttempts:    adv.legitAttempts,
+			LegitFailures:    adv.legitFailures,
+			AttackerAttempts: adv.attackerAttempts,
+			AttackerFailures: adv.attackerFailures,
+			ScannerProbes:    adv.scannerProbes,
+			ScannerBlocked:   adv.scannerBlocked,
+			QuotaDrops:       adv.quotaDrops,
+			NoPorts:          adv.noPorts,
+			RateLimited:      adv.rateLimited,
+			Evictions:        adv.evictions,
+			AttackerPorts: ClassStat{
+				Subscribers: adv.attackers,
+				Samples:     adv.attackerHist.n,
+				Median:      adv.attackerHist.Quantile(0.5),
+				P99:         adv.attackerHist.Quantile(0.99),
+				Max:         adv.attackerHist.Max(),
+			},
+		}
+	}
 	return res
 }
 
@@ -528,29 +677,59 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 
 	base := subscriberBase
 	subs := buildSubscribers(rng, p, spec, base, &out.classSubs)
+	numAtk := attackerCount(p, len(subs))
+	markAttackers(subs, numAtk, &out.classSubs)
 
 	// Incremental per-subscriber live-port counts: instead of probing
 	// nat.Sessions for every subscriber every tick, the NAT's mapping
 	// hooks maintain subscriber.live and the class-keyed bucket counts
 	// the per-tick sampling fold reads. Subscriber addresses are dense
 	// above base, so a hook resolves the owner with one subtraction.
+	// Attackers keep their live count but stay out of the class buckets;
+	// the adversarial pass samples them into its own histogram.
 	lc := NewLiveCounts(out.classSubs)
 	n.SetMappingHooks(
 		func(m *nat.Mapping) {
 			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 				sub := &subs[j]
-				lc.Move(sub.class, sub.live, sub.live+1)
+				if !sub.attacker {
+					lc.Move(sub.class, sub.live, sub.live+1)
+				}
 				sub.live++
 			}
 		},
 		func(m *nat.Mapping) {
 			if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
 				sub := &subs[j]
-				lc.Move(sub.class, sub.live, sub.live-1)
+				if !sub.attacker {
+					lc.Move(sub.class, sub.live, sub.live-1)
+				}
 				sub.live--
 			}
 		},
 	)
+
+	// Adversarial state, touched only when the profile offers attacks:
+	// the flood/scanner RNG is its own stream (atkSeedMix), so the
+	// legitimate draw sequence above and below never shifts.
+	attacks := p.AttacksEnabled()
+	var (
+		adv                     *advAccum
+		atkRng                  *rand.Rand
+		expNegFlood, expNegScan float64
+		atkSeq                  uint64
+		scanLo, scanSpan        int
+	)
+	if attacks {
+		adv = &out.adv
+		adv.attackers = numAtk
+		atkRng = rand.New(rand.NewSource(cfg.Seed + int64(realmIdx+1)*atkSeedMix))
+		expNegFlood = math.Exp(-p.AttackerFlowsPerTick)
+		expNegScan = math.Exp(-p.ScannerProbesPerTick)
+		eff := n.Config()
+		scanLo = int(eff.PortLo)
+		scanSpan = int(eff.PortHi) - int(eff.PortLo) + 1
+	}
 
 	// The realm flow arena: all subscribers' flow lists live in one
 	// slice, dead nodes chain through the freelist. Steady-state ticks
@@ -614,8 +793,10 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 			// New flow arrivals under the diurnal curve. Each flow gets
 			// a fresh source port (distinct mappings on cone NATs) and a
 			// fresh destination (distinct mappings on symmetric NATs).
+			// Attackers draw nothing here — their flood runs on its own
+			// stream after the legitimate pass.
 			k := 0
-			if rates[sub.class]*df > 0 {
+			if !sub.attacker && rates[sub.class]*df > 0 {
 				k = poisson(rng, expNegLambda[sub.class])
 			}
 			for ; k > 0; k-- {
@@ -628,7 +809,14 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 					netaddr.EndpointOf(sub.addr, uint16(1024+rng.Intn(64512))),
 					netaddr.EndpointOf(dstBase+netaddr.Addr(uint32(dstSeq)), uint16(443+(dstSeq>>32))))
 				hold := 1 + rng.Intn(2*p.FlowHoldTicks-1)
-				if _, ref, v := n.TranslateOutRef(f, now); v == nat.Ok {
+				_, ref, v := n.TranslateOutRef(f, now)
+				if adv != nil {
+					adv.legitAttempts++
+					if v != nat.Ok {
+						adv.legitFailures++
+					}
+				}
+				if v == nat.Ok {
 					var ni int32
 					if freeHead >= 0 {
 						ni = freeHead
@@ -645,6 +833,47 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 					}
 					sub.tail = ni
 				}
+			}
+		}
+
+		// Adversarial pass, after the legitimate one (the order the
+		// sharded engine also fixes per lane). Flood flows burn a fresh
+		// source port and destination each and are never refreshed:
+		// occupancy is sustained by rate × idle timeout alone, the
+		// mapping-table exhaustion attack's signature. Scanner probes
+		// tickle inbound filtering across the pool's port range.
+		if attacks {
+			for j := 0; j < numAtk; j++ {
+				sub := &subs[j]
+				for k := poisson(atkRng, expNegFlood); k > 0; k-- {
+					atkSeq++
+					f := netaddr.FlowOf(netaddr.UDP,
+						netaddr.EndpointOf(sub.addr, uint16(1024+atkRng.Intn(64512))),
+						netaddr.EndpointOf(atkDstBase+netaddr.Addr(uint32(atkSeq)), uint16(9+(atkSeq>>32))))
+					adv.attackerAttempts++
+					if _, v := n.TranslateOut(f, now); v != nat.Ok {
+						adv.attackerFailures++
+					}
+				}
+			}
+			if p.ScannerProbesPerTick > 0 {
+				for _, ip := range n.Config().ExternalIPs {
+					for k := poisson(atkRng, expNegScan); k > 0; k-- {
+						probe := netaddr.FlowOf(netaddr.UDP,
+							netaddr.EndpointOf(scannerAddr, uint16(1024+atkRng.Intn(64512))),
+							netaddr.EndpointOf(ip, uint16(scanLo+atkRng.Intn(scanSpan))))
+						adv.scannerProbes++
+						if _, v := n.TranslateIn(probe, now); v != nat.Ok {
+							adv.scannerBlocked++
+						}
+					}
+				}
+			}
+			// Attacker concurrent-port samples: the population is tiny
+			// (a fraction of the realm), so a direct walk beats keeping
+			// a second bucket set coherent.
+			for j := 0; j < numAtk; j++ {
+				adv.attackerHist.Add(int(subs[j].live))
 			}
 		}
 
@@ -673,5 +902,11 @@ func runRealm(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realmOut {
 	out.stat.Created = final.Allocs
 	out.stat.Failures = final.Failures()
 	out.stat.Expired = n.Metrics.Counter("mappings_expired").Value()
+	if attacks {
+		out.adv.quotaDrops = final.QuotaDrops
+		out.adv.noPorts = final.NoPorts
+		out.adv.rateLimited = final.RateLimited
+		out.adv.evictions = final.Evictions
+	}
 	return out
 }
