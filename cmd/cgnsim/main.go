@@ -3,8 +3,8 @@
 // BitTorrent DHT crawl and the Netalyzr measurement campaign against it,
 // executes both detection pipelines and every property analysis, and
 // prints all of the paper's tables and figures (E01..E18, plus the
-// adversarial E19 and the longitudinal E21) and the ground-truth
-// scoring.
+// adversarial E19, the longitudinal E21 and the fault-injection E22)
+// and the ground-truth scoring.
 //
 // Usage:
 //
@@ -200,11 +200,12 @@ func renderOne(b *report.Bundle, name string) (string, error) {
 		"E05": b.E05, "E06": b.E06, "E07": b.E07, "E08": b.E08,
 		"E09": b.E09, "E10": b.E10, "E11": b.E11, "E12": b.E12,
 		"E13": b.E13, "E14": b.E14, "E15": b.E15, "E16": b.E16,
-		"E17": b.E17, "E18": b.E18, "E19": b.E19, "E21": b.E21, "SCORES": b.Scores,
+		"E17": b.E17, "E18": b.E18, "E19": b.E19, "E21": b.E21, "E22": b.E22,
+		"SCORES": b.Scores,
 	}
 	fn, ok := renderers[name]
 	if !ok {
-		return "", fmt.Errorf("unknown experiment %q (E01..E19, E21 or scores)", name)
+		return "", fmt.Errorf("unknown experiment %q (E01..E19, E21, E22 or scores)", name)
 	}
 	return fn(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"cgn/internal/fleet"
@@ -26,8 +27,37 @@ func newMux(st *obs, withPprof bool) *http.ServeMux {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	// Liveness vs readiness: /livez answers 200 whenever the process can
+	// serve at all (restarting it would not help), while /healthz turns
+	// 503 when the simulated world or the durability machinery is
+	// degraded — pool lanes dark to a fault, the last checkpoint write
+	// failed, or the newest checkpoint is older than
+	// -checkpoint-stale-after.
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var reasons []string
+		if m := &st.view.Load().m; m.LanesDown > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d pool lane(s) down", m.LanesDown))
+		}
+		if st.lastCkFailed.Load() {
+			reasons = append(reasons, "last checkpoint write failed")
+		}
+		if st.staleAfter > 0 {
+			if last := st.lastCkUnix.Load(); last > 0 {
+				if age := time.Since(time.Unix(last, 0)); age > st.staleAfter {
+					reasons = append(reasons, fmt.Sprintf("checkpoint %s old exceeds %s", age.Round(time.Second), st.staleAfter))
+				}
+			}
+		}
+		if len(reasons) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: %s\n", strings.Join(reasons, "; "))
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -45,6 +75,10 @@ func newMux(st *obs, withPprof bool) *http.ServeMux {
 		} else {
 			fmt.Fprintf(w, "cgnsimd_checkpoint_age_seconds -1\n")
 		}
+		fmt.Fprintf(w, "# HELP cgnsimd_checkpoint_retries_total Checkpoint write re-attempts after a failed attempt.\n# TYPE cgnsimd_checkpoint_retries_total counter\n")
+		fmt.Fprintf(w, "cgnsimd_checkpoint_retries_total %d\n", st.ckRetries.Load())
+		fmt.Fprintf(w, "# HELP cgnsimd_checkpoint_write_failures_total Failed checkpoint write attempts (injected or real).\n# TYPE cgnsimd_checkpoint_write_failures_total counter\n")
+		fmt.Fprintf(w, "cgnsimd_checkpoint_write_failures_total %d\n", st.ckFailures.Load())
 		fmt.Fprintf(w, "# HELP cgnsimd_resumed Whether this process restored from a checkpoint.\n# TYPE cgnsimd_resumed gauge\n")
 		resumed := 0
 		if st.resumed {

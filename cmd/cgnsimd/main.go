@@ -51,7 +51,17 @@ type obs struct {
 	// ckWrites and lastCkUnix feed the checkpoint-age metrics.
 	ckWrites   atomic.Uint64
 	lastCkUnix atomic.Int64
-	resumed    bool
+	// ckRetries counts checkpoint write re-attempts, ckFailures failed
+	// write attempts (injected or real); lastCkFailed marks a save whose
+	// every attempt failed — a degraded state /healthz surfaces until
+	// the next save lands.
+	ckRetries    atomic.Uint64
+	ckFailures   atomic.Uint64
+	lastCkFailed atomic.Bool
+	resumed      bool
+	// staleAfter is the -checkpoint-stale-after readiness threshold
+	// (zero disables the check).
+	staleAfter time.Duration
 }
 
 type obsView struct {
@@ -71,7 +81,11 @@ func run(args []string, stdout io.Writer) error {
 		dayTicks    = fs.Int("day-ticks", 288, "virtual ticks per day")
 		ckPath      = fs.String("checkpoint", "", "checkpoint file path (enables checkpointing)")
 		ckEvery     = fs.Int("checkpoint-every", 7, "checkpoint cadence in virtual days")
-		resume      = fs.Bool("resume", false, "restore state from -checkpoint and continue")
+		ckKeep      = fs.Int("checkpoint-keep", 3, "checkpoint generations to retain (path, path.1, ...); resume scans back to the newest that validates")
+		ckStale     = fs.Duration("checkpoint-stale-after", 0, "report degraded on /healthz when the last checkpoint write is older than this (0 disables)")
+		resume      = fs.Bool("resume", false, "restore state from the newest valid -checkpoint generation and continue")
+		faults      = fs.Float64("faults", 0, "fault-schedule severity in [0,1]: pool-lane outages and engine restarts scripted over the run (requires -shards >= 1)")
+		ckFailProb  = fs.Float64("fault-checkpoint-fail", 0, "inject checkpoint write failures with this probability per attempt, exercising the retry path (a fault drill; deterministic in -seed)")
 		listen      = fs.String("listen", "", "serve /metrics, /status and /healthz on this address (e.g. 127.0.0.1:9400)")
 		digests     = fs.String("digests", "", "write final per-realm state digests and E21 scores to this file")
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/ on the -listen mux")
@@ -106,12 +120,27 @@ func run(args []string, stdout io.Writer) error {
 			specs[i].NAT.Eviction = evictPolicy
 		}
 	}
+	if *faults < 0 || *faults > 1 {
+		return fmt.Errorf("-faults %v: want a severity in [0,1]", *faults)
+	}
+	if *faults > 0 && *shards < 1 {
+		return fmt.Errorf("-faults requires -shards >= 1: the pool lane is the outage's unit")
+	}
+	if *ckFailProb < 0 || *ckFailProb > 1 {
+		return fmt.Errorf("-fault-checkpoint-fail %v: want a probability in [0,1]", *ckFailProb)
+	}
+	timeline := fleet.ScriptTimeline(*seed, specs, *days)
+	if *faults > 0 {
+		// The fault schedule is part of the timeline, hence of the
+		// checkpoint's config signature: a -resume must repeat -faults.
+		timeline.Events = append(timeline.Events, fleet.ScriptFaults(*seed, specs, *days, *faults).Events...)
+	}
 	cfg := fleet.Config{
 		Seed:     *seed,
 		Days:     *days,
 		Profile:  traffic.Profile{DayTicks: *dayTicks},
 		Carriers: specs,
-		Timeline: fleet.ScriptTimeline(*seed, specs, *days),
+		Timeline: timeline,
 		Workers:  *workers,
 		Shards:   *shards,
 	}
@@ -122,7 +151,7 @@ func run(args []string, stdout io.Writer) error {
 		if *ckPath == "" {
 			return fmt.Errorf("-resume needs -checkpoint")
 		}
-		ck, err := fleet.LoadCheckpoint(*ckPath)
+		ck, gen, err := fleet.LoadCheckpointNewest(*ckPath)
 		if err != nil {
 			return err
 		}
@@ -130,7 +159,11 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "resumed from %s at virtual day %d/%d\n", *ckPath, sim.Day(), *days)
+		if gen > 0 {
+			fmt.Fprintf(stdout, "resumed from %s (fell back %d generation(s)) at virtual day %d/%d\n", *ckPath, gen, sim.Day(), *days)
+		} else {
+			fmt.Fprintf(stdout, "resumed from %s at virtual day %d/%d\n", *ckPath, sim.Day(), *days)
+		}
 	} else {
 		sim, err = fleet.New(cfg)
 		if err != nil {
@@ -138,7 +171,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	st := &obs{resumed: *resume}
+	st := &obs{resumed: *resume, staleAfter: *ckStale}
 	st.view.Store(&obsView{m: sim.Metrics()})
 
 	// Register the signal handler before the HTTP listener goes up: the
@@ -154,7 +187,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer ln.Close()
-		surface := "/metrics /status /healthz"
+		surface := "/metrics /status /healthz /livez"
 		if *pprofOn {
 			surface += " /debug/pprof"
 		}
@@ -168,7 +201,22 @@ func run(args []string, stdout io.Writer) error {
 		if *ckPath == "" {
 			return nil
 		}
-		if err := fleet.SaveCheckpoint(*ckPath, sim.Checkpoint()); err != nil {
+		out, err := fleet.SaveCheckpointRetry(*ckPath, sim.Checkpoint(), fleet.RetryPolicy{
+			Keep:        *ckKeep,
+			MaxAttempts: 4,
+			BackoffBase: 250 * time.Millisecond,
+			Seed:        *seed,
+			Key:         uint64(sim.Day()),
+			FailProb:    *ckFailProb,
+		})
+		st.ckRetries.Add(uint64(out.Retries))
+		failed := uint64(out.Retries)
+		if err != nil {
+			failed++
+		}
+		st.ckFailures.Add(failed)
+		st.lastCkFailed.Store(err != nil)
+		if err != nil {
 			return err
 		}
 		st.ckWrites.Add(1)
@@ -190,8 +238,14 @@ func run(args []string, stdout io.Writer) error {
 		sim.StepDay()
 		st.view.Store(&obsView{m: sim.Metrics()})
 		if *ckEvery > 0 && sim.Day()%*ckEvery == 0 && !sim.Done() {
+			// A failed cadence write degrades the daemon (/healthz turns
+			// non-200, the failure counters tick) but does not kill the
+			// run — the next cadence retries from scratch. Terminal
+			// checkpoints (signal, -stop-after-days, horizon) still fail
+			// hard: exiting without durable state is worse than exiting
+			// nonzero.
 			if err := checkpoint(); err != nil {
-				return err
+				fmt.Fprintf(stdout, "checkpoint at virtual day %d failed (degraded; next cadence retries): %v\n", sim.Day(), err)
 			}
 		}
 		if *stopAfter > 0 && sim.Day()-startDay >= *stopAfter && !sim.Done() {

@@ -37,6 +37,7 @@ var paperNotes = map[string]string{
 	"E18": "Paper §6.2 / Figure 8: per-subscriber concurrent port usage sampled over a week of flow data — the max rides far above the 99th percentile, which rides far above the median. The traffic engine reproduces the ordering under diurnal flow churn; \"Tracking the Big NAT\" motivates the short-timeout churn regime.",
 	"E19": "Beyond the paper: §6 assumes cooperative subscribers, but ReDAN (PAPERS.md) demonstrates remote DoS against NAT networks via mapping-table exhaustion. The traffic engine drives adversarial subscribers that flood port allocations plus external scanners probing the pool, measures the collateral allocation-failure rate on legitimate subscribers, and scores a per-subscriber token-bucket limiter and an evict-oldest-idle policy as defenses (registry scenarios flood-attack / flood-defended). The paper scenario carries no adversarial load, so the matrix reports disabled here; `cgnsim -scenario flood-attack -experiment E19` runs it.",
 	"E21": "Beyond the paper: the paper's detections are snapshots of a fleet that evolves — Mandalari et al. (\"Tracking the Big NAT across Europe and the U.S.\") track deployments over months and find churn. The fleet engine scripts months of enables/disables/re-provisionings and scores a windowed observer: recall climbs with observation duration because late-onset deployments and sparse vantage sampling only accumulate evidence over weeks.",
+	"E22": "Beyond the paper: §7 notes carriers juggle scarce pool space, and Mandalari et al. observe deployments dropping mapping state mid-study — real CGNs fail and restart. The fault engine takes a scheduled fraction of the pool dark mid-run (survivor lanes absorb failover deterministically), reboots a whole engine losing all mappings, and measures the legitimate allocation-failure rate before, during, and after each fault: degradation scales with severity and the failure rate returns under a baseline-derived threshold once capacity is restored.",
 }
 
 // generate runs the full campaign and assembles the EXPERIMENTS.md
@@ -74,6 +75,7 @@ func generate(scenario string, seed int64) (string, *report.Bundle, error) {
 		{"E09", b.E09}, {"E10", b.E10}, {"E11", b.E11}, {"E12", b.E12},
 		{"E13", b.E13}, {"E14", b.E14}, {"E15", b.E15}, {"E16", b.E16},
 		{"E17", b.E17}, {"E18", b.E18}, {"E19", b.E19}, {"E21", b.E21},
+		{"E22", b.E22},
 	}
 	for _, e := range exps {
 		fmt.Fprintf(&sb, "## %s\n\n", e.id)

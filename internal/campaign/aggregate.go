@@ -63,6 +63,15 @@ type ScenarioAgg struct {
 	ObserveShortRecall stats.MeanCI
 	ObserveLongRecall  stats.MeanCI
 	ObserveLongPrec    stats.MeanCI
+	// Fault injection (E22) across replicates, present when the scenario
+	// schedules faults: the legitimate allocation-failure rate before vs
+	// during the harshest pool outage, the recovery time after
+	// restoration and the mean disrupted-flow total per world.
+	FaultEnabled      bool
+	FaultBaselineFail stats.MeanCI
+	FaultOutageFail   stats.MeanCI
+	FaultRecovery     stats.MeanCI
+	FaultDisrupted    float64
 }
 
 // Aggregate folds per-world results into per-scenario distributions.
@@ -86,6 +95,8 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 		var advUnd, advDef []float64
 		var advAtk, advRL, advEv float64
 		var osRec, olRec, olPrec []float64
+		var fBase, fOut, fRec []float64
+		var fDisr float64
 		for _, w := range reps {
 			agg.ASes += float64(w.ASes) / float64(len(reps))
 			agg.TrueCGN += float64(w.TrueCGN) / float64(len(reps))
@@ -117,6 +128,18 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 				olRec = append(olRec, w.Observe.LongRecall)
 				olPrec = append(olPrec, w.Observe.LongPrec)
 			}
+			if w.Faults.Enabled {
+				agg.FaultEnabled = true
+				fBase = append(fBase, w.Faults.BaselineFailRate)
+				fOut = append(fOut, w.Faults.OutageFailRate)
+				// A world that never recovered within its run reports -1;
+				// clamp to the horizon is impossible here, so exclude it
+				// from the mean rather than dragging it negative.
+				if w.Faults.RecoveryTicks >= 0 {
+					fRec = append(fRec, float64(w.Faults.RecoveryTicks))
+				}
+				fDisr += float64(w.Faults.Disrupted)
+			}
 		}
 		agg.Utilization = stats.MeanConfidence(utils)
 		agg.AllocFailRate = stats.MeanConfidence(fails)
@@ -142,6 +165,12 @@ func Aggregate(worlds []WorldResult) []ScenarioAgg {
 		agg.ObserveShortRecall = stats.MeanConfidence(osRec)
 		agg.ObserveLongRecall = stats.MeanConfidence(olRec)
 		agg.ObserveLongPrec = stats.MeanConfidence(olPrec)
+		if n := len(fBase); n > 0 {
+			agg.FaultDisrupted = fDisr / float64(n)
+		}
+		agg.FaultBaselineFail = stats.MeanConfidence(fBase)
+		agg.FaultOutageFail = stats.MeanConfidence(fOut)
+		agg.FaultRecovery = stats.MeanConfidence(fRec)
 		for _, method := range Methods {
 			ma := MethodAgg{Method: method}
 			var prec, rec []float64
@@ -200,6 +229,12 @@ func Render(aggs []ScenarioAgg) string {
 			sb.WriteString(fmt.Sprintf("E21 longitudinal: recall %s at %dd -> %s at %dd, precision %s at %dd\n",
 				agg.ObserveShortRecall, agg.ObserveShortDays, agg.ObserveLongRecall, agg.ObserveLongDays,
 				agg.ObserveLongPrec, agg.ObserveLongDays))
+		}
+		if agg.FaultEnabled {
+			sb.WriteString(fmt.Sprintf("E22 faults: legit alloc-failure rate %.2f%% ± %.2f%% baseline -> %.2f%% ± %.2f%% during the harshest pool outage; recovery %.1f ± %.1f ticks after restoration, %.0f flows disrupted/world\n",
+				100*agg.FaultBaselineFail.Mean, 100*agg.FaultBaselineFail.Half,
+				100*agg.FaultOutageFail.Mean, 100*agg.FaultOutageFail.Half,
+				agg.FaultRecovery.Mean, agg.FaultRecovery.Half, agg.FaultDisrupted))
 		}
 	}
 	return sb.String()

@@ -100,6 +100,11 @@ type WorldResult struct {
 	// precision at the shortest and longest observation windows);
 	// Enabled is false when the scenario has no observation horizon.
 	Observe report.ObservePressure
+	// Faults is the E22 fault-injection summary (allocation-failure
+	// rate before vs during the harshest pool outage, recovery time and
+	// disrupted flows); Enabled is false when the scenario schedules no
+	// faults.
+	Faults report.FaultPressure
 	// ASes and TrueCGN describe the world; Elapsed is the campaign wall
 	// time on its worker.
 	ASes    int
@@ -220,6 +225,7 @@ func runWorld(cfg Config, job Job) WorldResult {
 		Traffic:     b.Traffic.Pressure(),
 		Adversarial: b.Adversarial.Pressure(),
 		Observe:     b.Observe.Pressure(),
+		Faults:      b.Faults.Pressure(),
 		ASes:        w.DB.Len(),
 		TrueCGN:     len(truth),
 		Elapsed:     time.Since(start),

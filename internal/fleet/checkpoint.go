@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"cgn/internal/nat"
 	"cgn/internal/netaddr"
@@ -30,10 +31,13 @@ import (
 // bucket level and refill timestamp) when the per-subscriber rate
 // limiter and eviction policies landed — a version-2 checkpoint would
 // decode but restore every bucket full, diverging from the run it was
-// cut from.
+// cut from; 4 added the sharded pool's lane-outage flags
+// (RealmCkpt.LanesDown) when fault injection landed — a version-3
+// checkpoint would decode but restore every lane up, diverging from a
+// run cut mid-outage.
 const (
 	checkpointMagic   = "CGNFLEET"
-	checkpointVersion = 3
+	checkpointVersion = 4
 )
 
 // Checkpoint is the serialized fleet state at a day boundary. Together
@@ -97,6 +101,12 @@ type RealmCkpt struct {
 	// leaves them nil (it draws arrivals from Fr/DstSeq).
 	FrLanes []uint64
 	DstSeqs []uint64
+
+	// LanesDown flags the sharded pool's lanes currently dark to a
+	// fault-injection outage, in lane order — nil when every lane is up
+	// (always, in the legacy universe). A down lane holds no mappings,
+	// so restore reapplies the flag without dropping anything.
+	LanesDown []bool
 
 	Created    uint64
 	Expired    uint64
@@ -170,6 +180,7 @@ func (s *Sim) Checkpoint() *Checkpoint {
 			rc.Engine = e.Snapshot()
 		case *nat.Sharded:
 			rc.EngineLanes = e.Snapshot()
+			rc.LanesDown = e.DownLanes()
 			rc.FrLanes = make([]uint64, len(r.frLanes))
 			for l := range r.frLanes {
 				rc.FrLanes[l] = uint64(r.frLanes[l])
@@ -210,6 +221,9 @@ func Resume(cfg Config, ck *Checkpoint) (*Sim, error) {
 	s.applied = s.evIdx
 	if s.applied != ck.EventsApplied {
 		return nil, fmt.Errorf("fleet: checkpoint records %d applied events, timeline implies %d by day %d", ck.EventsApplied, s.applied, ck.Day)
+	}
+	for _, ev := range s.events[:s.evIdx] {
+		s.countFault(ev)
 	}
 	ringLen := d.Obs.Windows[len(d.Obs.Windows)-1]
 	if ringLen > d.Days {
@@ -268,6 +282,18 @@ func Resume(cfg Config, ck *Checkpoint) (*Sim, error) {
 					r.frLanes[l] = traffic.NewFastRand(s)
 				}
 				r.dstSeqs = append([]uint64(nil), rc.DstSeqs...)
+				if rc.LanesDown != nil {
+					if len(rc.LanesDown) != eng.NumLanes() {
+						return nil, fmt.Errorf("fleet: realm %d carries %d lane-outage flags, engine has %d lanes", i, len(rc.LanesDown), eng.NumLanes())
+					}
+					// Reapply outage flags before hooks: a down lane
+					// checkpointed empty, so nothing drops here.
+					for l, dn := range rc.LanesDown {
+						if dn {
+							eng.SetLaneDown(l)
+						}
+					}
+				}
 				r.eng = eng
 			case d.Shards <= 0 && rc.Engine != nil:
 				eng, err := nat.NewFromSnapshot(ecfg, rc.Engine)
@@ -283,7 +309,7 @@ func Resume(cfg Config, ck *Checkpoint) (*Sim, error) {
 			for j := range r.subs {
 				r.subs[j].live = int32(r.eng.Sessions(subAddr(j)))
 			}
-		} else if rc.Engine != nil || rc.EngineLanes != nil || len(rc.Flows) != 0 || len(rc.FrLanes) != 0 {
+		} else if rc.Engine != nil || rc.EngineLanes != nil || len(rc.Flows) != 0 || len(rc.FrLanes) != 0 || rc.LanesDown != nil {
 			return nil, fmt.Errorf("fleet: realm %d disabled but carries engine or flow state", i)
 		}
 		r.rebuildLC()
@@ -386,9 +412,11 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 }
 
 // writeFileAtomic writes via a temp file in path's directory and
-// renames into place, fsyncing before the rename. On any failure —
-// including mid-write — the temp file is removed and the destination
-// is left exactly as it was.
+// renames into place, fsyncing before the rename and fsyncing the
+// parent directory after it — without the latter a power cut can lose
+// the rename itself and leave the directory pointing at the old file
+// (or nothing). On any failure — including mid-write — the temp file is
+// removed and the destination is left exactly as it was.
 func writeFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -410,5 +438,168 @@ func writeFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that cannot sync directories (some network mounts) make
+// this a no-op rather than an error — the rename itself succeeded.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}
+
+// ringPath is retention generation i's file name: the live path for the
+// newest, path.1, path.2, … for the older generations.
+func ringPath(path string, i int) string {
+	if i == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, i)
+}
+
+// SaveCheckpointRing writes the checkpoint to path, first rotating the
+// existing generations one slot up (path → path.1 → … → path.keep-1,
+// the oldest falling off) so the newest keep generations survive. Each
+// shift is a rename in one directory — atomic on POSIX — and the final
+// write is SaveCheckpoint's temp+fsync+rename, so a crash at any point
+// leaves every surviving generation intact; at worst the live path is
+// missing and the newest state sits at path.1, which
+// LoadCheckpointNewest handles.
+func SaveCheckpointRing(path string, ck *Checkpoint, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	for i := keep - 1; i >= 1; i-- {
+		if err := os.Rename(ringPath(path, i-1), ringPath(path, i)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return SaveCheckpoint(path, ck)
+}
+
+// LoadCheckpointNewest scans the retention ring at path — path, path.1,
+// path.2, … — and returns the newest generation that decodes and
+// validates, with its ring index. A missing or damaged generation falls
+// back to the next older one; the live path itself may be missing (the
+// crash window between the ring shift and the fresh write) without
+// ending the scan, but past it the first missing file does.
+func LoadCheckpointNewest(path string) (*Checkpoint, int, error) {
+	var firstErr error
+	for i := 0; ; i++ {
+		ck, err := LoadCheckpoint(ringPath(path, i))
+		if err == nil {
+			return ck, i, nil
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			if i == 0 {
+				continue
+			}
+			break
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("fleet: no checkpoint found at %s", path)
+	}
+	return nil, 0, firstErr
+}
+
+// RetryPolicy parameterizes SaveCheckpointRetry: how many generations
+// to retain, how often to retry a failed write, and the virtual-time
+// backoff between attempts. FailProb injects deterministic write
+// failures before the file is touched — the fault-drill knob behind
+// cgnsimd's -fault-checkpoint-fail — drawn from a stream seeded by
+// (Seed, Key) so every save has its own reproducible sequence.
+type RetryPolicy struct {
+	// Keep is the retention-ring depth; < 1 means 1 (no older
+	// generations).
+	Keep int
+	// MaxAttempts bounds total write attempts; < 1 means 1 (no
+	// retries).
+	MaxAttempts int
+	// BackoffBase is the virtual backoff before the first retry,
+	// doubling each further retry, plus seeded jitter of up to half the
+	// step. Virtual: it is accounted, never slept.
+	BackoffBase time.Duration
+	// Seed and Key seed the jitter and injection stream; Key
+	// discriminates saves (cgnsimd passes the virtual day).
+	Seed int64
+	Key  uint64
+	// FailProb is the per-attempt injected-failure probability in
+	// [0, 1]; zero disables injection.
+	FailProb float64
+}
+
+// RetryOutcome reports what SaveCheckpointRetry did.
+type RetryOutcome struct {
+	// Attempts counts write attempts made (>= 1); Retries counts the
+	// re-attempts among them.
+	Attempts, Retries int
+	// VirtualBackoff is the total backoff accounted between attempts.
+	VirtualBackoff time.Duration
+	// Injected counts attempts failed by FailProb rather than the
+	// filesystem.
+	Injected int
+}
+
+// errInjectedWrite marks a FailProb-drawn failure.
+var errInjectedWrite = errors.New("fleet: injected checkpoint write failure")
+
+// SaveCheckpointRetry writes the checkpoint through the retention ring,
+// retrying failed attempts with exponential backoff in virtual time —
+// the simulation clock never waits on the wall, so the backoff is
+// accounted in the outcome instead of slept. Returns the outcome along
+// with the last error when every attempt failed.
+func SaveCheckpointRetry(path string, ck *Checkpoint, pol RetryPolicy) (RetryOutcome, error) {
+	keep, attempts := pol.Keep, pol.MaxAttempts
+	if keep < 1 {
+		keep = 1
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	fr := traffic.NewFastRand(uint64(pol.Seed)*0x9E3779B97F4A7C15 ^ (pol.Key+1)*0xD1B54A32D192ED03)
+	var out RetryOutcome
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		out.Attempts = a
+		var err error
+		if pol.FailProb > 0 && fr.Float64() < pol.FailProb {
+			out.Injected++
+			err = errInjectedWrite
+		} else {
+			err = SaveCheckpointRing(path, ck, keep)
+		}
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if a < attempts {
+			out.Retries++
+			if step := pol.BackoffBase << (a - 1); step > 0 {
+				jitterMs := uint32(1)
+				if half := step / 2 / time.Millisecond; half > 0 {
+					if half > 60_000 {
+						half = 60_000
+					}
+					jitterMs += uint32(half)
+				}
+				out.VirtualBackoff += step + time.Duration(fr.Intn(jitterMs))*time.Millisecond
+			}
+		}
+	}
+	return out, lastErr
 }

@@ -75,6 +75,22 @@ const (
 	// EventChurn deactivates the Arg longest-standing active subscribers
 	// and adds Arg fresh ones — subscriber turnover at constant size.
 	EventChurn
+	// EventLaneDown takes one pool IP (sharded-engine lane Arg, wrapped
+	// modulo the pool size) offline: its mappings drop and its
+	// subscribers re-pin to surviving lanes by the deterministic
+	// failover hash. Requires the sharded universe (Shards >= 1) — the
+	// lane is the fault's unit. The engine keeps at least one lane up;
+	// a no-op on disabled carriers.
+	EventLaneDown
+	// EventLaneUp restores lane Arg; its subscribers route home again.
+	// Failover-era mappings stay live on the lanes that carried them and
+	// idle out normally.
+	EventLaneUp
+	// EventRestart restarts the carrier's whole NAT engine: all mapping
+	// state is lost (no expiry hooks — a crash, not a timeout), live
+	// flows re-establish through the refresh fallback, and lanes that
+	// were down stay down. Works in both engine universes.
+	EventRestart
 )
 
 // String names the kind.
@@ -90,6 +106,12 @@ func (k EventKind) String() string {
 		return "grow"
 	case EventChurn:
 		return "churn"
+	case EventLaneDown:
+		return "lane-down"
+	case EventLaneUp:
+		return "lane-up"
+	case EventRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("EventKind(%d)", k)
 	}
@@ -282,7 +304,14 @@ func (c Config) Validate() error {
 			if ev.Arg < 0 {
 				return fmt.Errorf("fleet: %v by %d", ev.Kind, ev.Arg)
 			}
-		case EventEnable, EventDisable:
+		case EventLaneDown, EventLaneUp:
+			if c.Shards < 1 {
+				return fmt.Errorf("fleet: %v event requires the sharded engine (Shards >= 1): the lane is the fault's unit", ev.Kind)
+			}
+			if ev.Arg < 0 {
+				return fmt.Errorf("fleet: %v names negative lane %d", ev.Kind, ev.Arg)
+			}
+		case EventEnable, EventDisable, EventRestart:
 		default:
 			return fmt.Errorf("fleet: unknown event kind %d", ev.Kind)
 		}
@@ -348,6 +377,40 @@ func ScriptTimeline(seed int64, carriers []CarrierSpec, days int) Timeline {
 			for day := 30; day < days; day += 30 {
 				add(day, i, EventChurn, spec.Subscribers/20)
 			}
+		}
+	}
+	return tl
+}
+
+// ScriptFaults generates a deterministic fault schedule for the given
+// fleet at the given severity in [0, 1]: at severity s, roughly s of the
+// multi-IP carriers suffer one pool outage (a lane dark for up to an
+// eighth of the run, then restored) and s/2 of all carriers suffer one
+// engine restart. Zero severity is the zero timeline. The schedule is
+// additive — merge its events into the main timeline — and requires the
+// sharded universe, like the lane events it emits.
+func ScriptFaults(seed int64, carriers []CarrierSpec, days int, severity float64) Timeline {
+	if severity <= 0 || days < 2 {
+		return Timeline{}
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	fr := traffic.NewFastRand(uint64(seed) ^ 0xFA017FA017)
+	var tl Timeline
+	for i, spec := range carriers {
+		if pool := len(spec.NAT.ExternalIPs); pool > 1 && fr.Float64() < severity {
+			day := 1 + int(fr.Intn(uint32(max(1, days-1))))
+			dur := 1 + int(fr.Intn(uint32(max(1, days/8))))
+			lane := int(fr.Intn(uint32(pool)))
+			tl.Events = append(tl.Events, Event{Day: day, Carrier: i, Kind: EventLaneDown, Arg: lane})
+			if end := day + dur; end < days {
+				tl.Events = append(tl.Events, Event{Day: end, Carrier: i, Kind: EventLaneUp, Arg: lane})
+			}
+		}
+		if fr.Float64() < severity*0.5 {
+			day := 1 + int(fr.Intn(uint32(max(1, days-1))))
+			tl.Events = append(tl.Events, Event{Day: day, Carrier: i, Kind: EventRestart})
 		}
 	}
 	return tl

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"cgn/internal/nat"
 )
 
 // RealmMetrics is one carrier's instantaneous observability view.
@@ -24,6 +26,9 @@ type RealmMetrics struct {
 	QuotaDrops  uint64
 	RateLimited uint64
 	Evictions   uint64
+	// LanesDown counts the carrier's pool lanes currently dark to a
+	// fault-injection outage (always zero in the legacy universe).
+	LanesDown int
 }
 
 // MetricsSnapshot is the simulation's instantaneous observability
@@ -41,7 +46,12 @@ type MetricsSnapshot struct {
 	Expired       uint64
 	Refreshes     uint64
 	Failures      uint64
-	Realms        []RealmMetrics
+	// LanesDown is the fleet-wide count of pool lanes currently dark;
+	// FaultsInjected counts applied fault events, indexed lane-down,
+	// lane-up, restart.
+	LanesDown      int
+	FaultsInjected [3]uint64
+	Realms         []RealmMetrics
 }
 
 // Metrics captures the current observability snapshot. Call between
@@ -49,11 +59,12 @@ type MetricsSnapshot struct {
 // plain value, safe to serve from any goroutine afterwards.
 func (s *Sim) Metrics() MetricsSnapshot {
 	m := MetricsSnapshot{
-		Day:           s.day,
-		Days:          s.cfg.Days,
-		TicksPerDay:   s.cfg.Profile.DayTicks,
-		Carriers:      len(s.realms),
-		EventsApplied: s.applied,
+		Day:            s.day,
+		Days:           s.cfg.Days,
+		TicksPerDay:    s.cfg.Profile.DayTicks,
+		Carriers:       len(s.realms),
+		EventsApplied:  s.applied,
+		FaultsInjected: s.faultsInjected,
 	}
 	for _, r := range s.realms {
 		rm := RealmMetrics{
@@ -76,8 +87,12 @@ func (s *Sim) Metrics() MetricsSnapshot {
 			rm.QuotaDrops = ps.QuotaDrops
 			rm.RateLimited = ps.RateLimited
 			rm.Evictions = ps.Evictions
+			if sn, ok := r.eng.(*nat.Sharded); ok {
+				rm.LanesDown = sn.LanesDown()
+			}
 			m.ActiveCGN++
 		}
+		m.LanesDown += rm.LanesDown
 		m.Subscribers += rm.Subscribers
 		m.Created += rm.Created
 		m.Expired += rm.Expired
@@ -118,6 +133,14 @@ func WritePrometheus(w io.Writer, m MetricsSnapshot) {
 	})
 	counter("cgnsimd_timeline_events_applied_total", "Scripted fleet events applied so far.", func() {
 		fmt.Fprintf(w, "cgnsimd_timeline_events_applied_total %d\n", m.EventsApplied)
+	})
+	gauge("cgnsimd_lanes_down", "Pool lanes currently dark to a fault-injection outage, fleet-wide.", func() {
+		fmt.Fprintf(w, "cgnsimd_lanes_down %d\n", m.LanesDown)
+	})
+	counter("cgnsimd_faults_injected_total", "Fault events applied so far, by kind.", func() {
+		for k, kind := range []string{"lane-down", "lane-up", "restart"} {
+			fmt.Fprintf(w, "cgnsimd_faults_injected_total{kind=%q} %d\n", kind, m.FaultsInjected[k])
+		}
 	})
 	gauge("cgnsimd_carrier_cgn_enabled", "Whether the carrier currently runs CGN (1) or not (0).", func() {
 		for i := range m.Realms {

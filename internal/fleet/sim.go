@@ -209,8 +209,10 @@ func (r *realmSim) rebuildLC() {
 
 // rebuildLaneSubs reconstructs the sharded universe's per-lane,
 // per-class subscriber lists (ascending by index — the skip-sampling
-// decode order). A no-op holding nil lists when the realm runs the
-// legacy engine or is disabled.
+// decode order), keyed by each subscriber's *active* lane so pool
+// outages move the displaced onto their failover lane's arrival stream.
+// A no-op holding nil lists when the realm runs the legacy engine or is
+// disabled.
 func (r *realmSim) rebuildLaneSubs() {
 	sn, ok := r.eng.(*nat.Sharded)
 	if !ok {
@@ -231,7 +233,7 @@ func (r *realmSim) rebuildLaneSubs() {
 		if !r.subs[j].active {
 			continue
 		}
-		l := sn.LaneFor(subAddr(j))
+		l := sn.ActiveLaneFor(subAddr(j))
 		c := r.subs[j].class
 		r.laneSubs[l][c] = append(r.laneSubs[l][c], int32(j))
 	}
@@ -339,6 +341,49 @@ func (r *realmSim) apply(ev Event, p traffic.Profile, shards int) {
 		}
 		r.addSubscribers(ev.Arg, p)
 		r.rebuildLC()
+	case EventLaneDown:
+		// A pool IP goes dark: its mappings drop (expiry hooks keep the
+		// live counts honest) and its subscribers re-pin to survivors.
+		// The engine refuses to down the last standing lane, and a
+		// disabled or legacy-engine carrier has no lanes to lose.
+		if sn, ok := r.eng.(*nat.Sharded); ok {
+			sn.SetLaneDown(ev.Arg % sn.NumLanes())
+			r.rebuildLaneSubs()
+		}
+	case EventLaneUp:
+		if sn, ok := r.eng.(*nat.Sharded); ok {
+			sn.SetLaneUp(ev.Arg % sn.NumLanes())
+			r.rebuildLaneSubs()
+		}
+	case EventRestart:
+		// The engine crashes and comes back empty: failures fold into
+		// the cumulative counters, every mapping is lost without expiry
+		// hooks (a crash, not a timeout), and lanes that were down stay
+		// down. Flows survive in the arena with stale handles — the next
+		// tick's refresh falls back to the full translation path, the
+		// same re-establishment machinery resume uses.
+		if r.eng != nil {
+			r.failFolded += r.eng.PortStats().Failures()
+			var downs []bool
+			if sn, ok := r.eng.(*nat.Sharded); ok {
+				downs = sn.DownLanes()
+			}
+			for j := range r.subs {
+				r.subs[j].live = 0
+			}
+			for idx := range r.arena {
+				r.arena[idx].ref = nat.MappingRef{}
+			}
+			r.provisionEngine(shards)
+			if sn, ok := r.eng.(*nat.Sharded); ok {
+				for l, dn := range downs {
+					if dn {
+						sn.SetLaneDown(l)
+					}
+				}
+			}
+			r.rebuildLC()
+		}
 	}
 }
 
@@ -580,6 +625,37 @@ type Sim struct {
 	evIdx   int
 	applied int
 	realms  []*realmSim
+	// faultsInjected counts applied fault events by kind — lane-down,
+	// lane-up, restart — for the daemon's metrics surface. Recomputed
+	// from the timeline on resume, so it never needs serializing.
+	faultsInjected [3]uint64
+}
+
+// countFault tallies ev if it is a fault kind.
+func (s *Sim) countFault(ev Event) {
+	switch ev.Kind {
+	case EventLaneDown:
+		s.faultsInjected[0]++
+	case EventLaneUp:
+		s.faultsInjected[1]++
+	case EventRestart:
+		s.faultsInjected[2]++
+	}
+}
+
+// FaultsInjected reports the applied fault-event counts, indexed
+// lane-down, lane-up, restart.
+func (s *Sim) FaultsInjected() [3]uint64 { return s.faultsInjected }
+
+// LanesDown reports the fleet-wide count of pool lanes currently dark.
+func (s *Sim) LanesDown() int {
+	total := 0
+	for _, r := range s.realms {
+		if sn, ok := r.eng.(*nat.Sharded); ok {
+			total += sn.LanesDown()
+		}
+	}
+	return total
 }
 
 // New builds a fleet simulation at day zero.
@@ -630,6 +706,7 @@ func (s *Sim) StepDay() {
 	for s.evIdx < len(s.events) && s.events[s.evIdx].Day == s.day {
 		ev := s.events[s.evIdx]
 		s.realms[ev.Carrier].apply(ev, s.cfg.Profile, s.cfg.Shards)
+		s.countFault(ev)
 		s.evIdx++
 		s.applied++
 	}

@@ -27,6 +27,7 @@ var builders = map[string]func() Scenario{
 	"mobile-churn-week": MobileChurnWeek,
 	"flood-attack":      FloodAttack,
 	"flood-defended":    FloodDefended,
+	"pool-outage":       PoolOutage,
 }
 
 // Lookup resolves a scenario by registry name.
@@ -290,6 +291,41 @@ func FloodDefended() Scenario {
 	return sc
 }
 
+// PoolOutage returns the infrastructure-fault world: widely deployed
+// eyeball CGN squeezed through small external pools and a narrow port
+// span, driven through a diurnal day of traffic while the E22 fault
+// schedule takes half of every pool dark mid-run and reboots the
+// engines in a separate cell. With only a handful of lanes per realm
+// and little port headroom, losing lanes translates directly into
+// allocation failures — the degradation-and-recovery curve E22 plots —
+// and restoring them shows the failure rate falling back to baseline.
+func PoolOutage() Scenario {
+	sc := Small()
+	for r := range sc.EyeballCGNProb {
+		sc.EyeballCGNProb[r] = 0.6
+	}
+	sc.BTPeers = Span{24, 40}
+	sc.CGNPoolSize = Span{2, 4}
+	sc.CGNPortSpan = 256
+	// Pinned above the 30 s tick (see FloodAttack): a drawn timeout
+	// under the tick would turn every refresh into a fresh allocation
+	// and drown the fault signal in expiry churn.
+	sc.CGNUDPTimeout = 65 * time.Second
+	sc.Traffic = traffic.Profile{
+		Ticks:      288,
+		DayTicks:   288,
+		DiurnalAmp: 0.5,
+		HeavyFrac:  0.05,
+		LightFrac:  0.45,
+	}
+	sc.Faults = FaultSpec{
+		LaneFracs:   []float64{0.25, 0.5},
+		OutageFracs: []float64{1.0 / 12, 1.0 / 4},
+		Restart:     true,
+	}
+	return sc
+}
+
 // frac01 names one [0,1] fraction field for validation.
 type frac01 struct {
 	name string
@@ -394,6 +430,44 @@ func (sc Scenario) Validate() error {
 	}
 	if err := sc.Observation.validate(); err != nil {
 		return err
+	}
+	if err := sc.Faults.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validate checks the E22 fault spec.
+func (f FaultSpec) validate() error {
+	start := f.StartFrac
+	if start == 0 {
+		start = 0.25
+	}
+	if f.StartFrac < 0 || f.StartFrac >= 1 {
+		return fmt.Errorf("internet: Faults.StartFrac = %v outside [0,1)", f.StartFrac)
+	}
+	last := 0.0
+	for _, lf := range f.LaneFracs {
+		if lf <= 0 || lf > 1 {
+			return fmt.Errorf("internet: Faults.LaneFracs entry %v outside (0,1]", lf)
+		}
+		if lf <= last {
+			return fmt.Errorf("internet: Faults.LaneFracs must ascend, got %v", f.LaneFracs)
+		}
+		last = lf
+	}
+	last = 0.0
+	for _, of := range f.OutageFracs {
+		if of <= 0 || start+of >= 1 {
+			return fmt.Errorf("internet: Faults.OutageFracs entry %v: outage [%v, %v) leaves no post-restore run to observe recovery in", of, start, start+of)
+		}
+		if of <= last {
+			return fmt.Errorf("internet: Faults.OutageFracs must ascend, got %v", f.OutageFracs)
+		}
+		last = of
+	}
+	if f.PortSpan != 0 && (f.PortSpan < 2 || f.PortSpan > 64512) {
+		return fmt.Errorf("internet: Faults.PortSpan = %d, want 0 or within [2, 64512]", f.PortSpan)
 	}
 	return nil
 }

@@ -158,7 +158,49 @@ type Scenario struct {
 	// precision/recall as a function of how long it watched. The zero
 	// spec (Days == 0) disables the experiment.
 	Observation ObservationSpec
+
+	// Faults parameterizes the E22 fault-injection experiment: the
+	// traffic engine replays the carrier NATs under scheduled pool
+	// outages and engine restarts and measures the degradation-and-
+	// recovery curve. The zero spec disables the experiment.
+	Faults FaultSpec
 }
+
+// FaultSpec parameterizes the E22 fault-injection experiment. Each
+// (LaneFrac, OutageFrac) pair of the severity grid becomes one replay
+// cell: a scheduled outage takes that fraction of every realm's
+// external pool dark for that fraction of the run, subscribers fail
+// over to the surviving pool IPs, and the lanes restore. The replay is
+// a fresh replica of every carrier NAT with its own seed stream — like
+// E18 and E19 — so enabling it perturbs no other experiment. It always
+// runs on the intra-realm sharded NAT engine (the pool lane is the
+// fault's unit), whatever engine the E18 knob selects.
+type FaultSpec struct {
+	// LaneFracs are the pool fractions each severity column takes dark,
+	// ascending; empty disables E22 (so does an empty OutageFracs).
+	LaneFracs []float64
+	// OutageFracs are the outage durations as fractions of the run,
+	// ascending. StartFrac + OutageFrac must leave room for recovery to
+	// be observed, so each must stay under 1 - StartFrac.
+	OutageFracs []float64
+	// StartFrac is the outage onset as a fraction of the run; 0 takes
+	// the default 0.25.
+	StartFrac float64
+	// Restart adds one cell that reboots every realm's whole NAT engine
+	// at the onset tick — all mapping state lost, flows re-establish
+	// through the refresh fallback — with no lane outage.
+	Restart bool
+	// PortSpan, when positive, narrows every replayed realm's external
+	// port range to [1024, 1024+PortSpan-1] for the fault replay only,
+	// so the surviving pool runs near capacity and degradation is
+	// measurable instead of absorbed by provisioning headroom. 0 keeps
+	// each realm's own span.
+	PortSpan int
+}
+
+// Enabled reports whether the scenario runs the fault-injection
+// experiment.
+func (f FaultSpec) Enabled() bool { return len(f.LaneFracs) > 0 && len(f.OutageFracs) > 0 }
 
 // ObservationSpec parameterizes the E21 longitudinal observation
 // experiment (internal/fleet). Deployment is a process, not a snapshot:
@@ -277,6 +319,17 @@ func Paper() Scenario {
 		// Eight weeks of longitudinal observation so the E21
 		// duration-vs-recall curve has its full window ladder.
 		Observation: ObservationSpec{Days: 56},
+		// A pool-outage severity grid plus an engine-restart cell so the
+		// E22 degradation-and-recovery curves have signal on every
+		// default campaign. The replay narrows the port span (replica
+		// NATs only — E17/E18 see the scenario's own provisioning) so
+		// losing lanes actually pressures the survivors.
+		Faults: FaultSpec{
+			LaneFracs:   []float64{0.25, 0.5},
+			OutageFracs: []float64{1.0 / 12, 1.0 / 4},
+			Restart:     true,
+			PortSpan:    384,
+		},
 	}
 }
 
@@ -316,6 +369,10 @@ func Small() Scenario {
 	sc.NLSessions = Span{10, 16}
 	sc.NLCellSessions = Span{5, 8}
 	sc.VPNPairs = 1
+	// The fault grid is Paper's headline; test worlds (and everything
+	// derived from Small) stay fault-free so E22 only runs where a
+	// scenario schedules it explicitly.
+	sc.Faults = FaultSpec{}
 	return sc
 }
 

@@ -1466,6 +1466,29 @@ func (n *NAT) ForEachMapping(fn func(m *Mapping)) {
 	n.byInt.forEach(fn)
 }
 
+// DropMatching removes every live mapping the predicate selects (a nil
+// predicate selects all), firing the expiry hook for each exactly as an
+// idle timeout would, and returns the number removed. The fault layer
+// uses it to model state loss: a pool IP going dark drops its whole
+// table, a subscriber re-pinned away from a lane drops its leftovers.
+// Doomed mappings are collected first and dropped after the walk, so
+// the table is never mutated mid-iteration; observable state afterwards
+// depends only on the set removed, never the (unspecified) walk order —
+// hooks fire once per mapping, port frees are bitmap clears and quota
+// releases are refcount decrements, all commutative.
+func (n *NAT) DropMatching(pred func(m *Mapping) bool) int {
+	doomed := make([]*Mapping, 0, n.byInt.n)
+	n.byInt.forEach(func(m *Mapping) {
+		if pred == nil || pred(m) {
+			doomed = append(doomed, m)
+		}
+	})
+	for _, m := range doomed {
+		n.drop(m)
+	}
+	return len(doomed)
+}
+
 // LookupByExternal returns the live mapping behind an external endpoint.
 func (n *NAT) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now time.Time) (*Mapping, bool) {
 	n.flushExtLog()

@@ -41,6 +41,11 @@ type Sharded struct {
 	// are a handful of entries.
 	extLaneKeys []netaddr.Addr
 	extLaneVals []int
+	// down marks lanes taken offline by fault injection (nil until the
+	// first outage, so a fault-free run carries no extra state); numDown
+	// counts them, gating the failover hash out of every hot path.
+	down    []bool
+	numDown int
 }
 
 // shardedLaneSeedMix decorrelates per-lane RNG streams from each other
@@ -114,6 +119,84 @@ func (s *Sharded) LaneFor(a netaddr.Addr) int {
 // ShardOf returns the shard that drives lane l.
 func (s *Sharded) ShardOf(l int) int { return l % s.shards }
 
+// failoverSalt decorrelates the failover probe start from the primary
+// lane hash, so an outage spreads one lane's subscribers across every
+// surviving lane instead of dumping them all on one neighbor.
+const failoverSalt = 0x9E6C_63D0_5443_2671
+
+// ActiveLaneFor returns the lane currently serving internal address a:
+// the primary hash lane when it is up (always, in a fault-free run),
+// otherwise a deterministic failover lane — a second hash picks the
+// probe start and the scan walks forward to the first lane still up.
+// SetLaneDown never takes the last lane, so the probe always lands.
+func (s *Sharded) ActiveLaneFor(a netaddr.Addr) int {
+	l := s.LaneFor(a)
+	if s.numDown == 0 || !s.down[l] {
+		return l
+	}
+	n := len(s.lanes)
+	start := int(mix64(uint64(a)^failoverSalt) % uint64(n))
+	for k := 0; k < n; k++ {
+		if cand := (start + k) % n; !s.down[cand] {
+			return cand
+		}
+	}
+	return l // unreachable: numDown < len(lanes) is invariant
+}
+
+// SetLaneDown takes lane l offline — the fault model for one external
+// pool IP going dark. Every mapping on the lane drops (expiry hooks
+// fire; flows re-establish elsewhere through the usual refresh
+// fallback) and ActiveLaneFor re-pins the lane's subscribers to
+// survivors until SetLaneUp. Returns the number of mappings dropped and
+// whether the lane went down: the last lane standing refuses (false) —
+// a carrier with its whole pool dark is a disabled carrier, which the
+// caller models by other means. Aggregation-phase only, like Sweep.
+func (s *Sharded) SetLaneDown(l int) (dropped int, ok bool) {
+	if s.down == nil {
+		s.down = make([]bool, len(s.lanes))
+	}
+	if s.down[l] {
+		return 0, true
+	}
+	if s.numDown == len(s.lanes)-1 {
+		return 0, false
+	}
+	s.down[l] = true
+	s.numDown++
+	return s.lanes[l].DropMatching(nil), true
+}
+
+// SetLaneUp restores lane l. The lane comes back empty (its table
+// dropped when it went down) and ActiveLaneFor routes its subscribers
+// home again; mappings they acquired on failover lanes live out their
+// idle timeout there, reachable through Refresh's external-IP routing.
+func (s *Sharded) SetLaneUp(l int) {
+	if s.down != nil && s.down[l] {
+		s.down[l] = false
+		s.numDown--
+	}
+}
+
+// LaneDown reports whether lane l is currently offline.
+func (s *Sharded) LaneDown(l int) bool { return s.down != nil && s.down[l] }
+
+// LanesDown counts lanes currently offline.
+func (s *Sharded) LanesDown() int { return s.numDown }
+
+// DownLanes returns a copy of the per-lane offline flags, or nil when
+// every lane is up — the checkpoint shape, cheap to reapply through
+// SetLaneDown (a restored down lane holds no mappings, so nothing
+// drops).
+func (s *Sharded) DownLanes() []bool {
+	if s.numDown == 0 {
+		return nil
+	}
+	out := make([]bool, len(s.down))
+	copy(out, s.down)
+	return out
+}
+
 // laneOfExt resolves the lane owning external pool IP a, or nil.
 func (s *Sharded) laneOfExt(a netaddr.Addr) *NAT {
 	for i, ip := range s.extLaneKeys {
@@ -127,16 +210,17 @@ func (s *Sharded) laneOfExt(a netaddr.Addr) *NAT {
 // IsExternal reports whether a belongs to the external pool.
 func (s *Sharded) IsExternal(a netaddr.Addr) bool { return s.laneOfExt(a) != nil }
 
-// TranslateOut routes an outbound flow to the subscriber's lane.
+// TranslateOut routes an outbound flow to the subscriber's active lane
+// (the hash lane, or its failover while that lane is down).
 func (s *Sharded) TranslateOut(f netaddr.Flow, now time.Time) (netaddr.Flow, Verdict) {
-	return s.lanes[s.LaneFor(f.Src.Addr)].TranslateOut(f, now)
+	return s.lanes[s.ActiveLaneFor(f.Src.Addr)].TranslateOut(f, now)
 }
 
 // TranslateOutRef is TranslateOut returning a stable mapping handle;
 // the handle stays valid on the owning lane (Refresh re-routes by the
 // mapping's external IP, so callers need not remember the lane).
 func (s *Sharded) TranslateOutRef(f netaddr.Flow, now time.Time) (netaddr.Flow, MappingRef, Verdict) {
-	return s.lanes[s.LaneFor(f.Src.Addr)].TranslateOutRef(f, now)
+	return s.lanes[s.ActiveLaneFor(f.Src.Addr)].TranslateOutRef(f, now)
 }
 
 // TranslateIn routes an inbound flow to the lane owning its external
@@ -166,7 +250,7 @@ func (s *Sharded) Refresh(r MappingRef, dst netaddr.Endpoint, now time.Time) boo
 // IP — lanes being one NAT's partitions, hairpinning crosses them
 // freely.
 func (s *Sharded) Hairpin(f netaddr.Flow, now time.Time) (HairpinResult, Verdict) {
-	src := s.lanes[s.LaneFor(f.Src.Addr)]
+	src := s.lanes[s.ActiveLaneFor(f.Src.Addr)]
 	if s.cfg.Hairpin == HairpinOff {
 		src.cDropHairpin.Inc()
 		return HairpinResult{}, DropHairpin
@@ -231,10 +315,17 @@ func (s *Sharded) NumMappings() int {
 	return total
 }
 
-// Sessions returns the live mapping count for internal IP a, resolved
-// on its owning lane.
+// Sessions returns the live mapping count for internal IP a, summed
+// across lanes: normally all of a subscriber's mappings sit on its hash
+// lane, but around an outage they can straddle the primary and a
+// failover lane (failover allocations outliving the restoration), and
+// the count must see both.
 func (s *Sharded) Sessions(a netaddr.Addr) int {
-	return s.lanes[s.LaneFor(a)].Sessions(a)
+	total := 0
+	for _, lane := range s.lanes {
+		total += lane.Sessions(a)
+	}
+	return total
 }
 
 // ForEachMapping walks every lane's table in lane order (order within a
@@ -255,9 +346,23 @@ func (s *Sharded) LookupByExternal(p netaddr.Proto, ext netaddr.Endpoint, now ti
 }
 
 // ExternalFor resolves a flow's current external endpoint without
-// creating state, on the subscriber's lane.
+// creating state. The active lane almost always holds the mapping; on a
+// miss the other lanes are probed, because a flow established on a
+// failover lane can outlive the primary's restoration.
 func (s *Sharded) ExternalFor(f netaddr.Flow, now time.Time) (netaddr.Endpoint, bool) {
-	return s.lanes[s.LaneFor(f.Src.Addr)].ExternalFor(f, now)
+	al := s.ActiveLaneFor(f.Src.Addr)
+	if ep, ok := s.lanes[al].ExternalFor(f, now); ok {
+		return ep, true
+	}
+	for l, lane := range s.lanes {
+		if l == al {
+			continue
+		}
+		if ep, ok := lane.ExternalFor(f, now); ok {
+			return ep, true
+		}
+	}
+	return netaddr.Endpoint{}, false
 }
 
 // PortStats aggregates the lanes' snapshots: capacities, occupancy and

@@ -259,9 +259,26 @@ func (n *NAT) RefForFlow(f netaddr.Flow) (MappingRef, bool) {
 	return MappingRef{m: m, gen: m.gen}, true
 }
 
-// RefForFlow resolves the handle on the subscriber's owning lane.
+// RefForFlow resolves the handle on the subscriber's active lane, then
+// on the remaining lanes: a flow opened against a failover lane keeps
+// its mapping there after the primary is restored, and relink must find
+// it wherever it lives. A flow's mapping exists on at most one lane, so
+// the first hit is the answer; a full-scan miss (the mapping expired) is
+// rare and pool sizes are a handful of lanes.
 func (s *Sharded) RefForFlow(f netaddr.Flow) (MappingRef, bool) {
-	return s.lanes[s.LaneFor(f.Src.Addr)].RefForFlow(f)
+	al := s.ActiveLaneFor(f.Src.Addr)
+	if r, ok := s.lanes[al].RefForFlow(f); ok {
+		return r, true
+	}
+	for l, lane := range s.lanes {
+		if l == al {
+			continue
+		}
+		if r, ok := lane.RefForFlow(f); ok {
+			return r, true
+		}
+	}
+	return MappingRef{}, false
 }
 
 // Snapshot serializes every lane's engine, in lane order. Lane state is

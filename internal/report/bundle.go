@@ -48,6 +48,10 @@ type Bundle struct {
 	// Observe is the E21 longitudinal observation analysis: the fleet
 	// engine's evolving-carrier run scored per observation window.
 	Observe *ObservationRun
+	// Faults is the E22 fault-injection analysis: degradation-and-
+	// recovery curves under scheduled pool outages and engine restarts;
+	// disabled unless the scenario schedules faults.
+	Faults *FaultRun
 }
 
 // Collect runs the full measurement campaign and all analyses. The
@@ -147,6 +151,7 @@ func collect(w *internet.World, parallel bool, opts CollectOptions) *Bundle {
 		func() { b.Traffic = AnalyzeTrafficOpts(w, opts.TrafficWorkers, opts.TrafficShards) },
 		func() { b.Adversarial = AnalyzeAdversarial(w, opts.TrafficWorkers, opts.TrafficShards) },
 		func() { b.Observe = AnalyzeObservation(w, opts.TrafficWorkers) },
+		func() { b.Faults = AnalyzeFaults(w, opts.TrafficWorkers, opts.TrafficShards) },
 	)
 	return b
 }

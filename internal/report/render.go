@@ -510,7 +510,7 @@ func (b *Bundle) All() string {
 	parts := []string{
 		b.E01(), b.E02(), b.E03(), b.E04(), b.E05(), b.E06(), b.E07(), b.E08(),
 		b.E09(), b.E10(), b.E11(), b.E12(), b.E13(), b.E14(), b.E15(), b.E16(),
-		b.E17(), b.E18(), b.E19(), b.E21(), b.Scores(),
+		b.E17(), b.E18(), b.E19(), b.E21(), b.E22(), b.Scores(),
 	}
 	return strings.Join(parts, "\n")
 }

@@ -80,6 +80,11 @@ type shardState struct {
 	// adv is the shard's adversarial accumulator, merged in shard-index
 	// order after the run; zero when the profile offers no adversaries.
 	adv advAccum
+	// degA/degF are the shard's per-tick legitimate allocation
+	// attempt/failure series — the E22 degradation curve's raw counts —
+	// allocated only when the config schedules faults, so a fault-free
+	// run carries no extra state.
+	degA, degF []uint64
 }
 
 // FastRand is the sharded engine's arrival-draw stream: a SplitMix64
@@ -204,6 +209,17 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		util: make([]float64, p.Ticks),
 	}
 
+	// The compiled fault schedule: per-tick transitions the driver
+	// applies serially between barriers. nil (and zero per-tick cost)
+	// when the plan is empty.
+	faulty := cfg.Faults.Enabled()
+	var bounds map[int]*faultBoundary
+	if faulty {
+		bounds = cfg.Faults.boundaries(sn.NumLanes(), faultSalt(cfg.Seed, realmIdx))
+		out.degA = make([]uint64, p.Ticks)
+		out.degF = make([]uint64, p.Ticks)
+	}
+
 	var rates [3]float64
 	for c := Class(0); c < numClasses; c++ {
 		rates[c] = p.FlowsPerTick * ClassRate(p, c)
@@ -216,8 +232,10 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	attacks := p.AttacksEnabled()
 
 	// Partition: lane l belongs to shard l % S; a subscriber belongs to
-	// its lane's shard. laneOf memoizes the address hash; laneSubs lists
-	// each lane's subscribers per class, ascending — the skip-sampling
+	// its lane's shard. laneOf memoizes the subscriber's current ACTIVE
+	// lane — the address hash always, until a fault boundary re-pins
+	// displaced subscribers to failover lanes. laneSubs lists each
+	// lane's subscribers per class, ascending — the skip-sampling
 	// decode's index space. Attackers land in laneAtk instead: they
 	// receive no legitimate arrivals and stay out of the class census.
 	shards := make([]*shardState, S)
@@ -246,35 +264,45 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	for _, st := range shards {
 		st.lc = NewLiveCounts(st.classSubs)
 		st.arena = make([]flowNode, 0, 4*st.nsubs)
+		if faulty {
+			st.degA = make([]uint64, p.Ticks)
+			st.degF = make([]uint64, p.Ticks)
+		}
 	}
 
 	// Per-lane mapping hooks maintain the owning shard's live-count
 	// buckets. A hook fires on the goroutine driving its lane, and a
-	// lane's mappings belong to subscribers of that lane's shard, so the
-	// buckets stay shard-confined.
-	for l := 0; l < sn.NumLanes(); l++ {
-		st := shards[sn.ShardOf(l)]
-		sn.Lane(l).SetMappingHooks(
-			func(m *nat.Mapping) {
-				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
-					sub := &subs[j]
-					if !sub.attacker {
-						st.lc.Move(sub.class, sub.live, sub.live+1)
+	// lane's mappings belong to subscribers of that lane's shard (the
+	// fault-boundary re-pin pass keeps that invariant: a subscriber's
+	// mappings never outlive a move off their lane), so the buckets stay
+	// shard-confined. installHooks is a func because an engine restart
+	// replaces sn wholesale and must re-arm the fresh lanes.
+	installHooks := func() {
+		for l := 0; l < sn.NumLanes(); l++ {
+			st := shards[sn.ShardOf(l)]
+			sn.Lane(l).SetMappingHooks(
+				func(m *nat.Mapping) {
+					if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
+						sub := &subs[j]
+						if !sub.attacker {
+							st.lc.Move(sub.class, sub.live, sub.live+1)
+						}
+						sub.live++
 					}
-					sub.live++
-				}
-			},
-			func(m *nat.Mapping) {
-				if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
-					sub := &subs[j]
-					if !sub.attacker {
-						st.lc.Move(sub.class, sub.live, sub.live-1)
+				},
+				func(m *nat.Mapping) {
+					if j := uint32(m.Int.Addr - base); j < uint32(len(subs)) {
+						sub := &subs[j]
+						if !sub.attacker {
+							st.lc.Move(sub.class, sub.live, sub.live-1)
+						}
+						sub.live--
 					}
-					sub.live--
-				}
-			},
-		)
+				},
+			)
+		}
 	}
+	installHooks()
 
 	// Per-lane arrival streams, seeded from the realm RNG in lane order
 	// — a fixed count of draws, independent of the shard partition —
@@ -320,6 +348,7 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	// orders the accesses).
 	var (
 		curNow               time.Time
+		curTick              int
 		curLambda, curExpNeg [3]float64
 	)
 
@@ -359,6 +388,12 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 					st.adv.legitAttempts++
 					if v != nat.Ok {
 						st.adv.legitFailures++
+					}
+				}
+				if st.degA != nil {
+					st.degA[curTick]++
+					if v != nat.Ok {
+						st.degF[curTick]++
 					}
 				}
 				if v == nat.Ok {
@@ -408,6 +443,15 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 					var v nat.Verdict
 					_, nd.ref, v = ln.TranslateOutRef(nd.f, now)
 					ok = v == nat.Ok
+					// A re-establishment is a legitimate allocation
+					// attempt — during an outage this is exactly where
+					// displaced flows hit the surviving lanes.
+					if st.degA != nil {
+						st.degA[curTick]++
+						if !ok {
+							st.degF[curTick]++
+						}
+					}
 				}
 				if ok {
 					st.refreshes++
@@ -519,6 +563,152 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		st.inUse = inUse
 	}
 
+	// applyFaults applies one tick's fault transitions. It runs on the
+	// driver goroutine with every shard worker idle (before the start
+	// barrier), so it may touch all lanes and all shard state — the same
+	// license the aggregation phase has. Order: restorations, new
+	// outages, restart, then one re-pin/repartition pass that restores
+	// the two invariants the parallel phase rests on: a subscriber's
+	// mappings live only on its active lane, and a subscriber is driven
+	// by the shard owning that lane.
+	applyFaults := func(fb *faultBoundary) {
+		for _, l := range fb.ups {
+			if sn.LaneDown(l) {
+				sn.SetLaneUp(l)
+				out.faultEvents++
+			}
+		}
+		for _, l := range fb.downs {
+			if d, ok := sn.SetLaneDown(l); ok {
+				out.disrupted += uint64(d)
+				out.faultEvents++
+			}
+		}
+		if fb.restart {
+			// The whole box reboots: every mapping is gone, but an
+			// outage in progress survives the reboot (the pool IPs are
+			// dark whatever the box does). Live flows keep their arena
+			// nodes and re-establish through the refresh fallback; their
+			// old refs must be cleared, not left dangling into the
+			// discarded engine (a non-dead orphan would "refresh"
+			// against a table that no longer owns it).
+			out.disrupted += uint64(sn.NumMappings())
+			out.faultEvents++
+			downs := sn.DownLanes()
+			sn = nat.NewSharded(spec.NAT, cfg.Shards)
+			for l, d := range downs {
+				if d {
+					sn.SetLaneDown(l)
+				}
+			}
+			installHooks()
+			for j := range subs {
+				subs[j].live = 0
+			}
+			for _, st := range shards {
+				for i := range st.arena {
+					st.arena[i].ref = nat.MappingRef{}
+				}
+			}
+		}
+		// Re-pin: compute every subscriber's new active lane, then drop
+		// any mapping stranded on a lane its owner moved off (counted as
+		// disrupted — the CGN re-homing the subscriber tears down its
+		// old bindings). Lanes going down already dropped theirs.
+		newLane := make([]int32, len(subs))
+		for j := range subs {
+			newLane[j] = int32(sn.ActiveLaneFor(subs[j].addr))
+		}
+		for l := 0; l < sn.NumLanes(); l++ {
+			if sn.LaneDown(l) {
+				continue
+			}
+			ll := int32(l)
+			out.disrupted += uint64(sn.Lane(l).DropMatching(func(m *nat.Mapping) bool {
+				j := uint32(m.Int.Addr - base)
+				return j < uint32(len(subs)) && newLane[j] != ll
+			}))
+		}
+		// Repartition wholesale: rebuild the per-lane subscriber lists,
+		// the per-shard census, and — for subscribers changing shards —
+		// move their flow chains into the new owner's arena. Everything
+		// is rebuilt in ascending subscriber order from scratch, so the
+		// result depends only on the new lane assignment, not on which
+		// shard previously held what.
+		for l := range laneSubs {
+			for c := range laneSubs[l] {
+				laneSubs[l][c] = laneSubs[l][c][:0]
+			}
+			laneAtk[l] = laneAtk[l][:0]
+		}
+		type rebuilt struct {
+			arena  []flowNode
+			active []int32
+		}
+		nw := make([]rebuilt, S)
+		for s, st := range shards {
+			st.nsubs, st.classSubs = 0, [3]int{}
+			nw[s].arena = make([]flowNode, 0, cap(st.arena))
+			nw[s].active = make([]int32, 0, cap(st.active))
+		}
+		for j := range subs {
+			sub := &subs[j]
+			oldSt := shards[sn.ShardOf(int(laneOf[j]))]
+			l := int(newLane[j])
+			// A subscriber changing lanes leaves dead mappings behind
+			// (dropped above, or with the dark lane) — but the arena refs
+			// still point into the old lane's slab. The dead/gen guard
+			// would reject them anyway; clearing them here keeps the next
+			// parallel phase from dereferencing another shard's slab
+			// memory at all (the refresh fallback is identical either
+			// way: a zero ref reports stale exactly like a dead one).
+			moved := newLane[j] != laneOf[j]
+			laneOf[j] = newLane[j]
+			if sub.attacker {
+				laneAtk[l] = append(laneAtk[l], int32(j))
+			} else {
+				laneSubs[l][sub.class] = append(laneSubs[l][sub.class], int32(j))
+				st := shards[sn.ShardOf(l)]
+				st.nsubs++
+				st.classSubs[sub.class]++
+			}
+			if sub.head >= 0 {
+				ns := sn.ShardOf(l)
+				a := nw[ns].arena
+				head, tail := int32(-1), int32(-1)
+				for idx := sub.head; idx >= 0; idx = oldSt.arena[idx].next {
+					nd := oldSt.arena[idx]
+					if moved {
+						nd.ref = nat.MappingRef{}
+					}
+					a = append(a, flowNode{f: nd.f, ref: nd.ref, ticksLeft: nd.ticksLeft, next: -1})
+					ni := int32(len(a) - 1)
+					if tail >= 0 {
+						a[tail].next = ni
+					} else {
+						head = ni
+					}
+					tail = ni
+				}
+				nw[ns].arena = a
+				sub.head, sub.tail = head, tail
+				nw[ns].active = append(nw[ns].active, int32(j))
+			}
+		}
+		for s, st := range shards {
+			st.arena, st.freeHead = nw[s].arena, -1
+			st.active = nw[s].active
+			st.fresh, st.scratch = st.fresh[:0], st.scratch[:0]
+			st.lc = NewLiveCounts(st.classSubs)
+		}
+		for j := range subs {
+			sub := &subs[j]
+			if !sub.attacker && sub.live > 0 {
+				shards[sn.ShardOf(int(laneOf[j]))].lc.Rebucket(sub.class, sub.live)
+			}
+		}
+	}
+
 	// Persistent shard workers: S-1 goroutines spawned once for the
 	// whole realm run. Each tick the driver publishes the tick inputs,
 	// releases every worker through its start channel, runs shard 0
@@ -548,7 +738,11 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 	capacity := sn.PortStats().Capacity
 	epoch := time.Unix(0, 0)
 	for t := 0; t < p.Ticks; t++ {
+		if fb := bounds[t]; fb != nil {
+			applyFaults(fb)
+		}
 		curNow = epoch.Add(time.Duration(t) * p.TickStep)
+		curTick = t
 		df := DiurnalFactor(p, t)
 		for c := range rates {
 			curLambda[c] = rates[c] * df
@@ -597,6 +791,12 @@ func runRealmSharded(cfg Config, p Profile, spec RealmSpec, realmIdx int) *realm
 		}
 		out.allHist.Merge(&st.allHist)
 		out.adv.merge(&st.adv)
+		if faulty {
+			for t := range st.degA {
+				out.degA[t] += st.degA[t]
+				out.degF[t] += st.degF[t]
+			}
+		}
 	}
 	if attacks {
 		out.adv.attackers = numAtk

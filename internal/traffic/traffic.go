@@ -77,6 +77,12 @@ type Config struct {
 	// Shards == 0 (see nat.NewSharded). Total concurrency is
 	// Workers x Shards goroutines.
 	Shards int
+	// Faults is the seeded virtual-time fault schedule: pool-IP outages
+	// and engine restarts. Requires the sharded engine (Shards >= 1) —
+	// the lane is the outage's unit — and Run panics on a plan that
+	// fails validation, like nat.New on an unusable Config. The zero
+	// plan is exactly the pre-fault engine.
+	Faults FaultPlan
 	// Observer, when set, is called after every realm tick with a
 	// read-only view of the realm's NAT (the sequential engine or the
 	// sharded facade, per Shards). Test hooks only — with Workers > 1
@@ -134,6 +140,9 @@ type Result struct {
 	// Adversarial is the E19 collateral-damage dataset; entirely zero
 	// (Enabled false) unless the profile offers adversarial load.
 	Adversarial AdversarialStats
+	// Degradation is the E22 fault-injection dataset; entirely zero
+	// (Enabled false) unless the config schedules faults.
+	Degradation DegradationStats
 }
 
 // AdversarialStats is the E19 dataset: what adversarial load does to the
@@ -490,6 +499,12 @@ type realmOut struct {
 	util      []float64
 	refreshes uint64
 	adv       advAccum
+	// degA/degF are the realm's per-tick legitimate allocation series
+	// and disrupted/faultEvents its fault-transition books; nil/zero
+	// unless the config schedules faults.
+	degA, degF  []uint64
+	disrupted   uint64
+	faultEvents int
 }
 
 // advAccum is the adversarial accumulator — per realm in the legacy
@@ -528,6 +543,14 @@ func Run(cfg Config) *Result {
 	res := &Result{Profile: p}
 	if !p.Enabled() {
 		return res
+	}
+	if cfg.Faults.Enabled() {
+		if cfg.Shards <= 0 {
+			panic("traffic: fault injection requires the sharded engine (Config.Shards >= 1): the lane is the outage's unit")
+		}
+		if err := cfg.Faults.Validate(p.Ticks); err != nil {
+			panic("traffic: " + err.Error())
+		}
 	}
 	// Realms without subscribers are skipped entirely (they appear
 	// nowhere in the result, not even as zero rows).
@@ -586,6 +609,11 @@ func Run(cfg Config) *Result {
 	var classHists [3]Hist
 	var allHist Hist
 	var adv advAccum
+	if cfg.Faults.Enabled() {
+		res.Degradation.Enabled = true
+		res.Degradation.Attempts = make([]uint64, p.Ticks)
+		res.Degradation.Failures = make([]uint64, p.Ticks)
+	}
 	for _, o := range outs {
 		res.Realms = append(res.Realms, o.stat)
 		res.Subscribers += o.stat.Subscribers
@@ -599,6 +627,14 @@ func Run(cfg Config) *Result {
 		}
 		allHist.Merge(&o.allHist)
 		adv.merge(&o.adv)
+		if o.degA != nil {
+			for t := range o.degA {
+				res.Degradation.Attempts[t] += o.degA[t]
+				res.Degradation.Failures[t] += o.degF[t]
+			}
+			res.Degradation.Disrupted += o.disrupted
+			res.Degradation.FaultEvents += o.faultEvents
+		}
 		for t, u := range o.util {
 			res.MeanUtil[t] += u
 		}
